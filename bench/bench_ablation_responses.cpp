@@ -1,0 +1,80 @@
+/// \file bench_ablation_responses.cpp
+/// Ablation: coalescing result (continuation) parcels with the same
+/// policy as their requests — the design choice DESIGN.md §2 calls out.
+/// Without it, the uncompressed response stream caps the achievable
+/// speedup of request coalescing near 2x for round-trip workloads like
+/// the toy app.
+///
+///     ./bench_ablation_responses [parcels=8000]
+
+#include <coal/threading/future.hpp>
+
+#include "bench_common.hpp"
+
+#include <complex>
+
+namespace {
+
+struct outcome
+{
+    double phase_s = 0.0;
+    std::uint64_t wire_messages = 0;
+};
+
+outcome run(bool coalesce_responses, std::size_t parcels)
+{
+    coal::runtime_config cfg;
+    cfg.num_localities = 2;
+    cfg.apply_coalescing_defaults = false;
+    cfg.coalesce_responses = coalesce_responses;
+    coal::runtime rt(cfg);
+    rt.enable_coalescing(coal::apps::toy_action_name(), {64, 4000});
+
+    coal::apps::toy_params params;
+    params.parcels_per_phase = parcels;
+    params.phases = 3;    // first acts as warm-up
+    params.coalescing = {64, 4000};
+    params.enable_coalescing = false;    // already enabled above
+    auto const result = coal::apps::run_toy_app(rt, params);
+    rt.quiesce();
+
+    outcome out;
+    coal::running_stats times;
+    for (std::size_t i = 1; i < result.phases.size(); ++i)
+        times.add(result.phases[i].metrics.duration_s);
+    out.phase_s = times.mean();
+    out.wire_messages = rt.network().stats().messages_sent;
+    rt.stop();
+    return out;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    auto cli = coal::bench::parse_cli(argc, argv);
+    auto const parcels =
+        static_cast<std::size_t>(cli.get_int("parcels", 8000));
+
+    coal::bench::print_header(
+        "Ablation — response-parcel coalescing (DESIGN.md §2)",
+        "toy app, nparcels=64, wait 4000 us");
+
+    auto const with = run(true, parcels);
+    auto const without = run(false, parcels);
+
+    std::printf("%-26s %-16s %-16s\n", "configuration", "phase time [ms]",
+        "wire messages");
+    std::printf("%-26s %-16.2f %-16llu\n", "responses coalesced",
+        with.phase_s * 1e3,
+        static_cast<unsigned long long>(with.wire_messages));
+    std::printf("%-26s %-16.2f %-16llu\n", "responses uncoalesced",
+        without.phase_s * 1e3,
+        static_cast<unsigned long long>(without.wire_messages));
+
+    std::printf("\nresponse coalescing: %.2fx faster, %.1fx fewer messages\n",
+        without.phase_s / with.phase_s,
+        static_cast<double>(without.wire_messages) /
+            static_cast<double>(with.wire_messages));
+    return 0;
+}

@@ -1,0 +1,163 @@
+/// \file bench_adaptive.cpp
+/// Extension bench (the paper's future work, §V/§VI): the adaptive
+/// controller tunes nparcels online from the Eq. 4 overhead counter.
+/// Compared against (a) the static sweep optimum (oracle) and (b) the
+/// pathological static setting, and against the PICS reference point the
+/// paper cites (Charm++ converged in 5 decisions on an all-to-all).
+///
+///     ./bench_adaptive [parcels=8000] [phases=10]
+
+#include <coal/adaptive/adaptive_coalescer.hpp>
+#include <coal/threading/future.hpp>
+
+#include "bench_common.hpp"
+
+#include <complex>
+#include <vector>
+
+namespace {
+
+// One phase of toy traffic; returns the phase wall time.
+double traffic_phase(coal::runtime& rt, std::size_t parcels)
+{
+    coal::stopwatch sw;
+    rt.run_everywhere([parcels](coal::locality& here) {
+        auto const other = here.find_remote_localities().front();
+        std::vector<coal::threading::future<std::complex<double>>> vec;
+        vec.reserve(parcels);
+        for (std::size_t i = 0; i != parcels; ++i)
+            vec.push_back(here.async<toy_get_cplx_action>(other));
+        coal::threading::wait_all(vec);
+    });
+    return sw.elapsed_s();
+}
+
+double static_run(std::size_t nparcels, std::size_t parcels, unsigned phases)
+{
+    coal::runtime_config cfg;
+    cfg.num_localities = 2;
+    cfg.apply_coalescing_defaults = false;
+    coal::runtime rt(cfg);
+    rt.enable_coalescing(
+        coal::apps::toy_action_name(), {nparcels, 2000});
+
+    traffic_phase(rt, parcels);    // warm-up
+    double total = 0.0;
+    for (unsigned p = 0; p != phases; ++p)
+        total += traffic_phase(rt, parcels);
+    rt.stop();
+    return total / phases;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    auto cli = coal::bench::parse_cli(argc, argv);
+    auto const parcels =
+        static_cast<std::size_t>(cli.get_int("parcels", 8000));
+    auto const phases = static_cast<unsigned>(cli.get_int("phases", 10));
+
+    coal::bench::print_header(
+        "Adaptive tuning (extension) — controller vs static settings",
+        "paper §V/§VI future work; PICS reference: 5 decisions");
+
+    // Static baselines.
+    double const worst = static_run(1, parcels, 4);
+    double const oracle = static_run(128, parcels, 4);
+    std::printf("static nparcels=1   : %8.2f ms/phase (pathological)\n",
+        worst * 1e3);
+    std::printf("static nparcels=128 : %8.2f ms/phase (oracle)\n\n",
+        oracle * 1e3);
+
+    // Adaptive run, starting pathological.
+    coal::runtime_config cfg;
+    cfg.num_localities = 2;
+    cfg.apply_coalescing_defaults = false;
+    coal::runtime rt(cfg);
+    rt.enable_coalescing(coal::apps::toy_action_name(), {1, 2000});
+
+    coal::adaptive::tuner_config tuner_cfg;
+    tuner_cfg.action_name = coal::apps::toy_action_name();
+    tuner_cfg.max_nparcels = 256;
+    tuner_cfg.min_parcels_per_sample = 100;
+    coal::adaptive::adaptive_coalescer tuner(rt, tuner_cfg);
+
+    std::printf("%-8s %-10s %-14s %-12s %-12s %s\n", "phase", "nparcels",
+        "time [ms]", "overhead", "decisions", "state");
+
+    traffic_phase(rt, parcels);    // warm-up
+    tuner.tick();
+
+    double post_convergence = 0.0;
+    unsigned post_phases = 0;
+    std::uint64_t decisions_at_convergence = 0;
+
+    for (unsigned p = 0; p != phases; ++p)
+    {
+        std::size_t const before = tuner.current_nparcels();
+        double const t = traffic_phase(rt, parcels);
+        bool const was_converged = tuner.converged();
+        tuner.tick();
+
+        auto const history = tuner.history();
+        double const overhead =
+            history.empty() ? 0.0 : history.back().overhead;
+        std::printf("%-8u %-10zu %-14.2f %-12.4f %-12llu %s\n", p, before,
+            t * 1e3, overhead,
+            static_cast<unsigned long long>(tuner.decisions()),
+            tuner.converged() ? "converged" : "exploring");
+
+        if (was_converged)
+        {
+            post_convergence += t;
+            ++post_phases;
+        }
+        else if (tuner.converged())
+        {
+            decisions_at_convergence = tuner.decisions();
+        }
+    }
+
+    std::printf("\nconverged after %llu decisions (PICS reference: 5); "
+                "final nparcels=%zu\n",
+        static_cast<unsigned long long>(decisions_at_convergence ?
+                decisions_at_convergence :
+                tuner.decisions()),
+        tuner.current_nparcels());
+    if (post_phases > 0)
+    {
+        double const steady = post_convergence / post_phases;
+        std::printf("steady-state %.2f ms/phase: %.2fx better than "
+                    "pathological, within %.2fx of the oracle\n",
+            steady * 1e3, worst / steady, steady / oracle);
+    }
+    rt.stop();
+
+    // Second pass: 2-D coordinate descent (nparcels, then wait time) —
+    // the "broad set of messaging parameters" of the paper's §VI.
+    std::printf("\n2-D coordinate descent (tune_interval=true):\n");
+    coal::runtime rt2(cfg);
+    rt2.enable_coalescing(coal::apps::toy_action_name(), {1, 2000});
+
+    coal::adaptive::tuner_config cfg2 = tuner_cfg;
+    cfg2.tune_interval = true;
+    cfg2.min_interval_us = 500;
+    cfg2.max_interval_us = 16000;
+    coal::adaptive::adaptive_coalescer tuner2(rt2, cfg2);
+
+    traffic_phase(rt2, parcels);
+    tuner2.tick();
+    for (unsigned p = 0; p != phases + 6 && !tuner2.converged(); ++p)
+    {
+        traffic_phase(rt2, parcels);
+        tuner2.tick();
+    }
+    std::printf("converged at nparcels=%zu, interval=%lld us after %llu "
+                "decisions\n",
+        tuner2.current_nparcels(),
+        static_cast<long long>(tuner2.current_interval_us()),
+        static_cast<unsigned long long>(tuner2.decisions()));
+    rt2.stop();
+    return 0;
+}

@@ -1,0 +1,117 @@
+/// \file bench_alltoall.cpp
+/// The all-to-all benchmark the paper's related work tunes on (PICS/TRAM,
+/// §I and §V): every locality bursts many small chunks to every other
+/// locality each round, with a round barrier.  Swept over nparcels, plus
+/// an adaptive-controller run starting from the pathological setting —
+/// the scenario in which Charm++'s PICS "converged to a decision on
+/// coalescing buffer size in 5 decisions".
+///
+///     ./bench_alltoall [chunks=256] [doubles=16] [rounds=4]
+
+#include <coal/adaptive/adaptive_coalescer.hpp>
+#include <coal/collectives/collectives.hpp>
+
+#include "bench_common.hpp"
+
+namespace {
+
+// One measured configuration: mean round time over `rounds` (after one
+// warm-up round).
+double measure(std::size_t nparcels, std::size_t chunks,
+    std::size_t doubles, unsigned rounds,
+    coal::adaptive::adaptive_coalescer* tuner = nullptr,
+    coal::runtime* reuse_rt = nullptr)
+{
+    std::unique_ptr<coal::runtime> owned;
+    coal::runtime* rt = reuse_rt;
+    if (rt == nullptr)
+    {
+        coal::runtime_config cfg;
+        cfg.num_localities = 4;
+        cfg.apply_coalescing_defaults = false;
+        owned = std::make_unique<coal::runtime>(cfg);
+        rt = owned.get();
+        rt->enable_coalescing(
+            coal::collectives::deposit_action_name(), {nparcels, 4000});
+    }
+
+    coal::running_stats round_times;
+    // Tag space: each round consumes `chunks` tags per (src,dst) pair.
+    static std::atomic<std::uint64_t> tag_base{1u << 20};
+
+    for (unsigned round = 0; round != rounds + 1; ++round)
+    {
+        std::uint64_t const tag =
+            tag_base.fetch_add(chunks + 1, std::memory_order_relaxed);
+        coal::stopwatch sw;
+        rt->run_everywhere([&](coal::locality& here) {
+            std::vector<std::vector<std::vector<double>>> payload(4);
+            for (auto& per_dest : payload)
+                per_dest.assign(chunks, std::vector<double>(doubles, 1.0));
+            (void) coal::collectives::all_to_all_chunked(
+                *rt, here, payload, tag);
+        });
+        if (round > 0)    // round 0 is warm-up
+            round_times.add(sw.elapsed_s());
+        if (tuner != nullptr)
+            tuner->tick();
+    }
+
+    if (owned)
+        owned->stop();
+    return round_times.mean();
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    auto cli = coal::bench::parse_cli(argc, argv);
+    auto const chunks =
+        static_cast<std::size_t>(cli.get_int("chunks", 256));
+    auto const doubles =
+        static_cast<std::size_t>(cli.get_int("doubles", 16));
+    auto const rounds = static_cast<unsigned>(cli.get_int("rounds", 4));
+
+    coal::bench::print_header(
+        "All-to-all benchmark (PICS/TRAM reference workload)",
+        "4 localities, per round each sends `chunks` x `doubles` to every "
+        "peer");
+
+    std::printf("%-10s %-18s\n", "nparcels", "round time [ms]");
+    double worst = 0.0, best = 1e300;
+    for (std::size_t n : {1, 4, 16, 64, 128})
+    {
+        double const t = measure(n, chunks, doubles, rounds);
+        std::printf("%-10zu %-18.2f\n", n, t * 1e3);
+        worst = std::max(worst, t);
+        best = std::min(best, t);
+    }
+    std::printf("static sweep: best/worst = %.2fx\n\n", worst / best);
+
+    // Adaptive run on a persistent runtime, one decision per round.
+    coal::runtime_config cfg;
+    cfg.num_localities = 4;
+    cfg.apply_coalescing_defaults = false;
+    coal::runtime rt(cfg);
+    rt.enable_coalescing(
+        coal::collectives::deposit_action_name(), {1, 4000});
+
+    coal::adaptive::tuner_config tuner_cfg;
+    tuner_cfg.action_name = coal::collectives::deposit_action_name();
+    tuner_cfg.max_nparcels = 128;
+    tuner_cfg.min_parcels_per_sample = 64;
+    coal::adaptive::adaptive_coalescer tuner(rt, tuner_cfg);
+
+    double const adaptive_time =
+        measure(0, chunks, doubles, 3 * rounds, &tuner, &rt);
+    std::printf("adaptive (from nparcels=1): mean round %.2f ms, %llu "
+                "decisions, final nparcels=%zu\n",
+        adaptive_time * 1e3,
+        static_cast<unsigned long long>(tuner.decisions()),
+        tuner.current_nparcels());
+    std::printf("(PICS reference: converged in 5 decisions on this "
+                "workload class)\n");
+    rt.stop();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/// \file bench_fig9_instantaneous.cpp
+/// Reproduces Fig. 9: per-phase instantaneous network overhead when the
+/// number of parcels to coalesce is changed BETWEEN phases of a single
+/// run (wait 2000 µs).  Two runs:
+///   run A starts optimal (128) and degrades: 128 -> 64 -> 32 -> 1;
+///   run B starts pathological (1) and improves: 1 -> 32 -> 64 -> 128.
+/// Paper: overhead tracks the parameter change within the run — the
+/// signal an adaptive controller needs.
+///
+///     ./bench_fig9_instantaneous [parcels=8000]
+
+#include "bench_common.hpp"
+
+#include <vector>
+
+namespace {
+
+void run_schedule(char const* label, std::vector<std::size_t> schedule,
+    std::size_t parcels)
+{
+    coal::runtime_config cfg;
+    cfg.num_localities = 2;
+    cfg.apply_coalescing_defaults = false;
+    coal::runtime rt(cfg);
+
+    coal::apps::toy_params params;
+    params.parcels_per_phase = parcels;
+    params.phases = static_cast<unsigned>(schedule.size()) + 1;
+    params.coalescing = {schedule.front(), 2000};
+    // Warm-up phase runs with the first scheduled value.
+    schedule.insert(schedule.begin(), schedule.front());
+    params.nparcels_schedule = schedule;
+
+    auto const result = coal::apps::run_toy_app(rt, params);
+
+    std::printf("%s\n", label);
+    std::printf("%-8s %-10s %-12s %-16s\n", "phase", "nparcels", "overhead",
+        "phase time [ms]");
+    for (std::size_t i = 1; i < result.phases.size(); ++i)
+    {
+        auto const& phase = result.phases[i];
+        std::printf("%-8zu %-10zu %-12.4f %-16.2f\n", i - 1, phase.nparcels,
+            phase.metrics.network_overhead,
+            phase.metrics.duration_s * 1e3);
+    }
+    std::printf("\n");
+    rt.stop();
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    auto cfg = coal::bench::parse_cli(argc, argv);
+    auto const parcels =
+        static_cast<std::size_t>(cfg.get_int("parcels", 8000));
+
+    coal::bench::print_header(
+        "Fig. 9 — per-phase overhead under mid-run parameter changes",
+        "wait 2000 us; paper: overhead rises/falls with the live setting");
+
+    run_schedule("run A: optimal start, degrading (128 -> 64 -> 32 -> 1)",
+        {128, 64, 32, 1}, parcels);
+    run_schedule("run B: pathological start, improving (1 -> 32 -> 64 -> 128)",
+        {1, 32, 64, 128}, parcels);
+
+    std::printf("expected shape: run A's overhead increases phase over "
+                "phase; run B's decreases.\n");
+    return 0;
+}

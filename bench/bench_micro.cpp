@@ -1,0 +1,189 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks for the substrate the experiments
+/// stand on: serialization, message framing, scheduler dispatch, future
+/// round trips, counter queries, histogram updates and timer churn.
+
+#include <coal/common/histogram.hpp>
+#include <coal/common/spinlock.hpp>
+#include <coal/parcel/action.hpp>
+#include <coal/parcel/parcel.hpp>
+#include <coal/perf/registry.hpp>
+#include <coal/serialization/archive.hpp>
+#include <coal/threading/future.hpp>
+#include <coal/threading/scheduler.hpp>
+#include <coal/timing/deadline_timer.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+namespace {
+
+using coal::serialization::byte_buffer;
+using coal::serialization::from_bytes;
+using coal::serialization::to_bytes;
+
+int micro_noop(int x)
+{
+    return x;
+}
+
+}    // namespace
+
+COAL_PLAIN_ACTION(micro_noop, micro_noop_action);
+
+namespace {
+
+void BM_SerializeComplexVector(benchmark::State& state)
+{
+    std::vector<std::complex<double>> const payload(
+        static_cast<std::size_t>(state.range(0)),
+        std::complex<double>(1.5, -0.5));
+    for (auto _ : state)
+    {
+        auto buf = to_bytes(payload);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * 16);
+}
+BENCHMARK(BM_SerializeComplexVector)->Arg(1)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DeserializeComplexVector(benchmark::State& state)
+{
+    auto const buf = to_bytes(std::vector<std::complex<double>>(
+        static_cast<std::size_t>(state.range(0)),
+        std::complex<double>(1.5, -0.5)));
+    for (auto _ : state)
+    {
+        auto v = from_bytes<std::vector<std::complex<double>>>(buf);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * 16);
+}
+BENCHMARK(BM_DeserializeComplexVector)->Arg(64)->Arg(4096);
+
+void BM_EncodeMessageFrame(benchmark::State& state)
+{
+    std::vector<coal::parcel::parcel> batch;
+    for (int i = 0; i != state.range(0); ++i)
+    {
+        coal::parcel::parcel p;
+        p.dest = 1;
+        p.action = micro_noop_action::id();
+        p.arguments = micro_noop_action::make_arguments(i);
+        batch.push_back(std::move(p));
+    }
+    for (auto _ : state)
+    {
+        auto wire = coal::parcel::encode_message(batch);
+        benchmark::DoNotOptimize(wire.data());
+    }
+}
+BENCHMARK(BM_EncodeMessageFrame)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_DecodeMessageFrame(benchmark::State& state)
+{
+    std::vector<coal::parcel::parcel> batch;
+    for (int i = 0; i != state.range(0); ++i)
+    {
+        coal::parcel::parcel p;
+        p.dest = 1;
+        p.action = micro_noop_action::id();
+        p.arguments = micro_noop_action::make_arguments(i);
+        batch.push_back(std::move(p));
+    }
+    auto const wire = coal::parcel::encode_message(batch);
+    for (auto _ : state)
+    {
+        auto parcels = coal::parcel::decode_message(wire);
+        benchmark::DoNotOptimize(parcels.data());
+    }
+}
+BENCHMARK(BM_DecodeMessageFrame)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_SchedulerPostExecute(benchmark::State& state)
+{
+    coal::threading::scheduler_config cfg;
+    cfg.num_workers = 1;
+    coal::threading::scheduler sched(cfg);
+    std::atomic<std::int64_t> sink{0};
+    for (auto _ : state)
+    {
+        for (int i = 0; i != 256; ++i)
+            sched.post([&sink] { sink.fetch_add(1); });
+        sched.wait_idle();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_SchedulerPostExecute);
+
+void BM_FutureRoundTrip(benchmark::State& state)
+{
+    for (auto _ : state)
+    {
+        coal::threading::promise<int> p;
+        auto f = p.get_future();
+        p.set_value(1);
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(BM_FutureRoundTrip);
+
+void BM_HistogramAdd(benchmark::State& state)
+{
+    coal::concurrent_histogram h({0, 100000, 20});
+    std::int64_t v = 0;
+    for (auto _ : state)
+    {
+        h.add(v);
+        v = (v + 997) % 120000;
+    }
+    benchmark::DoNotOptimize(h.total());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_CounterQuery(benchmark::State& state)
+{
+    coal::perf::counter_registry reg;
+    double value = 1.0;
+    reg.register_counter_type("/bench/value", "",
+        [&value](coal::perf::counter_path const&) {
+            return std::make_shared<coal::perf::function_counter>(
+                [&value] { return value; });
+        });
+    for (auto _ : state)
+    {
+        auto v = reg.query("/bench{locality#0}/value@param");
+        benchmark::DoNotOptimize(v.value);
+    }
+}
+BENCHMARK(BM_CounterQuery);
+
+void BM_TimerScheduleCancel(benchmark::State& state)
+{
+    coal::timing::deadline_timer_service timers;
+    for (auto _ : state)
+    {
+        auto id = timers.schedule_after(1000000, [] {});
+        timers.cancel(id);
+    }
+}
+BENCHMARK(BM_TimerScheduleCancel);
+
+void BM_SpinlockUncontended(benchmark::State& state)
+{
+    coal::spinlock lock;
+    for (auto _ : state)
+    {
+        lock.lock();
+        lock.unlock();
+    }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+}    // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/// \file bench_timer_accuracy.cpp
+/// Reproduces the paper's §II-B flush-timer accuracy experiment: "we
+/// observed that the flush timer fires within on average 33 µs of the
+/// desired fire time", versus a sleep-based software timer "limited by
+/// the time slicing of the Operating System which is in the range of
+/// milliseconds".
+///
+///     ./bench_timer_accuracy [samples=200]
+
+#include <coal/timing/timer_accuracy.hpp>
+
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv)
+{
+    auto cfg = coal::bench::parse_cli(argc, argv);
+    auto const samples =
+        static_cast<std::uint64_t>(cfg.get_int("samples", 200));
+
+    coal::bench::print_header("Flush-timer accuracy",
+        "paper §II-B (dedicated-thread deadline timer, ~33 us mean error)");
+
+    std::printf("%-12s %-24s %-24s %-22s\n", "delay [us]",
+        "deadline (polling) [us]", "deadline (default) [us]",
+        "sleep timer err [us]");
+    std::printf("%-12s %-12s %-11s %-12s %-11s %-11s %-10s\n", "", "mean",
+        "max", "mean", "max", "mean", "max");
+
+    for (std::int64_t delay : {500, 1000, 2000, 4000, 10000, 50000})
+    {
+        // "Polling" = the paper's dedicated-hardware-thread configuration:
+        // the timer thread is allowed to busy-poll across the whole OS
+        // wakeup-jitter window (~1.5 ms on this host).
+        auto const polling = coal::timing::measure_deadline_timer_accuracy(
+            delay, samples, 1500);
+        auto const dedicated =
+            coal::timing::measure_deadline_timer_accuracy(delay, samples);
+        auto const sleeping =
+            coal::timing::measure_sleep_timer_accuracy(delay, samples / 4);
+
+        std::printf(
+            "%-12lld %-12.2f %-11.2f %-12.2f %-11.2f %-11.2f %-10.2f\n",
+            static_cast<long long>(delay), polling.mean_error_us,
+            polling.max_error_us, dedicated.mean_error_us,
+            dedicated.max_error_us, sleeping.mean_error_us,
+            sleeping.max_error_us);
+    }
+
+    std::printf("\npaper reports ~33 us mean error for its dedicated-thread "
+                "timer; the polling column\nis the faithful equivalent of "
+                "that design.  The sleep-based timer is at the mercy of\n"
+                "OS time slicing (paper: milliseconds; this virtualized "
+                "host: hundreds of us to ms).\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+#include <coal/agas/address_space.hpp>
+
+#include <coal/common/assert.hpp>
+
+namespace coal::agas {
+
+address_space::address_space(std::uint32_t num_localities)
+  : num_localities_(num_localities)
+  , sequence_(num_localities)
+{
+    COAL_ASSERT_MSG(num_localities > 0, "need at least one locality");
+    COAL_ASSERT_MSG(num_localities < (1u << gid::locality_bits),
+        "locality count exceeds gid locality field");
+    for (auto& s : sequence_)
+        s.store(0, std::memory_order_relaxed);
+}
+
+std::vector<locality_id> address_space::all_localities() const
+{
+    std::vector<locality_id> out;
+    out.reserve(num_localities_);
+    for (std::uint32_t i = 0; i != num_localities_; ++i)
+        out.emplace_back(i);
+    return out;
+}
+
+std::vector<locality_id> address_space::remote_localities(
+    locality_id here) const
+{
+    std::vector<locality_id> out;
+    out.reserve(num_localities_ > 0 ? num_localities_ - 1 : 0);
+    for (std::uint32_t i = 0; i != num_localities_; ++i)
+    {
+        if (i != here.value())
+            out.emplace_back(i);
+    }
+    return out;
+}
+
+gid address_space::allocate(locality_id owner)
+{
+    COAL_ASSERT(is_valid(owner));
+    // Sequence numbers start at 1 so that gid{} (raw 0) stays invalid.
+    std::uint64_t const seq =
+        sequence_[owner.value()].fetch_add(1, std::memory_order_relaxed) + 1;
+    COAL_ASSERT_MSG(seq <= gid::sequence_mask, "gid sequence exhausted");
+    return gid{owner, seq};
+}
+
+std::optional<locality_id> address_space::resolve(gid id) const
+{
+    if (!id.valid())
+        return std::nullopt;
+    {
+        std::lock_guard lock(mutex_);
+        if (auto it = migrated_.find(id); it != migrated_.end())
+            return it->second;
+    }
+    locality_id const origin = id.origin();
+    if (!is_valid(origin))
+        return std::nullopt;
+    return origin;
+}
+
+bool address_space::migrate(gid id, locality_id new_owner)
+{
+    if (!id.valid() || !is_valid(new_owner))
+        return false;
+    std::lock_guard lock(mutex_);
+    if (new_owner == id.origin())
+        migrated_.erase(id);    // back home: drop the override entry
+    else
+        migrated_[id] = new_owner;
+    return true;
+}
+
+bool address_space::register_name(std::string name, gid id)
+{
+    if (name.empty() || !id.valid())
+        return false;
+    std::lock_guard lock(mutex_);
+    return names_.emplace(std::move(name), id).second;
+}
+
+std::optional<gid> address_space::resolve_name(std::string const& name) const
+{
+    std::lock_guard lock(mutex_);
+    auto it = names_.find(name);
+    if (it == names_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool address_space::unregister_name(std::string const& name)
+{
+    std::lock_guard lock(mutex_);
+    return names_.erase(name) != 0;
+}
+
+std::shared_ptr<void> address_space::find_erased(
+    gid id, std::type_index expected) const
+{
+    std::lock_guard lock(mutex_);
+    auto it = components_.find(id);
+    if (it == components_.end() || it->second.type != expected)
+        return nullptr;
+    return it->second.object;
+}
+
+bool address_space::unbind(gid id)
+{
+    std::lock_guard lock(mutex_);
+    return components_.erase(id) != 0;
+}
+
+std::size_t address_space::component_count() const
+{
+    std::lock_guard lock(mutex_);
+    return components_.size();
+}
+
+}    // namespace coal::agas

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file address_space.hpp
+/// The Active Global Address Space service shared by all localities of a
+/// runtime.  Responsibilities (mirroring HPX's AGAS at the scale this
+/// reproduction needs):
+///
+///  - locality registration and enumeration,
+///  - gid allocation (per-locality sequence counters),
+///  - gid -> owner-locality resolution, including migration,
+///  - a symbolic name service (string -> gid),
+///  - a per-locality component-instance table for typed objects.
+///
+/// One process hosts all localities, so the service is a concurrent
+/// shared object; in a real distributed runtime each method would be a
+/// (potentially remote) AGAS action — the interface is shaped so that
+/// seam is preserved.
+
+#include <coal/agas/gid.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+namespace coal::agas {
+
+class address_space
+{
+public:
+    explicit address_space(std::uint32_t num_localities);
+
+    [[nodiscard]] std::uint32_t num_localities() const noexcept
+    {
+        return num_localities_;
+    }
+
+    [[nodiscard]] std::vector<locality_id> all_localities() const;
+
+    /// Every locality except `here` — HPX's find_remote_localities().
+    [[nodiscard]] std::vector<locality_id> remote_localities(
+        locality_id here) const;
+
+    [[nodiscard]] bool is_valid(locality_id id) const noexcept
+    {
+        return id.valid() && id.value() < num_localities_;
+    }
+
+    /// Allocate a fresh gid homed at `owner`.
+    gid allocate(locality_id owner);
+
+    /// Current owner of a gid.  Unmigrated gids resolve from their bits
+    /// without a table lookup (the common case, as in HPX's AGAS cache).
+    [[nodiscard]] std::optional<locality_id> resolve(gid id) const;
+
+    /// Re-home a gid (object migration).  Returns false for invalid args.
+    bool migrate(gid id, locality_id new_owner);
+
+    // --- symbolic names -----------------------------------------------
+
+    /// Associate a (unique) name with a gid; false if taken.
+    bool register_name(std::string name, gid id);
+
+    [[nodiscard]] std::optional<gid> resolve_name(
+        std::string const& name) const;
+
+    bool unregister_name(std::string const& name);
+
+    // --- component instances ------------------------------------------
+
+    /// Store a typed object under a fresh gid homed at `owner`.
+    template <typename T>
+    gid bind(locality_id owner, std::shared_ptr<T> object)
+    {
+        gid const id = allocate(owner);
+        std::lock_guard lock(mutex_);
+        components_.insert_or_assign(id,
+            component_entry{std::type_index(typeid(T)),
+                std::shared_ptr<void>(std::move(object))});
+        return id;
+    }
+
+    /// Retrieve a typed object; nullptr on unknown gid or type mismatch.
+    template <typename T>
+    [[nodiscard]] std::shared_ptr<T> find(gid id) const
+    {
+        std::lock_guard lock(mutex_);
+        auto it = components_.find(id);
+        if (it == components_.end())
+            return nullptr;
+        if (it->second.type != std::type_index(typeid(T)))
+            return nullptr;
+        return std::static_pointer_cast<T>(it->second.object);
+    }
+
+    /// Type-erased lookup used by the component-action machinery: the
+    /// caller supplies the expected type; nullptr on unknown gid or
+    /// type mismatch.
+    [[nodiscard]] std::shared_ptr<void> find_erased(
+        gid id, std::type_index expected) const;
+
+    /// Remove an object binding; false if the gid was not bound.
+    bool unbind(gid id);
+
+    [[nodiscard]] std::size_t component_count() const;
+
+private:
+    struct component_entry
+    {
+        std::type_index type;
+        std::shared_ptr<void> object;
+    };
+
+    std::uint32_t num_localities_;
+    std::vector<std::atomic<std::uint64_t>> sequence_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<gid, locality_id> migrated_;
+    std::map<std::string, gid> names_;
+    std::unordered_map<gid, component_entry> components_;
+};
+
+}    // namespace coal::agas

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file gid.hpp
+/// Global identifiers — the coal analogue of HPX's AGAS GIDs.
+///
+/// A locality is the abstraction of a physical node (here: an in-process
+/// node with its own scheduler and parcelport).  A gid names any globally
+/// addressable object: the top 16 bits carry the locality that allocated
+/// it, the low 48 bits a per-locality sequence number.  Resolution of a
+/// gid to its (current) owner goes through agas::address_space, which
+/// also supports migration (re-homing a gid), preserving the paper's
+/// claim that an object's GID survives moves between nodes.
+
+#include <coal/serialization/archive.hpp>
+
+#include <cstdint>
+#include <functional>
+
+namespace coal::agas {
+
+/// Identifies a locality (node).  Strong type to keep locality indices
+/// from mixing with other integers in parcel headers.
+class locality_id
+{
+public:
+    constexpr locality_id() = default;
+
+    constexpr explicit locality_id(std::uint32_t value) noexcept
+      : value_(value)
+    {
+    }
+
+    [[nodiscard]] constexpr std::uint32_t value() const noexcept
+    {
+        return value_;
+    }
+
+    friend constexpr auto operator<=>(locality_id, locality_id) = default;
+
+    /// The conventional root locality (where `main`-like setup runs).
+    static constexpr locality_id root() noexcept
+    {
+        return locality_id{0};
+    }
+
+    static constexpr locality_id invalid() noexcept
+    {
+        return locality_id{0xffffffffu};
+    }
+
+    [[nodiscard]] constexpr bool valid() const noexcept
+    {
+        return value_ != 0xffffffffu;
+    }
+
+    template <typename Archive>
+    void serialize(Archive& ar)
+    {
+        ar & value_;
+    }
+
+private:
+    std::uint32_t value_ = 0xffffffffu;
+};
+
+/// Global identifier of an object.
+class gid
+{
+public:
+    static constexpr unsigned locality_bits = 16;
+    static constexpr unsigned sequence_bits = 48;
+    static constexpr std::uint64_t sequence_mask =
+        (std::uint64_t{1} << sequence_bits) - 1;
+
+    constexpr gid() = default;
+
+    constexpr gid(locality_id origin, std::uint64_t sequence) noexcept
+      : raw_((static_cast<std::uint64_t>(origin.value()) << sequence_bits) |
+            (sequence & sequence_mask))
+    {
+    }
+
+    constexpr explicit gid(std::uint64_t raw) noexcept
+      : raw_(raw)
+    {
+    }
+
+    [[nodiscard]] constexpr std::uint64_t raw() const noexcept
+    {
+        return raw_;
+    }
+
+    /// Locality that allocated this gid (not necessarily the current
+    /// owner once the object migrated — resolve through address_space).
+    [[nodiscard]] constexpr locality_id origin() const noexcept
+    {
+        return locality_id{static_cast<std::uint32_t>(raw_ >> sequence_bits)};
+    }
+
+    [[nodiscard]] constexpr std::uint64_t sequence() const noexcept
+    {
+        return raw_ & sequence_mask;
+    }
+
+    [[nodiscard]] constexpr bool valid() const noexcept
+    {
+        return raw_ != 0;
+    }
+
+    friend constexpr auto operator<=>(gid, gid) = default;
+
+    template <typename Archive>
+    void serialize(Archive& ar)
+    {
+        ar & raw_;
+    }
+
+private:
+    std::uint64_t raw_ = 0;
+};
+
+}    // namespace coal::agas
+
+template <>
+struct std::hash<coal::agas::locality_id>
+{
+    std::size_t operator()(coal::agas::locality_id id) const noexcept
+    {
+        return std::hash<std::uint32_t>{}(id.value());
+    }
+};
+
+template <>
+struct std::hash<coal::agas::gid>
+{
+    std::size_t operator()(coal::agas::gid g) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(g.raw());
+    }
+};

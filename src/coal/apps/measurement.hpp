@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file measurement.hpp
+/// Per-phase measurement helper used by both evaluation applications.
+///
+/// The paper's figures plot *per-phase* (toy app) or *per-iteration*
+/// (parquet) quantities of cumulative counters, so each phase takes a
+/// snapshot delta: wall time, Eq. 1 task duration, Eq. 2 task overhead,
+/// Eq. 3 background duration and Eq. 4 network overhead, plus message and
+/// parcel volumes.
+
+#include <coal/common/stopwatch.hpp>
+#include <coal/net/transport.hpp>
+#include <coal/runtime/runtime.hpp>
+#include <coal/threading/instrumentation.hpp>
+
+#include <cstdint>
+
+namespace coal::apps {
+
+struct phase_metrics
+{
+    // NOTE: network_overhead uses Eq. 4 with idle background polls
+    // excluded (see threading/instrumentation.hpp).
+    double duration_s = 0.0;            ///< wall time of the phase
+    double network_overhead = 0.0;      ///< Eq. 4 over the phase
+    double background_s = 0.0;          ///< Eq. 3 delta, seconds
+    double task_duration_s = 0.0;       ///< Eq. 1 delta, seconds
+    double avg_task_overhead_ns = 0.0;  ///< Eq. 2 over the phase
+    std::uint64_t tasks = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+};
+
+/// Brackets a phase: construct (or restart()) at the start, finish() at
+/// the end.  Aggregates over all localities of the runtime.
+class phase_recorder
+{
+public:
+    explicit phase_recorder(runtime& rt)
+      : runtime_(rt)
+    {
+        restart();
+    }
+
+    void restart()
+    {
+        base_ = runtime_.aggregate_snapshot();
+        base_net_ = runtime_.network().stats();
+        watch_.restart();
+    }
+
+    [[nodiscard]] phase_metrics finish() const
+    {
+        auto const snap = runtime_.aggregate_snapshot().since(base_);
+        auto const net = runtime_.network().stats();
+
+        phase_metrics m;
+        m.duration_s = watch_.elapsed_s();
+        m.network_overhead = snap.network_overhead();
+        m.background_s =
+            static_cast<double>(snap.background_duration_ns()) / 1e9;
+        m.task_duration_s =
+            static_cast<double>(snap.task_duration_ns()) / 1e9;
+        m.avg_task_overhead_ns = snap.average_task_overhead_ns();
+        m.tasks = snap.tasks_executed;
+        m.messages_sent = net.messages_sent - base_net_.messages_sent;
+        m.bytes_sent = net.bytes_sent - base_net_.bytes_sent;
+        return m;
+    }
+
+private:
+    runtime& runtime_;
+    threading::scheduler_snapshot base_{};
+    net::transport_stats base_net_{};
+    stopwatch watch_;
+};
+
+}    // namespace coal::apps

@@ -1,0 +1,191 @@
+#include <coal/apps/parquet_app.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/parcel/action.hpp>
+#include <coal/threading/future.hpp>
+#include <coal/timing/busy_work.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+namespace coal::apps {
+
+namespace {
+
+/// Per-locality tensor blocks.  Keyed by locality index because all
+/// localities share this process — the seam where a real distributed
+/// build would use per-node storage resolved through AGAS.
+class parquet_storage
+{
+public:
+    static parquet_storage& instance()
+    {
+        static parquet_storage storage;
+        return storage;
+    }
+
+    void configure(std::uint32_t localities, std::size_t elements)
+    {
+        std::lock_guard lock(mutex_);
+        tensors_.clear();
+        tensors_.reserve(localities);
+        for (std::uint32_t i = 0; i != localities; ++i)
+        {
+            auto t = std::make_unique<tensor>();
+            t->data.assign(elements, std::complex<double>(0.0, 0.0));
+            tensors_.push_back(std::move(t));
+        }
+    }
+
+    void accumulate(std::uint32_t locality, std::uint64_t row_offset,
+        std::vector<std::complex<double>> const& chunk)
+    {
+        tensor* t = nullptr;
+        {
+            std::lock_guard lock(mutex_);
+            COAL_ASSERT(locality < tensors_.size());
+            t = tensors_[locality].get();
+        }
+        std::lock_guard lock(t->mutex);
+        std::size_t const n = t->data.size();
+        COAL_ASSERT(n > 0);
+        for (std::size_t i = 0; i != chunk.size(); ++i)
+            t->data[(row_offset + i) % n] += chunk[i];
+    }
+
+    [[nodiscard]] std::complex<double> total_sum() const
+    {
+        std::lock_guard lock(mutex_);
+        std::complex<double> sum{0.0, 0.0};
+        for (auto const& t : tensors_)
+        {
+            std::lock_guard tl(t->mutex);
+            for (auto const& v : t->data)
+                sum += v;
+        }
+        return sum;
+    }
+
+private:
+    struct tensor
+    {
+        mutable std::mutex mutex;
+        std::vector<std::complex<double>> data;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<tensor>> tensors_;
+};
+
+}    // namespace
+
+/// Rotation-phase action: accumulate a slab of Nc elements into the
+/// destination tensor.  `dest` names the executing locality's storage
+/// block (plain actions do not see their host; the caller knows it).
+void parquet_accumulate(std::uint32_t dest, std::uint64_t row_offset,
+    std::vector<std::complex<double>> chunk)
+{
+    parquet_storage::instance().accumulate(dest, row_offset, chunk);
+}
+
+}    // namespace coal::apps
+
+COAL_PLAIN_ACTION(coal::apps::parquet_accumulate, parquet_accumulate_action);
+
+namespace coal::apps {
+
+char const* parquet_action_name()
+{
+    return parquet_accumulate_action::action_name;
+}
+
+parquet_result run_parquet_app(runtime& rt, parquet_params const& params)
+{
+    std::uint32_t const localities = rt.num_localities();
+    COAL_ASSERT_MSG(localities >= 2, "parquet needs >= 2 localities");
+
+    std::size_t const parcels_each = params.parcels_per_locality != 0 ?
+        params.parcels_per_locality :
+        static_cast<std::size_t>(8) * params.nc * params.nc / localities;
+
+    std::size_t const tensor_elements = static_cast<std::size_t>(params.nc) *
+        params.nc * params.nc / localities;
+    parquet_storage::instance().configure(
+        localities, std::max<std::size_t>(tensor_elements, params.nc));
+
+    if (params.enable_coalescing)
+        rt.enable_coalescing(parquet_action_name(), params.coalescing);
+
+    // The slab every parcel carries: Nc complex doubles.
+    std::vector<std::complex<double>> const chunk(
+        params.nc, std::complex<double>(0.5, -0.25));
+
+    parquet_result result;
+    result.iterations.reserve(params.iterations);
+    stopwatch total;
+
+    rt.run_everywhere([&](locality& here) {
+        bool const leader = here.id().value() == 0;
+        auto const remotes = here.find_remote_localities();
+
+        phase_recorder recorder(rt);
+
+        for (unsigned iter = 0; iter != params.iterations; ++iter)
+        {
+            rt.barrier();
+            if (leader)
+                recorder.restart();
+            rt.barrier();
+
+            std::vector<threading::future<void>> vec;
+            vec.reserve(parcels_each);
+
+            for (std::size_t i = 0; i != parcels_each; ++i)
+            {
+                // Contraction work producing this slab (creates the
+                // inter-parcel gaps of a real solver).
+                timing::spin_flops(params.compute_flops_per_parcel);
+
+                auto const dest = remotes[i % remotes.size()];
+                std::uint64_t const row_offset =
+                    (static_cast<std::uint64_t>(i) * params.nc) %
+                    std::max<std::uint64_t>(tensor_elements, 1);
+                vec.push_back(here.async<parquet_accumulate_action>(
+                    dest, dest.value(), row_offset, chunk));
+            }
+
+            threading::wait_all(vec);
+            rt.barrier();
+
+            if (leader)
+            {
+                parquet_iteration_result ir;
+                ir.iteration = iter;
+                ir.metrics = recorder.finish();
+                ir.cumulative_s = total.elapsed_s();
+                result.iterations.push_back(ir);
+            }
+            rt.barrier();
+        }
+    });
+
+    result.total_s = total.elapsed_s();
+
+    // Conservation check: every element of every parcel must have been
+    // accumulated exactly once.
+    std::complex<double> const expected =
+        std::complex<double>(0.5, -0.25) *
+        static_cast<double>(static_cast<std::size_t>(localities) *
+            parcels_each * params.iterations * params.nc);
+    std::complex<double> const actual =
+        parquet_storage::instance().total_sum();
+    double const denom = std::max(1.0, std::abs(expected));
+    result.checksum_error = std::abs(actual - expected) / denom;
+    result.checksum_ok = result.checksum_error < 1e-9;
+
+    return result;
+}
+
+}    // namespace coal::apps

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file parquet_app.hpp
+/// Scaled-down stand-in for the Parquet application (§IV-C).
+///
+/// The real self-consistent parquet solver is a quantum many-body code
+/// whose distributed structure — the part that matters for coalescing —
+/// is: rank-3 tensors of complex doubles of linear dimension Nc spread
+/// over L localities; each iteration runs local contraction work and a
+/// *rotation phase* in which `8·Nc²` parcels of `Nc` complex doubles are
+/// broadcast between localities with no inter-message dependencies, then
+/// an iteration barrier.  This module reproduces that communication
+/// skeleton with real payloads (receivers accumulate into their tensor
+/// block, and a global checksum verifies no parcel was lost or
+/// duplicated) and calibrated busy-flops for the contraction work.
+/// The physics is replaced; DESIGN.md §2 records the substitution.
+
+#include <coal/apps/measurement.hpp>
+#include <coal/core/coalescing_params.hpp>
+#include <coal/runtime/runtime.hpp>
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace coal::apps {
+
+struct parquet_params
+{
+    /// Linear tensor dimension (paper: 512; scaled default fits a laptop:
+    /// total parcels per iteration = 8·Nc²).
+    std::uint32_t nc = 32;
+
+    unsigned iterations = 3;
+
+    /// Coalescing parameters; the paper's §IV-C trial uses (4, 5000 µs).
+    coalescing::coalescing_params coalescing{4, 5000};
+
+    bool enable_coalescing = true;
+
+    /// Modeled contraction work interleaved with sends, per parcel
+    /// (dependent FLOPs; ~0.5 µs per 1000 on a modern core).  This is
+    /// what creates realistic inter-parcel gaps, making the wait-time
+    /// parameter matter (Fig. 8's second axis).
+    std::uint64_t compute_flops_per_parcel = 1200;
+
+    /// Optional override of parcels per locality per iteration
+    /// (default 8·Nc²/L); tests use small values.
+    std::size_t parcels_per_locality = 0;
+};
+
+struct parquet_iteration_result
+{
+    unsigned iteration = 0;
+    phase_metrics metrics;
+    double cumulative_s = 0.0;    ///< time to *reach completion of* this
+                                  ///< iteration (Fig. 6's y-axis)
+};
+
+struct parquet_result
+{
+    std::vector<parquet_iteration_result> iterations;
+    double total_s = 0.0;
+
+    /// Checksum validation: true iff every sent element arrived exactly
+    /// once (catches lost/duplicated parcels under coalescing).
+    bool checksum_ok = false;
+    double checksum_error = 0.0;
+};
+
+/// Name under which the rotation action is registered.
+char const* parquet_action_name();
+
+/// Run the parquet communication skeleton SPMD on all localities
+/// (the paper uses 4).
+parquet_result run_parquet_app(runtime& rt, parquet_params const& params);
+
+}    // namespace coal::apps

@@ -1,0 +1,91 @@
+#include <coal/apps/toy_app.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/parcel/action.hpp>
+#include <coal/threading/future.hpp>
+
+namespace coal::apps {
+
+std::complex<double> toy_get_cplx()
+{
+    return std::complex<double>(13.3, -23.8);
+}
+
+}    // namespace coal::apps
+
+namespace coal::apps {
+
+char const* toy_action_name()
+{
+    return toy_get_cplx_action::action_name;
+}
+
+toy_result run_toy_app(runtime& rt, toy_params const& params)
+{
+    COAL_ASSERT_MSG(rt.num_localities() >= 2 &&
+            rt.num_localities() % 2 == 0,
+        "toy app pairs localities; need an even count >= 2");
+
+    if (params.enable_coalescing)
+        rt.enable_coalescing(toy_action_name(), params.coalescing);
+
+    auto nparcels_for_phase = [&params](unsigned phase) -> std::size_t {
+        if (params.nparcels_schedule.empty())
+            return params.coalescing.nparcels;
+        auto const idx = std::min<std::size_t>(
+            phase, params.nparcels_schedule.size() - 1);
+        return params.nparcels_schedule[idx];
+    };
+
+    toy_result result;
+    result.phases.reserve(params.phases);
+    stopwatch total;
+
+    rt.run_everywhere([&](locality& here) {
+        // Pair up: locality i talks to locality i^1.
+        agas::locality_id const other{here.id().value() ^ 1u};
+        bool const leader = here.id().value() == 0;
+
+        phase_recorder recorder(rt);
+
+        // num_repeats phases of numparcels asyncs each (Listing 1).
+        for (unsigned phase = 0; phase != params.phases; ++phase)
+        {
+            if (leader && params.enable_coalescing)
+            {
+                coalescing::coalescing_params p = params.coalescing;
+                p.nparcels = nparcels_for_phase(phase);
+                rt.set_coalescing_params(toy_action_name(), p);
+            }
+            rt.barrier();
+            if (leader)
+                recorder.restart();
+            rt.barrier();
+
+            std::vector<threading::future<std::complex<double>>> vec;
+            vec.reserve(params.parcels_per_phase);
+            for (std::size_t i = 0; i != params.parcels_per_phase; ++i)
+                vec.push_back(here.async<toy_get_cplx_action>(other));
+
+            threading::wait_all(vec);
+            rt.barrier();
+
+            if (leader)
+            {
+                toy_phase_result pr;
+                pr.phase = phase;
+                pr.nparcels = params.enable_coalescing ?
+                    nparcels_for_phase(phase) :
+                    1;
+                pr.metrics = recorder.finish();
+                result.phases.push_back(pr);
+            }
+            rt.barrier();
+        }
+    });
+
+    result.total_s = total.elapsed_s();
+    return result;
+}
+
+}    // namespace coal::apps

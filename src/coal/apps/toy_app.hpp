@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file toy_app.hpp
+/// The paper's toy application (Listing 1): two localities bombard each
+/// other with fire-and-return messages carrying a single complex double,
+/// repeated for a number of *phases*.  There are no dependencies between
+/// messages, so network overhead dominates — the ideal coalescing victim.
+///
+/// Extensions over the listing, used by the evaluation harness:
+///  - a per-phase schedule of `nparcels` values (Fig. 9 changes the
+///    coalescing parameter between phases of one run);
+///  - per-phase metric capture via phase_recorder.
+
+#include <coal/apps/measurement.hpp>
+#include <coal/core/coalescing_params.hpp>
+#include <coal/parcel/action.hpp>
+#include <coal/runtime/runtime.hpp>
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace coal::apps {
+
+/// The remotely executed function of Listing 1.
+std::complex<double> toy_get_cplx();
+
+/// Name under which the toy action is registered (for counter queries).
+char const* toy_action_name();
+
+}    // namespace coal::apps
+
+/// The action type itself (usable with locality::async from user code).
+COAL_PLAIN_ACTION(coal::apps::toy_get_cplx, toy_get_cplx_action);
+
+namespace coal::apps {
+
+struct toy_params
+{
+    /// Messages each locality sends per phase ("numparcels"; the paper
+    /// uses one million — scale to the host).
+    std::size_t parcels_per_phase = 20000;
+
+    /// Number of phases ("num_repeats", 4 in Listing 1).
+    unsigned phases = 4;
+
+    /// Coalescing parameters for the action (and its responses).
+    coalescing::coalescing_params coalescing{128, 4000};
+
+    /// Enable coalescing at all (false = baseline, one parcel/message).
+    bool enable_coalescing = true;
+
+    /// Optional per-phase nparcels schedule (Fig. 9); when shorter than
+    /// `phases`, the last entry sticks.  Empty = constant parameters.
+    std::vector<std::size_t> nparcels_schedule;
+};
+
+struct toy_phase_result
+{
+    unsigned phase = 0;
+    std::size_t nparcels = 0;    ///< value in effect during the phase
+    phase_metrics metrics;
+};
+
+struct toy_result
+{
+    std::vector<toy_phase_result> phases;
+    double total_s = 0.0;
+};
+
+/// Run the toy application SPMD on the runtime's (>= 2) localities.
+/// Each locality sends to its partner: locality i exchanges with
+/// locality i^1, matching the two-node setup of the paper.
+toy_result run_toy_app(runtime& rt, toy_params const& params);
+
+}    // namespace coal::apps

@@ -1,0 +1,209 @@
+#pragma once
+
+/// \file collectives.hpp
+/// SPMD collectives over the parcel layer: broadcast, gather, reduce and
+/// all_to_all.  These are the communication idioms the coalescing
+/// literature benchmarks against (the paper's §I cites Charm++/TRAM and
+/// PICS converging on an *all-to-all* benchmark), provided here as a
+/// library so applications and benches can use them directly.
+///
+/// Usage is SPMD: every locality calls the same collective with the same
+/// `tag` (a caller-chosen round identifier, e.g. the iteration number —
+/// it is what matches deposits to retrievals across localities):
+///
+///     rt.run_everywhere([&](coal::locality& here) {
+///         auto got = coal::collectives::all_to_all<double>(
+///             rt, here, my_chunks, /*tag=*/round);
+///     });
+///
+/// Internally every collective moves serialized values through a
+/// process-global mailbox keyed by (destination, tag, source) and a
+/// dedicated deposit action.  The deposit action is a regular parcel
+/// action, so *collective traffic coalesces* like any other when enabled
+/// (`collectives::deposit_action_name()`).
+///
+/// Retrieval is help-while-wait: a locality waiting for a missing
+/// deposit keeps executing tasks (including the deposits themselves), so
+/// single-worker localities cannot deadlock.
+
+#include <coal/runtime/locality.hpp>
+#include <coal/runtime/runtime.hpp>
+#include <coal/serialization/archive.hpp>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace coal::collectives {
+
+namespace detail {
+
+/// Deposit `bytes` into (dest, tag, src)'s mailbox slot.  Exposed only
+/// for the action registration below.
+void deposit(std::uint32_t dest, std::uint64_t tag, std::uint32_t src,
+    std::vector<std::uint8_t> bytes);
+
+/// Blocking (help-while-wait) retrieval; consumes the slot.
+serialization::byte_buffer retrieve(
+    std::uint32_t dest, std::uint64_t tag, std::uint32_t src);
+
+/// Send one serialized value to (dest, tag) from `here`.
+void send_to(locality& here, agas::locality_id dest, std::uint64_t tag,
+    serialization::byte_buffer&& bytes);
+
+/// Number of mailbox slots currently occupied (tests/leak checks).
+std::size_t pending_slots();
+
+}    // namespace detail
+
+/// Name of the internal deposit action — enable coalescing on it to
+/// batch collective traffic:
+///     rt.enable_coalescing(coal::collectives::deposit_action_name(), {...});
+char const* deposit_action_name();
+
+/// Broadcast `value` from `root` to every locality; every rank returns
+/// the broadcast value.  Only the root's `value` is examined.
+template <typename T>
+T broadcast(runtime& rt, locality& here, agas::locality_id root,
+    std::optional<T> value, std::uint64_t tag)
+{
+    if (here.id() == root)
+    {
+        COAL_ASSERT_MSG(value.has_value(), "broadcast root needs a value");
+        for (std::uint32_t i = 0; i != rt.num_localities(); ++i)
+        {
+            if (i == here.id().value())
+                continue;
+            detail::send_to(here, agas::locality_id{i}, tag,
+                serialization::to_bytes(*value));
+        }
+        return std::move(*value);
+    }
+    auto const bytes =
+        detail::retrieve(here.id().value(), tag, root.value());
+    return serialization::from_bytes<T>(bytes);
+}
+
+/// Gather one value per locality at `root`; the root returns them
+/// indexed by locality, every other rank returns an empty vector.
+template <typename T>
+std::vector<T> gather(runtime& rt, locality& here, agas::locality_id root,
+    T value, std::uint64_t tag)
+{
+    if (here.id() != root)
+    {
+        detail::send_to(here, root, tag, serialization::to_bytes(value));
+        return {};
+    }
+
+    std::vector<T> out;
+    out.reserve(rt.num_localities());
+    for (std::uint32_t i = 0; i != rt.num_localities(); ++i)
+    {
+        if (i == here.id().value())
+        {
+            out.push_back(value);
+            continue;
+        }
+        out.push_back(serialization::from_bytes<T>(
+            detail::retrieve(here.id().value(), tag, i)));
+    }
+    return out;
+}
+
+/// Reduce one value per locality at `root` with `op`; the root returns
+/// the fold, other ranks return a default-constructed T.
+template <typename T, typename Op>
+T reduce(runtime& rt, locality& here, agas::locality_id root, T value,
+    Op op, std::uint64_t tag)
+{
+    auto values = gather(rt, here, root, std::move(value), tag);
+    if (here.id() != root)
+        return T{};
+    T acc = std::move(values.front());
+    for (std::size_t i = 1; i < values.size(); ++i)
+        acc = op(std::move(acc), std::move(values[i]));
+    return acc;
+}
+
+/// All-to-all personalized exchange: `to_send[i]` goes to locality i
+/// (the slot addressed to self is returned unchanged); the result's
+/// element i is what locality i sent to this rank.
+template <typename T>
+std::vector<T> all_to_all(runtime& rt, locality& here,
+    std::vector<T> const& to_send, std::uint64_t tag)
+{
+    std::uint32_t const n = rt.num_localities();
+    COAL_ASSERT_MSG(to_send.size() == n,
+        "all_to_all needs exactly one element per locality");
+
+    for (std::uint32_t i = 0; i != n; ++i)
+    {
+        if (i == here.id().value())
+            continue;
+        detail::send_to(here, agas::locality_id{i}, tag,
+            serialization::to_bytes(to_send[i]));
+    }
+
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i != n; ++i)
+    {
+        if (i == here.id().value())
+        {
+            out.push_back(to_send[i]);
+            continue;
+        }
+        out.push_back(serialization::from_bytes<T>(
+            detail::retrieve(here.id().value(), tag, i)));
+    }
+    return out;
+}
+
+/// Chunked all-to-all: every locality sends `chunks[j]` — a *vector* of
+/// chunks — to each locality j, all deposits up front (a coalescable
+/// burst, the shape of the all-to-all benchmark PICS tunes on), then
+/// retrieves.  Returns received chunks grouped by source locality.
+/// Consumes tags [base_tag, base_tag + max_chunks) — space successive
+/// rounds accordingly.
+template <typename T>
+std::vector<std::vector<T>> all_to_all_chunked(runtime& rt, locality& here,
+    std::vector<std::vector<T>> const& chunks, std::uint64_t base_tag)
+{
+    std::uint32_t const n = rt.num_localities();
+    COAL_ASSERT_MSG(chunks.size() == n,
+        "all_to_all_chunked needs one chunk list per locality");
+
+    // Phase 1: burst out every chunk to every destination.
+    for (std::uint32_t j = 0; j != n; ++j)
+    {
+        if (j == here.id().value())
+            continue;
+        for (std::size_t k = 0; k != chunks[j].size(); ++k)
+        {
+            detail::send_to(here, agas::locality_id{j}, base_tag + k,
+                serialization::to_bytes(chunks[j][k]));
+        }
+    }
+
+    // Phase 2: all chunk counts must match symmetric usage; a locality
+    // expects from source i as many chunks as it addressed to i.
+    std::vector<std::vector<T>> received(n);
+    for (std::uint32_t i = 0; i != n; ++i)
+    {
+        if (i == here.id().value())
+        {
+            received[i] = chunks[i];
+            continue;
+        }
+        received[i].reserve(chunks[i].size());
+        for (std::size_t k = 0; k != chunks[i].size(); ++k)
+        {
+            received[i].push_back(serialization::from_bytes<T>(
+                detail::retrieve(here.id().value(), base_tag + k, i)));
+        }
+    }
+    return received;
+}
+
+}    // namespace coal::collectives

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file assert.hpp
+/// Lightweight assertion macro used across the coal runtime.
+///
+/// COAL_ASSERT is active in all build types (unlike <cassert>) because the
+/// runtime's invariants guard against silent message loss, which would
+/// corrupt experiments rather than crash them.  The cost of the checks is
+/// negligible compared to per-message work.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coal::detail {
+
+[[noreturn]] inline void assertion_failure(char const* expr, char const* file,
+                                           int line, char const* msg)
+{
+    std::fprintf(stderr, "coal: assertion '%s' failed at %s:%d%s%s\n", expr,
+                 file, line, msg ? ": " : "", msg ? msg : "");
+    std::abort();
+}
+
+}    // namespace coal::detail
+
+#define COAL_ASSERT(expr)                                                      \
+    (static_cast<bool>(expr) ?                                                 \
+            void(0) :                                                          \
+            ::coal::detail::assertion_failure(#expr, __FILE__, __LINE__,       \
+                nullptr))
+
+#define COAL_ASSERT_MSG(expr, msg)                                             \
+    (static_cast<bool>(expr) ?                                                 \
+            void(0) :                                                          \
+            ::coal::detail::assertion_failure(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file cacheline.hpp
+/// Cache-line geometry and a padding wrapper that keeps per-worker hot
+/// counters on distinct cache lines, avoiding false sharing between
+/// scheduler workers.
+
+#include <cstddef>
+#include <new>
+
+namespace coal {
+
+// Fixed rather than std::hardware_destructive_interference_size: that
+// value can differ between TUs compiled with different -mtune flags (GCC
+// warns about exactly this), and 64 is correct for every x86-64 and most
+// AArch64 parts this library targets.
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Wraps a value and pads it to a full cache line.
+///
+/// Used for per-worker instrumentation blocks (executed-task counters,
+/// accumulated durations) that are written at task granularity by one
+/// worker and read rarely by counter queries.
+template <typename T>
+struct alignas(cache_line_size) cache_aligned
+{
+    T value{};
+
+    T* operator->() noexcept { return &value; }
+    T const* operator->() const noexcept { return &value; }
+    T& operator*() noexcept { return value; }
+    T const& operator*() const noexcept { return value; }
+};
+
+}    // namespace coal

@@ -1,0 +1,134 @@
+#include <coal/common/config.hpp>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace coal {
+
+namespace {
+
+std::string to_lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+        [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+}    // namespace
+
+void config::set(std::string key, std::string value)
+{
+    values_[std::move(key)] = std::move(value);
+}
+
+bool config::contains(std::string const& key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::optional<std::string> config::get(std::string const& key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string config::get_string(
+    std::string const& key, std::string const& dflt) const
+{
+    return get(key).value_or(dflt);
+}
+
+std::int64_t config::get_int(std::string const& key, std::int64_t dflt) const
+{
+    auto v = get(key);
+    if (!v)
+        return dflt;
+    try
+    {
+        return std::stoll(*v);
+    }
+    catch (std::exception const&)
+    {
+        return dflt;
+    }
+}
+
+double config::get_double(std::string const& key, double dflt) const
+{
+    auto v = get(key);
+    if (!v)
+        return dflt;
+    try
+    {
+        return std::stod(*v);
+    }
+    catch (std::exception const&)
+    {
+        return dflt;
+    }
+}
+
+bool config::get_bool(std::string const& key, bool dflt) const
+{
+    auto v = get(key);
+    if (!v)
+        return dflt;
+    return parse_bool(*v).value_or(dflt);
+}
+
+std::vector<std::string> config::parse_args(
+    int argc, char const* const* argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i)
+    {
+        std::string arg(argv[i]);
+        auto const eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0)
+        {
+            positional.push_back(std::move(arg));
+            continue;
+        }
+        set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+    return positional;
+}
+
+void config::load_environment()
+{
+    for (char** env = environ; env != nullptr && *env != nullptr; ++env)
+    {
+        std::string entry(*env);
+        if (entry.rfind("COAL_", 0) != 0)
+            continue;
+        auto const eq = entry.find('=');
+        if (eq == std::string::npos)
+            continue;
+        std::string key = to_lower(entry.substr(5, eq - 5));
+        std::replace(key.begin(), key.end(), '_', '.');
+        set(std::move(key), entry.substr(eq + 1));
+    }
+}
+
+std::vector<std::pair<std::string, std::string>> config::entries() const
+{
+    return {values_.begin(), values_.end()};
+}
+
+std::optional<bool> parse_bool(std::string const& text)
+{
+    std::string const t = to_lower(text);
+    if (t == "1" || t == "true" || t == "yes" || t == "on")
+        return true;
+    if (t == "0" || t == "false" || t == "no" || t == "off")
+        return false;
+    return std::nullopt;
+}
+
+}    // namespace coal

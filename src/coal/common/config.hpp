@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file config.hpp
+/// Small key=value configuration store used by the runtime front end,
+/// examples, and the bench harnesses.  Mirrors HPX's `--hpx:ini`-style
+/// overrides: values come from defaults, then environment variables
+/// (prefix COAL_, dots become underscores), then command-line
+/// `key=value` arguments — later sources win.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coal {
+
+class config
+{
+public:
+    config() = default;
+
+    /// Set (or override) an entry.
+    void set(std::string key, std::string value);
+
+    [[nodiscard]] bool contains(std::string const& key) const;
+
+    [[nodiscard]] std::optional<std::string> get(std::string const& key) const;
+
+    [[nodiscard]] std::string get_string(
+        std::string const& key, std::string const& dflt) const;
+    [[nodiscard]] std::int64_t get_int(
+        std::string const& key, std::int64_t dflt) const;
+    [[nodiscard]] double get_double(std::string const& key, double dflt) const;
+    [[nodiscard]] bool get_bool(std::string const& key, bool dflt) const;
+
+    /// Parse `key=value` tokens; unrecognized tokens are returned so the
+    /// caller can treat them as positional arguments.
+    std::vector<std::string> parse_args(int argc, char const* const* argv);
+
+    /// Import COAL_FOO_BAR=v environment entries as foo.bar=v.
+    void load_environment();
+
+    /// All entries in key order (for --help / dumping).
+    [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+    entries() const;
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+/// Parse a boolean spelled 1/0/true/false/yes/no/on/off (case-insensitive).
+[[nodiscard]] std::optional<bool> parse_bool(std::string const& text);
+
+}    // namespace coal

@@ -1,0 +1,89 @@
+#include <coal/common/histogram.hpp>
+
+#include <coal/common/assert.hpp>
+
+#include <algorithm>
+
+namespace coal {
+
+namespace {
+
+std::size_t bucket_index(histogram_params const& p, std::int64_t value) noexcept
+{
+    if (value < p.min_value)
+        return 0;    // underflow folds into the first bucket
+    auto const idx =
+        static_cast<std::size_t>((value - p.min_value) / p.bucket_width());
+    return std::min(idx, p.buckets - 1);    // overflow folds into the last
+}
+
+}    // namespace
+
+histogram::histogram(histogram_params params)
+  : params_(params)
+  , counts_(params.buckets, 0)
+{
+    COAL_ASSERT(params.buckets > 0);
+    COAL_ASSERT(params.max_value > params.min_value);
+}
+
+void histogram::add(std::int64_t value) noexcept
+{
+    ++counts_[bucket_index(params_, value)];
+    ++total_;
+}
+
+std::vector<std::int64_t> histogram::serialize() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(3 + counts_.size());
+    out.push_back(params_.min_value);
+    out.push_back(params_.max_value);
+    out.push_back(params_.bucket_width());
+    for (auto c : counts_)
+        out.push_back(static_cast<std::int64_t>(c));
+    return out;
+}
+
+void histogram::reset() noexcept
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+concurrent_histogram::concurrent_histogram(histogram_params params)
+  : params_(params)
+  , counts_(params.buckets)
+{
+    COAL_ASSERT(params.buckets > 0);
+    COAL_ASSERT(params.max_value > params.min_value);
+}
+
+void concurrent_histogram::add(std::int64_t value) noexcept
+{
+    counts_[bucket_index(params_, value)].fetch_add(
+        1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> concurrent_histogram::serialize() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(3 + counts_.size());
+    out.push_back(params_.min_value);
+    out.push_back(params_.max_value);
+    out.push_back(params_.bucket_width());
+    for (auto const& c : counts_)
+        out.push_back(
+            static_cast<std::int64_t>(c.load(std::memory_order_relaxed)));
+    return out;
+}
+
+void concurrent_histogram::reset() noexcept
+{
+    for (auto& c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+}
+
+}    // namespace coal

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bucket histogram matching the layout HPX's
+/// /coalescing/time/parcel-arrival-histogram counter reports:
+/// [min, max, bucket_width, count_0 .. count_{n-1}], with one underflow
+/// and one overflow bucket folded into the first/last bucket.
+///
+/// The concurrent variant is updated from the parcel enqueue path, so the
+/// buckets are relaxed atomics; totals are exact, per-bucket ordering is
+/// not needed.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace coal {
+
+/// Parameters describing a histogram's bucketing.
+struct histogram_params
+{
+    std::int64_t min_value = 0;         ///< inclusive lower bound of bucket 0
+    std::int64_t max_value = 1000000;   ///< exclusive upper bound of last bucket
+    std::size_t buckets = 20;           ///< number of buckets
+
+    [[nodiscard]] std::int64_t bucket_width() const noexcept
+    {
+        auto const span = max_value - min_value;
+        auto const n = static_cast<std::int64_t>(buckets);
+        return (span + n - 1) / n;    // ceil so the range is covered
+    }
+};
+
+/// Single-threaded histogram (used in analysis/bench post-processing).
+class histogram
+{
+public:
+    explicit histogram(histogram_params params);
+
+    void add(std::int64_t value) noexcept;
+
+    [[nodiscard]] std::uint64_t total() const noexcept
+    {
+        return total_;
+    }
+
+    [[nodiscard]] histogram_params const& params() const noexcept
+    {
+        return params_;
+    }
+
+    [[nodiscard]] std::vector<std::uint64_t> const& buckets() const noexcept
+    {
+        return counts_;
+    }
+
+    /// HPX counter wire format: min, max, bucket_width, then counts.
+    [[nodiscard]] std::vector<std::int64_t> serialize() const;
+
+    void reset() noexcept;
+
+private:
+    histogram_params params_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/// Thread-safe histogram for hot-path instrumentation.
+class concurrent_histogram
+{
+public:
+    explicit concurrent_histogram(histogram_params params);
+
+    void add(std::int64_t value) noexcept;
+
+    [[nodiscard]] std::uint64_t total() const noexcept
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] histogram_params const& params() const noexcept
+    {
+        return params_;
+    }
+
+    /// Snapshot in HPX counter wire format (min, max, width, counts...).
+    [[nodiscard]] std::vector<std::int64_t> serialize() const;
+
+    void reset() noexcept;
+
+private:
+    histogram_params params_;
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> total_{0};
+};
+
+}    // namespace coal

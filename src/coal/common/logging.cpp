@@ -1,0 +1,98 @@
+#include <coal/common/logging.hpp>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace coal {
+
+namespace {
+
+std::atomic<int> g_level{-1};    // -1: not yet resolved
+std::mutex g_io_mutex;
+
+log_level level_from_env() noexcept
+{
+    char const* env = std::getenv("COAL_LOG");
+    if (env == nullptr)
+        return log_level::warn;
+    if (std::strcmp(env, "error") == 0)
+        return log_level::error;
+    if (std::strcmp(env, "warn") == 0)
+        return log_level::warn;
+    if (std::strcmp(env, "info") == 0)
+        return log_level::info;
+    if (std::strcmp(env, "debug") == 0)
+        return log_level::debug;
+    if (std::strcmp(env, "trace") == 0)
+        return log_level::trace;
+    if (std::strcmp(env, "none") == 0)
+        return log_level::none;
+    return log_level::warn;
+}
+
+char const* level_name(log_level level) noexcept
+{
+    switch (level)
+    {
+    case log_level::error:
+        return "ERROR";
+    case log_level::warn:
+        return "WARN";
+    case log_level::info:
+        return "INFO";
+    case log_level::debug:
+        return "DEBUG";
+    case log_level::trace:
+        return "TRACE";
+    default:
+        return "?";
+    }
+}
+
+}    // namespace
+
+namespace detail {
+
+log_level current_log_level() noexcept
+{
+    int lvl = g_level.load(std::memory_order_relaxed);
+    if (lvl < 0)
+    {
+        lvl = static_cast<int>(level_from_env());
+        g_level.store(lvl, std::memory_order_relaxed);
+    }
+    return static_cast<log_level>(lvl);
+}
+
+void vlog(log_level level, char const* component, char const* fmt,
+    std::va_list args) noexcept
+{
+    char message[512];
+    std::vsnprintf(message, sizeof(message), fmt, args);
+
+    std::lock_guard lock(g_io_mutex);
+    std::fprintf(
+        stderr, "[coal:%s] %s: %s\n", component, level_name(level), message);
+}
+
+}    // namespace detail
+
+void log(log_level level, char const* component, char const* fmt, ...) noexcept
+{
+    if (!log_enabled(level))
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    detail::vlog(level, component, fmt, args);
+    va_end(args);
+}
+
+void set_log_level(log_level level) noexcept
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}    // namespace coal

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger.  Output goes to stderr; the level is read once
+/// from COAL_LOG (error|warn|info|debug|trace) at first use.  The macros
+/// compile to a level check plus printf-style formatting, which keeps the
+/// hot path branch-only when the level is disabled.
+
+#include <cstdarg>
+
+namespace coal {
+
+enum class log_level : int
+{
+    none = 0,
+    error = 1,
+    warn = 2,
+    info = 3,
+    debug = 4,
+    trace = 5,
+};
+
+namespace detail {
+
+/// Current log level, resolved lazily from the environment.
+log_level current_log_level() noexcept;
+
+void vlog(log_level level, char const* component, char const* fmt,
+    std::va_list args) noexcept;
+
+}    // namespace detail
+
+inline bool log_enabled(log_level level) noexcept
+{
+    return static_cast<int>(level) <=
+        static_cast<int>(detail::current_log_level());
+}
+
+/// printf-style log statement; `component` labels the subsystem.
+#if defined(__GNUC__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void log(log_level level, char const* component, char const* fmt,
+    ...) noexcept;
+
+/// Override the level programmatically (tests use this).
+void set_log_level(log_level level) noexcept;
+
+}    // namespace coal
+
+#define COAL_LOG_ERROR(component, ...)                                        \
+    ::coal::log(::coal::log_level::error, component, __VA_ARGS__)
+#define COAL_LOG_WARN(component, ...)                                         \
+    ::coal::log(::coal::log_level::warn, component, __VA_ARGS__)
+#define COAL_LOG_INFO(component, ...)                                         \
+    ::coal::log(::coal::log_level::info, component, __VA_ARGS__)
+#define COAL_LOG_DEBUG(component, ...)                                        \
+    ::coal::log(::coal::log_level::debug, component, __VA_ARGS__)

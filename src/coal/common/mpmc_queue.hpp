@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file mpmc_queue.hpp
+/// Blocking multi-producer/multi-consumer queue used for locality inboxes
+/// and the network delivery channel.
+///
+/// A mutex+condvar design is deliberate: the queues sit on the *message*
+/// path (already paying modeled per-message costs in the microsecond
+/// range), not the per-task fast path, and correctness under shutdown is
+/// the priority.  The queue supports cooperative close() so background
+/// pollers and blocking consumers terminate cleanly.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace coal {
+
+template <typename T>
+class mpmc_queue
+{
+public:
+    /// Push an element; returns false if the queue is already closed
+    /// (element is dropped — callers treat that as shutdown).
+    bool push(T&& value)
+    {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking pop; empty optional when nothing is queued.
+    std::optional<T> try_pop()
+    {
+        std::lock_guard lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        return out;
+    }
+
+    /// Blocking pop; empty optional only after close() with a drained queue.
+    std::optional<T> pop()
+    {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        return out;
+    }
+
+    /// Close the queue: producers start failing, consumers drain then stop.
+    void close()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const
+    {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const
+    {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] bool empty() const
+    {
+        return size() == 0;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}    // namespace coal

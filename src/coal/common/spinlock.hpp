@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file spinlock.hpp
+/// Test-and-test-and-set spinlock with exponential backoff.
+///
+/// Used for short critical sections on the parcel fast path (coalescing
+/// queue mutation, counter registration) where a futex round trip would
+/// dominate the protected work.  Satisfies the Lockable named requirement
+/// so it composes with std::lock_guard / std::unique_lock.
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace coal {
+
+/// Pause the CPU briefly inside a spin loop (no-op fallback elsewhere).
+inline void cpu_relax() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class spinlock
+{
+public:
+    spinlock() = default;
+    spinlock(spinlock const&) = delete;
+    spinlock& operator=(spinlock const&) = delete;
+
+    void lock() noexcept
+    {
+        // Fast path: uncontended acquire.
+        if (!locked_.exchange(true, std::memory_order_acquire))
+            return;
+
+        // Contended: spin on a plain load (TTAS) with growing backoff and
+        // eventually yield to the OS so two-core machines make progress.
+        unsigned spins = 0;
+        for (;;)
+        {
+            while (locked_.load(std::memory_order_relaxed))
+            {
+                if (++spins < 64)
+                {
+                    cpu_relax();
+                }
+                else
+                {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+        }
+    }
+
+    bool try_lock() noexcept
+    {
+        return !locked_.load(std::memory_order_relaxed) &&
+            !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept
+    {
+        locked_.store(false, std::memory_order_release);
+    }
+
+private:
+    std::atomic<bool> locked_{false};
+};
+
+}    // namespace coal

@@ -1,0 +1,139 @@
+#include <coal/common/stats.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace coal {
+
+void running_stats::add(double x) noexcept
+{
+    ++n_;
+    sum_ += x;
+    double const delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double running_stats::variance() const noexcept
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const noexcept
+{
+    return std::sqrt(variance());
+}
+
+double running_stats::relative_stddev() const noexcept
+{
+    double const m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stddev() / std::abs(m);
+}
+
+void running_stats::reset() noexcept
+{
+    *this = running_stats{};
+}
+
+void running_stats::merge(running_stats const& other) noexcept
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0)
+    {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel moment combination.
+    double const delta = other.mean_ - mean_;
+    auto const na = static_cast<double>(n_);
+    auto const nb = static_cast<double>(other.n_);
+    double const n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double pearson_correlation(
+    std::span<double const> x, std::span<double const> y) noexcept
+{
+    std::size_t const n = std::min(x.size(), y.size());
+    if (n < 2)
+        return 0.0;
+
+    double const mx = mean_of(x.first(n));
+    double const my = mean_of(y.first(n));
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i != n; ++i)
+    {
+        double const dx = x[i] - mx;
+        double const dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+linear_fit fit_line(
+    std::span<double const> x, std::span<double const> y) noexcept
+{
+    std::size_t const n = std::min(x.size(), y.size());
+    if (n < 2)
+        return {};
+
+    double const mx = mean_of(x.first(n));
+    double const my = mean_of(y.first(n));
+
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i != n; ++i)
+    {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+    }
+    if (sxx == 0.0)
+        return {};
+    linear_fit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    return fit;
+}
+
+double mean_of(std::span<double const> xs) noexcept
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double median_of(std::vector<double> xs) noexcept
+{
+    if (xs.empty())
+        return 0.0;
+    std::size_t const mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+        xs.end());
+    double const hi = xs[mid];
+    if (xs.size() % 2 == 1)
+        return hi;
+    std::nth_element(xs.begin(),
+        xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1, xs.end());
+    return (hi + xs[mid - 1]) / 2.0;
+}
+
+}    // namespace coal

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by the evaluation harness:
+/// Welford running moments, Pearson correlation (the paper reports r=0.97
+/// for the toy app and r=0.92 for Parquet), relative standard deviation
+/// (the paper's <5% run-to-run variance claim), and simple aggregation
+/// helpers.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace coal {
+
+/// Welford-style single-pass accumulator for mean/variance/min/max.
+class running_stats
+{
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept
+    {
+        return n_;
+    }
+
+    [[nodiscard]] double mean() const noexcept
+    {
+        return n_ ? mean_ : 0.0;
+    }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+
+    /// Relative standard deviation (stddev / |mean|), as a fraction.
+    [[nodiscard]] double relative_stddev() const noexcept;
+
+    [[nodiscard]] double min() const noexcept
+    {
+        return n_ ? min_ : 0.0;
+    }
+
+    [[nodiscard]] double max() const noexcept
+    {
+        return n_ ? max_ : 0.0;
+    }
+
+    [[nodiscard]] double sum() const noexcept
+    {
+        return sum_;
+    }
+
+    void reset() noexcept;
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(running_stats const& other) noexcept;
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// series.  Returns 0 when either series is constant or shorter than 2.
+[[nodiscard]] double pearson_correlation(
+    std::span<double const> x, std::span<double const> y) noexcept;
+
+/// Ordinary least squares slope/intercept of y on x.
+struct linear_fit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+};
+
+[[nodiscard]] linear_fit fit_line(
+    std::span<double const> x, std::span<double const> y) noexcept;
+
+[[nodiscard]] double mean_of(std::span<double const> xs) noexcept;
+[[nodiscard]] double median_of(std::vector<double> xs) noexcept;
+
+}    // namespace coal

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Steady-clock helpers shared by instrumentation, the cost model, and the
+/// deadline timer.  All runtime-internal durations are nanoseconds stored
+/// in signed 64-bit integers; user-facing coalescing parameters are
+/// microseconds (matching the paper).
+
+#include <chrono>
+#include <cstdint>
+
+namespace coal {
+
+using steady_clock = std::chrono::steady_clock;
+using time_point = steady_clock::time_point;
+
+/// Monotonic timestamp in nanoseconds since an arbitrary epoch.
+inline std::int64_t now_ns() noexcept
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Monotonic timestamp in microseconds since an arbitrary epoch.
+inline std::int64_t now_us() noexcept
+{
+    return now_ns() / 1000;
+}
+
+/// Simple scoped stopwatch; read with elapsed_*() at any time.
+class stopwatch
+{
+public:
+    stopwatch() noexcept
+      : start_(steady_clock::now())
+    {
+    }
+
+    void restart() noexcept
+    {
+        start_ = steady_clock::now();
+    }
+
+    [[nodiscard]] std::int64_t elapsed_ns() const noexcept
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+            steady_clock::now() - start_)
+            .count();
+    }
+
+    [[nodiscard]] std::int64_t elapsed_us() const noexcept
+    {
+        return elapsed_ns() / 1000;
+    }
+
+    [[nodiscard]] double elapsed_ms() const noexcept
+    {
+        return static_cast<double>(elapsed_ns()) / 1e6;
+    }
+
+    [[nodiscard]] double elapsed_s() const noexcept
+    {
+        return static_cast<double>(elapsed_ns()) / 1e9;
+    }
+
+private:
+    time_point start_;
+};
+
+/// Accumulates time from paired resume()/suspend() calls; used by the
+/// scheduler to separate exec time from bookkeeping without allocating.
+class interval_accumulator
+{
+public:
+    void resume() noexcept
+    {
+        mark_ = now_ns();
+    }
+
+    void suspend() noexcept
+    {
+        total_ns_ += now_ns() - mark_;
+    }
+
+    [[nodiscard]] std::int64_t total_ns() const noexcept
+    {
+        return total_ns_;
+    }
+
+    void reset() noexcept
+    {
+        total_ns_ = 0;
+    }
+
+private:
+    std::int64_t mark_ = 0;
+    std::int64_t total_ns_ = 0;
+};
+
+}    // namespace coal

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file unique_function.hpp
+/// Move-only type-erased callable with small-buffer optimization.
+///
+/// The scheduler's task type must own move-only state (promises, parcels,
+/// serialized buffers); std::function requires copyability and
+/// std::move_only_function is C++23, so the runtime carries its own.
+/// Callables up to `sbo_size` bytes are stored inline; larger ones are
+/// heap-allocated.
+
+#include <coal/common/assert.hpp>
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace coal {
+
+template <typename Signature>
+class unique_function;
+
+template <typename R, typename... Args>
+class unique_function<R(Args...)>
+{
+    static constexpr std::size_t sbo_size = 48;
+    static constexpr std::size_t sbo_align = alignof(std::max_align_t);
+
+    struct vtable
+    {
+        R (*invoke)(void* obj, Args&&... args);
+        void (*move_to)(void* from, void* to) noexcept;
+        void (*destroy)(void* obj) noexcept;
+        bool inline_storage;
+    };
+
+    template <typename F>
+    static constexpr bool stores_inline =
+        sizeof(F) <= sbo_size && alignof(F) <= sbo_align &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    static vtable const* vtable_for()
+    {
+        if constexpr (stores_inline<F>)
+        {
+            static constexpr vtable vt{
+                +[](void* obj, Args&&... args) -> R {
+                    return (*static_cast<F*>(obj))(
+                        std::forward<Args>(args)...);
+                },
+                +[](void* from, void* to) noexcept {
+                    ::new (to) F(std::move(*static_cast<F*>(from)));
+                    static_cast<F*>(from)->~F();
+                },
+                +[](void* obj) noexcept { static_cast<F*>(obj)->~F(); },
+                true};
+            return &vt;
+        }
+        else
+        {
+            // Heap storage: the buffer holds an F*.
+            static constexpr vtable vt{
+                +[](void* obj, Args&&... args) -> R {
+                    return (**static_cast<F**>(obj))(
+                        std::forward<Args>(args)...);
+                },
+                +[](void* from, void* to) noexcept {
+                    *static_cast<F**>(to) = *static_cast<F**>(from);
+                    *static_cast<F**>(from) = nullptr;
+                },
+                +[](void* obj) noexcept { delete *static_cast<F**>(obj); },
+                false};
+            return &vt;
+        }
+    }
+
+public:
+    unique_function() noexcept = default;
+    unique_function(std::nullptr_t) noexcept {}
+
+    template <typename F,
+        typename = std::enable_if_t<
+            !std::is_same_v<std::decay_t<F>, unique_function> &&
+            std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    unique_function(F&& f)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (stores_inline<D>)
+        {
+            ::new (storage()) D(std::forward<F>(f));
+        }
+        else
+        {
+            *static_cast<D**>(storage()) = new D(std::forward<F>(f));
+        }
+        vt_ = vtable_for<D>();
+    }
+
+    unique_function(unique_function&& other) noexcept
+    {
+        move_from(other);
+    }
+
+    unique_function& operator=(unique_function&& other) noexcept
+    {
+        if (this != &other)
+        {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    unique_function(unique_function const&) = delete;
+    unique_function& operator=(unique_function const&) = delete;
+
+    ~unique_function()
+    {
+        reset();
+    }
+
+    void reset() noexcept
+    {
+        if (vt_ != nullptr)
+        {
+            vt_->destroy(storage());
+            vt_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept
+    {
+        return vt_ != nullptr;
+    }
+
+    R operator()(Args... args)
+    {
+        COAL_ASSERT_MSG(vt_ != nullptr, "calling empty unique_function");
+        return vt_->invoke(storage(), std::forward<Args>(args)...);
+    }
+
+private:
+    void* storage() noexcept
+    {
+        return static_cast<void*>(&buffer_);
+    }
+
+    void move_from(unique_function& other) noexcept
+    {
+        if (other.vt_ != nullptr)
+        {
+            other.vt_->move_to(other.storage(), storage());
+            vt_ = other.vt_;
+            other.vt_ = nullptr;
+        }
+    }
+
+    alignas(sbo_align) std::byte buffer_[sbo_size];
+    vtable const* vt_ = nullptr;
+};
+
+}    // namespace coal

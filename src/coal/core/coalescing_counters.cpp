@@ -1,0 +1,81 @@
+#include <coal/core/coalescing_counters.hpp>
+
+#include <coal/common/stopwatch.hpp>
+
+namespace coal::coalescing {
+
+coalescing_counters::coalescing_counters(histogram_params arrival_histogram)
+  : arrival_histogram_(arrival_histogram)
+{
+}
+
+std::int64_t coalescing_counters::record_parcel() noexcept
+{
+    parcels_.fetch_add(1, std::memory_order_relaxed);
+
+    std::int64_t const now = now_ns();
+    std::int64_t gap_ns = -1;
+    {
+        std::lock_guard lock(arrival_lock_);
+        if (last_arrival_ns_ >= 0)
+        {
+            gap_ns = now - last_arrival_ns_;
+            ++gap_count_;
+            gap_sum_us_ += static_cast<double>(gap_ns) / 1000.0;
+        }
+        last_arrival_ns_ = now;
+    }
+    if (gap_ns >= 0)
+        arrival_histogram_.add(gap_ns / 1000);
+    return gap_ns;
+}
+
+void coalescing_counters::record_message(std::size_t parcels) noexcept
+{
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    parcels_in_messages_.fetch_add(parcels, std::memory_order_relaxed);
+}
+
+double coalescing_counters::average_parcels_per_message() const noexcept
+{
+    auto const msgs = messages_.load(std::memory_order_relaxed);
+    if (msgs == 0)
+        return 0.0;
+    return static_cast<double>(
+               parcels_in_messages_.load(std::memory_order_relaxed)) /
+        static_cast<double>(msgs);
+}
+
+double coalescing_counters::average_arrival_us() const noexcept
+{
+    std::lock_guard lock(arrival_lock_);
+    if (gap_count_ == 0)
+        return 0.0;
+    return gap_sum_us_ / static_cast<double>(gap_count_);
+}
+
+std::vector<std::int64_t> coalescing_counters::arrival_histogram() const
+{
+    return arrival_histogram_.serialize();
+}
+
+void coalescing_counters::reset() noexcept
+{
+    parcels_.store(0, std::memory_order_relaxed);
+    messages_.store(0, std::memory_order_relaxed);
+    parcels_in_messages_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard lock(arrival_lock_);
+        last_arrival_ns_ = -1;
+        gap_count_ = 0;
+        gap_sum_us_ = 0.0;
+    }
+    arrival_histogram_.reset();
+}
+
+void coalescing_counters::reset_arrival_histogram() noexcept
+{
+    arrival_histogram_.reset();
+}
+
+}    // namespace coal::coalescing

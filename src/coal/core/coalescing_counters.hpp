@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file coalescing_counters.hpp
+/// Per-action statistics backing the five /coalescing counters the paper
+/// adds to HPX (§II-B):
+///
+///   /coalescing/count/parcels
+///   /coalescing/count/messages
+///   /coalescing/count/average-parcels-per-message
+///   /coalescing/time/average-parcel-arrival
+///   /coalescing/time/parcel-arrival-histogram
+///
+/// Arrival gaps are measured between successive enqueues of the same
+/// action (any destination), in microseconds.
+
+#include <coal/common/histogram.hpp>
+#include <coal/common/spinlock.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace coal::coalescing {
+
+class coalescing_counters
+{
+public:
+    explicit coalescing_counters(
+        histogram_params arrival_histogram = {0, 100000, 20});
+
+    /// Record one parcel entering the handler; measures the gap to the
+    /// previous arrival.  Returns the gap in ns (-1 for the first parcel
+    /// after a reset) so the handler can reuse it for the tslp test.
+    std::int64_t record_parcel() noexcept;
+
+    /// Record a message leaving the handler carrying `parcels` parcels.
+    void record_message(std::size_t parcels) noexcept;
+
+    [[nodiscard]] std::uint64_t parcels() const noexcept
+    {
+        return parcels_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t messages() const noexcept
+    {
+        return messages_.load(std::memory_order_relaxed);
+    }
+
+    /// Sum of batch sizes over all sent messages (aggregation helper for
+    /// the "total" counter instance).
+    [[nodiscard]] std::uint64_t parcels_in_messages() const noexcept
+    {
+        return parcels_in_messages_.load(std::memory_order_relaxed);
+    }
+
+    /// Number of measured arrival gaps (aggregation helper).
+    [[nodiscard]] std::uint64_t gap_count() const noexcept
+    {
+        std::lock_guard lock(arrival_lock_);
+        return gap_count_;
+    }
+
+    [[nodiscard]] double average_parcels_per_message() const noexcept;
+
+    /// Mean gap between parcel arrivals, µs.
+    [[nodiscard]] double average_arrival_us() const noexcept;
+
+    /// Histogram snapshot in HPX wire layout (min, max, width, counts…),
+    /// gap values in µs.
+    [[nodiscard]] std::vector<std::int64_t> arrival_histogram() const;
+
+    void reset() noexcept;
+
+    /// Reset only the arrival histogram (the histogram counter's
+    /// reset-on-read semantics must not clear the scalar counters).
+    void reset_arrival_histogram() noexcept;
+
+private:
+    std::atomic<std::uint64_t> parcels_{0};
+    std::atomic<std::uint64_t> messages_{0};
+    std::atomic<std::uint64_t> parcels_in_messages_{0};
+
+    mutable spinlock arrival_lock_;
+    std::int64_t last_arrival_ns_ = -1;
+    std::uint64_t gap_count_ = 0;
+    double gap_sum_us_ = 0.0;
+
+    concurrent_histogram arrival_histogram_;
+};
+
+}    // namespace coal::coalescing

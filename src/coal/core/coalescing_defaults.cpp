@@ -1,0 +1,35 @@
+#include <coal/core/coalescing_defaults.hpp>
+
+#include <algorithm>
+
+namespace coal::coalescing {
+
+coalescing_defaults& coalescing_defaults::instance()
+{
+    static coalescing_defaults defaults;
+    return defaults;
+}
+
+void coalescing_defaults::add(std::string action_name,
+    coalescing_params params, bool include_responses)
+{
+    std::lock_guard lock(mutex_);
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+        [&](entry const& e) { return e.action_name == action_name; });
+    if (it != entries_.end())
+    {
+        it->params = params;
+        it->include_responses = include_responses;
+        return;
+    }
+    entries_.push_back(
+        entry{std::move(action_name), params, include_responses});
+}
+
+std::vector<coalescing_defaults::entry> coalescing_defaults::entries() const
+{
+    std::lock_guard lock(mutex_);
+    return entries_;
+}
+
+}    // namespace coal::coalescing

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file coalescing_defaults.hpp
+/// Static opt-in table fed by COAL_ACTION_USES_MESSAGE_COALESCING — the
+/// analogue of the paper's HPX_ACTION_USES_MESSAGE_COALESCING (Listing 1,
+/// annotation 1).  At startup every runtime walks this table and enables
+/// coalescing for the listed actions on all its localities; applications
+/// therefore opt an action in with one macro line and no other changes.
+
+#include <coal/core/coalescing_params.hpp>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coal::coalescing {
+
+class coalescing_defaults
+{
+public:
+    struct entry
+    {
+        std::string action_name;
+        coalescing_params params;
+        bool include_responses = true;
+    };
+
+    static coalescing_defaults& instance();
+
+    /// Record (or update) the default for an action.
+    void add(std::string action_name, coalescing_params params,
+        bool include_responses = true);
+
+    [[nodiscard]] std::vector<entry> entries() const;
+
+private:
+    coalescing_defaults() = default;
+
+    mutable std::mutex mutex_;
+    std::vector<entry> entries_;
+};
+
+/// Static-init helper used by the macros below.
+struct defaults_registrar
+{
+    defaults_registrar(char const* action_name, coalescing_params params,
+        bool include_responses = true)
+    {
+        coalescing_defaults::instance().add(
+            action_name, params, include_responses);
+    }
+};
+
+}    // namespace coal::coalescing
+
+/// Opt an action into message coalescing with default parameters.
+/// Use at namespace scope, after COAL_PLAIN_ACTION.
+#define COAL_ACTION_USES_MESSAGE_COALESCING(action_type)                       \
+    inline ::coal::coalescing::defaults_registrar const                        \
+        coal_coalescing_defaults_##action_type                                 \
+    {                                                                          \
+        #action_type, ::coal::coalescing::coalescing_params {}                \
+    }
+
+/// Opt an action in with explicit nparcels / wait-time (µs).
+#define COAL_ACTION_USES_MESSAGE_COALESCING_PARAMS(                            \
+    action_type, nparcels_, interval_us_)                                      \
+    inline ::coal::coalescing::defaults_registrar const                        \
+        coal_coalescing_defaults_##action_type                                 \
+    {                                                                          \
+        #action_type,                                                          \
+            ::coal::coalescing::coalescing_params                              \
+        {                                                                      \
+            nparcels_, interval_us_                                            \
+        }                                                                      \
+    }

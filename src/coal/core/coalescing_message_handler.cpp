@@ -1,0 +1,183 @@
+#include <coal/core/coalescing_message_handler.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/common/logging.hpp>
+#include <coal/trace/tracer.hpp>
+
+#include <utility>
+
+namespace coal::coalescing {
+
+coalescing_message_handler::coalescing_message_handler(std::string name,
+    parcel::parcelhandler& parcels, timing::deadline_timer_service& timers,
+    shared_params_ptr params, std::shared_ptr<coalescing_counters> counters)
+  : name_(std::move(name))
+  , parcels_(parcels)
+  , timers_(timers)
+  , params_(std::move(params))
+  , counters_(std::move(counters))
+{
+    COAL_ASSERT(params_ != nullptr);
+    COAL_ASSERT(counters_ != nullptr);
+}
+
+coalescing_message_handler::~coalescing_message_handler()
+{
+    // Disarm: no new timers after this, and flush() below cancels the
+    // pending ones (detach_batch).
+    {
+        std::lock_guard lock(mutex_);
+        stopped_ = true;
+    }
+    flush();
+    // A timer callback that already popped its entry cannot be
+    // cancelled; wait until the timer thread is out of callbacks so none
+    // can touch this handler post-destruction.  (Safe: mutex_ is not
+    // held here, so an in-flight on_timer can complete.)
+    timers_.synchronize();
+}
+
+void coalescing_message_handler::send_batch(
+    std::uint32_t dst, std::vector<parcel::parcel>&& batch)
+{
+    // Callers hold mutex_.  Handing the batch to the parcelhandler under
+    // the lock is what guarantees per-destination FIFO: a timer flush and
+    // a size-triggered flush would otherwise race between detaching a
+    // batch and queueing it for transmission.  send_message only moves
+    // the batch into the outbound queue (no network work, no locks that
+    // can call back into this handler), so holding mutex_ is safe.
+    counters_->record_message(batch.size());
+    parcels_.send_message(dst, std::move(batch));
+}
+
+void coalescing_message_handler::enqueue(parcel::parcel&& p)
+{
+    coalescing_params const params = params_->get();
+    std::int64_t const gap_ns = counters_->record_parcel();
+
+    // Disabled: pass through, one parcel per message.
+    if (!params.coalescing_enabled())
+    {
+        std::uint32_t const dst = p.dest;
+        std::vector<parcel::parcel> single;
+        single.push_back(std::move(p));
+        std::lock_guard lock(mutex_);
+        send_batch(dst, std::move(single));
+        return;
+    }
+
+    std::uint32_t const dst = p.dest;
+    std::unique_lock lock(mutex_);
+
+    if (stopped_)
+    {
+        // Tear-down path: do not arm new timers, send directly.
+        std::vector<parcel::parcel> single;
+        single.push_back(std::move(p));
+        send_batch(dst, std::move(single));
+        return;
+    }
+
+    auto& queue = queues_[dst];
+
+    // Sparse-traffic bypass: if parcels arrive further apart than the
+    // wait time and nothing is queued, coalescing would only add latency
+    // — send directly (this is what "effectively disables" coalescing
+    // for sparse phases, §II-B).
+    bool const sparse = params.sparse_bypass && gap_ns >= 0 &&
+        gap_ns > params.interval_us * 1000;
+    if (sparse && queue.parcels.empty())
+    {
+        trace::tracer::global().record(parcels_.here(),
+            trace::event_kind::coalescing_bypass, p.action);
+        std::vector<parcel::parcel> single;
+        single.push_back(std::move(p));
+        send_batch(dst, std::move(single));
+        return;
+    }
+
+    std::uint64_t const action = p.action;
+    queue.queued_bytes += p.wire_size();
+    queue.parcels.push_back(std::move(p));
+    trace::tracer::global().record(parcels_.here(),
+        trace::event_kind::coalescing_queued, action,
+        queue.parcels.size());
+
+    if (queue.parcels.size() == 1)
+    {
+        // First parcel: arm the flush timer for this epoch.
+        std::uint64_t const epoch = queue.epoch;
+        queue.timer = timers_.schedule_after(
+            params.interval_us, [this, dst, epoch] { on_timer(dst, epoch); });
+    }
+
+    if (queue.parcels.size() >= params.nparcels ||
+        queue.queued_bytes >= params.max_buffer_bytes)
+    {
+        // Queue full: stop the flush timer, flush.
+        size_flushes_.fetch_add(1, std::memory_order_relaxed);
+        trace::tracer::global().record(parcels_.here(),
+            trace::event_kind::flush_size, action, queue.parcels.size());
+        send_batch(dst, detach_batch(queue));
+    }
+}
+
+std::vector<parcel::parcel> coalescing_message_handler::detach_batch(
+    destination_queue& queue)
+{
+    if (queue.timer.valid())
+    {
+        timers_.cancel(queue.timer);
+        queue.timer = {};
+    }
+    ++queue.epoch;    // a late timer for the old epoch becomes a no-op
+    queue.queued_bytes = 0;
+    return std::exchange(queue.parcels, {});
+}
+
+void coalescing_message_handler::on_timer(
+    std::uint32_t dst, std::uint64_t epoch)
+{
+    std::lock_guard lock(mutex_);
+    auto it = queues_.find(dst);
+    if (it == queues_.end())
+        return;
+    auto& queue = it->second;
+    // The epoch check resolves the race with a size-triggered flush that
+    // won the lock before this callback ran.
+    if (queue.epoch != epoch || queue.parcels.empty())
+        return;
+    timer_flushes_.fetch_add(1, std::memory_order_relaxed);
+    trace::tracer::global().record(parcels_.here(),
+        trace::event_kind::flush_timeout, queue.parcels.front().action,
+        queue.parcels.size());
+    queue.timer = {};    // it just fired; nothing to cancel
+    ++queue.epoch;
+    queue.queued_bytes = 0;
+    send_batch(dst, std::exchange(queue.parcels, {}));
+}
+
+void coalescing_message_handler::flush()
+{
+    std::lock_guard lock(mutex_);
+    for (auto& [dst, queue] : queues_)
+    {
+        if (queue.parcels.empty())
+            continue;
+        trace::tracer::global().record(parcels_.here(),
+            trace::event_kind::flush_forced, queue.parcels.front().action,
+            queue.parcels.size());
+        send_batch(dst, detach_batch(queue));
+    }
+}
+
+std::size_t coalescing_message_handler::queued_parcels() const
+{
+    std::lock_guard lock(mutex_);
+    std::size_t total = 0;
+    for (auto const& [dst, queue] : queues_)
+        total += queue.parcels.size();
+    return total;
+}
+
+}    // namespace coal::coalescing

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file coalescing_params.hpp
+/// The two knobs of the paper's coalescing design (§II-B) plus the
+/// memory-safety cap:
+///
+///  - `nparcels`: how many parcels to coalesce into one message — the
+///    paper's primary control (unlike Active Pebbles/AM++/Charm++, which
+///    control buffer *size*);
+///  - `interval_us`: how long to wait for the queue to fill before the
+///    flush timer sends a partial batch;
+///  - `max_buffer_bytes`: upper bound on queued payload to avoid memory
+///    overflow on large-argument actions.
+///
+/// A `shared_params` holder allows the adaptive controller (and Fig. 9's
+/// mid-run schedule changes) to mutate parameters while traffic flows;
+/// readers take a consistent snapshot.
+
+#include <coal/common/spinlock.hpp>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace coal::coalescing {
+
+struct coalescing_params
+{
+    /// Parcels per message.  <= 1 disables coalescing for the action.
+    std::size_t nparcels = 128;
+
+    /// Flush-timer wait time in microseconds.  <= 0 disables coalescing
+    /// (every parcel goes out immediately), matching the paper's
+    /// "1 µs effectively disables" boundary behaviour.
+    std::int64_t interval_us = 4000;
+
+    /// Flush early once queued payload reaches this many bytes.
+    std::size_t max_buffer_bytes = 1 << 20;
+
+    /// Algorithm 1's tslp test: send directly when traffic is sparse
+    /// (time since last parcel > interval and queue empty).  Exposed so
+    /// the ablation bench can quantify the design choice; leave on.
+    bool sparse_bypass = true;
+
+    [[nodiscard]] bool coalescing_enabled() const noexcept
+    {
+        return nparcels > 1 && interval_us > 0;
+    }
+
+    friend bool operator==(
+        coalescing_params const&, coalescing_params const&) = default;
+};
+
+/// Mutable parameter cell shared between a request handler, its response
+/// handler, and the adaptive controller.
+class shared_params
+{
+public:
+    explicit shared_params(coalescing_params initial)
+      : params_(initial)
+    {
+    }
+
+    [[nodiscard]] coalescing_params get() const
+    {
+        std::lock_guard lock(lock_);
+        return params_;
+    }
+
+    void set(coalescing_params p)
+    {
+        std::lock_guard lock(lock_);
+        params_ = p;
+    }
+
+private:
+    mutable spinlock lock_;
+    coalescing_params params_;
+};
+
+using shared_params_ptr = std::shared_ptr<shared_params>;
+
+}    // namespace coal::coalescing

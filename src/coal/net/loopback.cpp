@@ -1,0 +1,58 @@
+#include <coal/net/loopback.hpp>
+
+#include <coal/common/assert.hpp>
+
+namespace coal::net {
+
+loopback_transport::loopback_transport(std::uint32_t num_localities)
+  : num_localities_(num_localities)
+  , handlers_(num_localities)
+{
+    COAL_ASSERT(num_localities > 0);
+}
+
+void loopback_transport::set_delivery_handler(
+    std::uint32_t dst, delivery_handler handler)
+{
+    COAL_ASSERT(dst < num_localities_);
+    std::lock_guard lock(mutex_);
+    handlers_[dst] = std::move(handler);
+}
+
+void loopback_transport::send(std::uint32_t src, std::uint32_t dst,
+    serialization::byte_buffer&& buffer)
+{
+    COAL_ASSERT(src < num_localities_ && dst < num_localities_);
+
+    delivery_handler handler;
+    {
+        std::lock_guard lock(mutex_);
+        if (stopped_)
+            return;
+        handler = handlers_[dst];
+    }
+
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(buffer.size(), std::memory_order_relaxed);
+
+    if (handler)
+        handler(src, std::move(buffer));
+}
+
+transport_stats loopback_transport::stats() const
+{
+    transport_stats s;
+    s.messages_sent = messages_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_.load(std::memory_order_relaxed);
+    s.messages_delivered = s.messages_sent;
+    s.bytes_delivered = s.bytes_sent;
+    return s;
+}
+
+void loopback_transport::shutdown()
+{
+    std::lock_guard lock(mutex_);
+    stopped_ = true;
+}
+
+}    // namespace coal::net

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file transport.hpp
+/// Abstract byte transport between localities — the seam where HPX would
+/// plug a TCP or MPI parcelport.  Implementations deliver whole wire
+/// buffers (framed messages), never fragments.
+///
+/// Delivery handlers are invoked on a transport-owned thread (or inline
+/// for the loopback); they must be cheap — the parcel layer's handler
+/// only moves the buffer into the destination's inbox queue.
+
+#include <coal/serialization/buffer.hpp>
+
+#include <cstdint>
+#include <functional>
+
+namespace coal::net {
+
+/// Statistics every transport keeps (feeds /messages and /data counters).
+struct transport_stats
+{
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t bytes_delivered = 0;
+};
+
+class transport
+{
+public:
+    /// Called with (source locality, wire buffer) when a message arrives.
+    using delivery_handler =
+        std::function<void(std::uint32_t, serialization::byte_buffer&&)>;
+
+    virtual ~transport() = default;
+
+    /// Register the receive handler for a destination locality.  Must be
+    /// called for every locality before traffic starts.
+    virtual void set_delivery_handler(
+        std::uint32_t dst, delivery_handler handler) = 0;
+
+    /// Transmit a wire buffer.  Charges the modeled per-message sender
+    /// CPU cost on the calling thread (real busy work), then schedules
+    /// delivery.  Thread-safe.
+    virtual void send(std::uint32_t src, std::uint32_t dst,
+        serialization::byte_buffer&& buffer) = 0;
+
+    /// Per-message CPU cost the *receiver* should charge when it picks a
+    /// message out of its inbox (µs).  The transport cannot spin on the
+    /// receiver's behalf — the cost must land on the receiving worker's
+    /// background accounting — so it publishes the figure instead.
+    [[nodiscard]] virtual double recv_overhead_us() const noexcept = 0;
+
+    /// Messages handed to send() but not yet delivered to a handler.
+    [[nodiscard]] virtual std::uint64_t in_flight() const noexcept = 0;
+
+    /// Block until in_flight() reaches zero.
+    virtual void drain() = 0;
+
+    [[nodiscard]] virtual transport_stats stats() const = 0;
+
+    /// Stop delivery; further sends are dropped.  Idempotent.
+    virtual void shutdown() = 0;
+};
+
+}    // namespace coal::net

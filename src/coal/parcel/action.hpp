@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file action.hpp
+/// Plain actions: remotely invocable free functions, HPX style.
+///
+///     std::complex<double> get_cplx() { return {13.3, -23.8}; }
+///     COAL_PLAIN_ACTION(get_cplx, get_cplx_action);
+///
+/// defines `get_cplx_action`, registers it (and its response action) with
+/// the process-wide registry, and provides everything the runtime needs
+/// to ship a call: argument marshaling on the caller, unmarshaling +
+/// invocation + result-parcel generation on the callee.
+
+#include <coal/parcel/action_registry.hpp>
+#include <coal/parcel/parcel.hpp>
+#include <coal/serialization/archive.hpp>
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace coal::parcel {
+
+namespace detail {
+
+template <typename F>
+struct function_traits;
+
+template <typename R, typename... Args>
+struct function_traits<R (*)(Args...)>
+{
+    using result_type = R;
+    using args_tuple = std::tuple<std::decay_t<Args>...>;
+};
+
+template <typename R, typename... Args>
+struct function_traits<R (*)(Args...) noexcept>
+{
+    using result_type = R;
+    using args_tuple = std::tuple<std::decay_t<Args>...>;
+};
+
+}    // namespace detail
+
+/// CRTP base implementing the action protocol for a free function F.
+/// Derived must provide `static constexpr char const* action_name`.
+template <typename Derived, auto F>
+struct plain_action
+{
+    using traits = detail::function_traits<decltype(F)>;
+    using result_type = typename traits::result_type;
+    using args_tuple = typename traits::args_tuple;
+
+    [[nodiscard]] static char const* name() noexcept
+    {
+        return Derived::action_name;
+    }
+
+    /// Stable wire id (hash of the name).
+    [[nodiscard]] static action_id id() noexcept
+    {
+        static action_id const cached = hash_action_name(name());
+        return cached;
+    }
+
+    /// Register with the process-wide registry exactly once.
+    static action_id ensure_registered()
+    {
+        static action_id const registered =
+            action_registry::instance().register_action(name(), &invoke);
+        return registered;
+    }
+
+    /// Marshal call arguments into a parcel payload.
+    template <typename... CallArgs>
+    [[nodiscard]] static serialization::byte_buffer make_arguments(
+        CallArgs&&... args)
+    {
+        args_tuple tuple(std::forward<CallArgs>(args)...);
+        return serialization::to_bytes(tuple);
+    }
+
+    /// Callee side: unmarshal, run F, and send the result parcel if the
+    /// caller attached a continuation.
+    static void invoke(invocation_context& ctx, parcel&& p)
+    {
+        args_tuple args{};
+        serialization::input_archive ia(p.arguments);
+        ia & args;
+
+        if constexpr (std::is_void_v<result_type>)
+        {
+            std::apply(F, std::move(args));
+            if (p.continuation != 0)
+            {
+                // Empty-payload response: satisfies a future<void>.
+                send_response(ctx, p, serialization::byte_buffer{});
+            }
+        }
+        else
+        {
+            result_type result = std::apply(F, std::move(args));
+            if (p.continuation != 0)
+            {
+                send_response(ctx, p, serialization::to_bytes(result));
+            }
+        }
+    }
+
+private:
+    static void send_response(invocation_context& ctx, parcel const& request,
+        serialization::byte_buffer&& payload)
+    {
+        parcel response;
+        response.source = ctx.this_locality;
+        response.dest = request.source;
+        response.action = make_response_id(id());
+        response.continuation = request.continuation;
+        response.arguments = std::move(payload);
+        ctx.put_parcel(std::move(response));
+    }
+};
+
+}    // namespace coal::parcel
+
+/// Define and register an action type for a free function, HPX's
+/// HPX_PLAIN_ACTION analogue.  Use at namespace scope.
+#define COAL_PLAIN_ACTION(func, action_type)                                   \
+    struct action_type                                                         \
+      : ::coal::parcel::plain_action<action_type, &func>                       \
+    {                                                                          \
+        static constexpr char const* action_name = #action_type;              \
+    };                                                                         \
+    inline ::coal::parcel::action_registrar<action_type> const                 \
+        coal_action_registrar_##action_type {}

@@ -1,0 +1,79 @@
+#include <coal/parcel/action_registry.hpp>
+
+#include <coal/common/assert.hpp>
+
+#include <stdexcept>
+
+namespace coal::parcel {
+
+action_registry& action_registry::instance()
+{
+    static action_registry registry;
+    return registry;
+}
+
+action_id action_registry::register_action(
+    std::string name, action_invoker invoker)
+{
+    action_id const id = hash_action_name(name);
+    action_id const response_id = make_response_id(id);
+
+    std::lock_guard lock(mutex_);
+
+    if (auto it = entries_.find(id); it != entries_.end())
+    {
+        if (it->second.name == name)
+            return id;    // benign re-registration
+        throw std::runtime_error("action id collision between '" + name +
+            "' and '" + it->second.name + "'");
+    }
+
+    entry request;
+    request.id = id;
+    request.name = name;
+    request.invoke = std::move(invoker);
+    entries_.emplace(id, std::move(request));
+
+    // The generic response invoker: deliver the serialized result to the
+    // promise the original caller registered.
+    entry response;
+    response.id = response_id;
+    response.name = name + "::response";
+    response.is_response = true;
+    response.invoke = [](invocation_context& ctx, parcel&& p) {
+        ctx.complete_promise(p.continuation, std::move(p.arguments));
+    };
+    entries_.emplace(response_id, std::move(response));
+
+    return id;
+}
+
+action_registry::entry const* action_registry::find(action_id id) const
+{
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+action_registry::entry const* action_registry::find_by_name(
+    std::string const& name) const
+{
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(hash_action_name(name));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> action_registry::action_names() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> names;
+    for (auto const& [id, e] : entries_)
+    {
+        if (!e.is_response)
+            names.push_back(e.name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+}    // namespace coal::parcel

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file action_registry.hpp
+/// Process-wide registry of actions (remotely invocable functions).
+///
+/// Actions register at static-initialization time through the
+/// COAL_PLAIN_ACTION macro.  An action's id is the FNV-1a hash of its
+/// name, so ids are stable across localities (and would be stable across
+/// processes in a real distributed build) without any registration-order
+/// coordination; the registry asserts hash uniqueness.
+///
+/// For every action a *response action* is registered automatically under
+/// `make_response_id(id)`.  Response parcels (the values async callers
+/// wait on) are full parcels routed through the same machinery — which is
+/// what lets the coalescing plugin batch an action's responses with the
+/// same policy as its requests (see DESIGN.md §2).
+
+#include <coal/agas/gid.hpp>
+#include <coal/parcel/parcel.hpp>
+#include <coal/serialization/buffer.hpp>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+namespace coal::parcel {
+
+/// Services an action invoker may need from the hosting locality.
+/// Supplied by the parcelhandler when it executes a received parcel.
+struct invocation_context
+{
+    std::uint32_t this_locality = 0;
+
+    /// Route an outbound parcel (used for result/continuation parcels);
+    /// goes through put_parcel, i.e. through coalescing.
+    std::function<void(parcel&&)> put_parcel;
+
+    /// Satisfy a local promise with a serialized result.
+    std::function<void(continuation_id, serialization::byte_buffer&&)>
+        complete_promise;
+
+    /// Resolve a locally hosted component instance (type-checked);
+    /// nullptr when absent or of the wrong type.  Wired to AGAS by the
+    /// runtime; component actions require it.
+    std::function<std::shared_ptr<void>(agas::gid, std::type_index)>
+        find_component;
+};
+
+using action_invoker = std::function<void(invocation_context&, parcel&&)>;
+
+/// Response-action id derived from a request-action id.
+[[nodiscard]] constexpr action_id make_response_id(action_id request) noexcept
+{
+    return request ^ 0x526573706f6e7365ull;    // "Response"
+}
+
+/// FNV-1a hash of an action name (the action's wire id).
+[[nodiscard]] constexpr action_id hash_action_name(
+    std::string_view name) noexcept
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char const c : name)
+    {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+class action_registry
+{
+public:
+    struct entry
+    {
+        action_id id = 0;
+        std::string name;
+        action_invoker invoke;
+        bool is_response = false;
+    };
+
+    static action_registry& instance();
+
+    /// Register an action and its paired response action.
+    /// \returns the action id.  Idempotent for identical re-registration
+    /// (helps header-only actions included in many TUs); throws on a
+    /// name/hash conflict.
+    action_id register_action(std::string name, action_invoker invoker);
+
+    [[nodiscard]] entry const* find(action_id id) const;
+    [[nodiscard]] entry const* find_by_name(std::string const& name) const;
+
+    /// Names of all registered (non-response) actions, sorted.
+    [[nodiscard]] std::vector<std::string> action_names() const;
+
+private:
+    action_registry() = default;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<action_id, entry> entries_;
+};
+
+/// Static-init helper: `inline action_registrar<my_action> reg_my_action;`
+template <typename Action>
+struct action_registrar
+{
+    action_registrar()
+    {
+        Action::ensure_registered();
+    }
+};
+
+}    // namespace coal::parcel

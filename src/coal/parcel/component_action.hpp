@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file component_action.hpp
+/// Component actions: remotely invocable *member functions* of objects
+/// registered in AGAS.  This is the second half of HPX's action model
+/// (plain actions cover free functions); a gid names the target object,
+/// AGAS resolves the gid to its current owner locality, and the parcel
+/// carries the gid alongside the marshaled arguments.
+///
+///     struct counter_component {
+///         std::int64_t add(std::int64_t n) { return value += n; }
+///         std::int64_t value = 0;
+///     };
+///     COAL_COMPONENT_ACTION(&counter_component::add, counter_add_action);
+///
+///     auto gid = rt.new_component<counter_component>(locality_id{1});
+///     auto f   = here.async<counter_add_action>(gid, 5);   // future<i64>
+///
+/// Because a gid survives migration, calls keep working after
+/// address_space::migrate() re-homes the object.
+
+#include <coal/agas/gid.hpp>
+#include <coal/common/logging.hpp>
+#include <coal/parcel/action_registry.hpp>
+#include <coal/parcel/parcel.hpp>
+#include <coal/serialization/archive.hpp>
+
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <typeindex>
+#include <utility>
+
+namespace coal::parcel {
+
+namespace detail {
+
+template <typename F>
+struct member_function_traits;
+
+template <typename C, typename R, typename... Args>
+struct member_function_traits<R (C::*)(Args...)>
+{
+    using component_type = C;
+    using result_type = R;
+    using args_tuple = std::tuple<std::decay_t<Args>...>;
+};
+
+template <typename C, typename R, typename... Args>
+struct member_function_traits<R (C::*)(Args...) noexcept>
+  : member_function_traits<R (C::*)(Args...)>
+{
+};
+
+}    // namespace detail
+
+/// CRTP base implementing the action protocol for a component member
+/// function M.  Derived must provide `static constexpr char const*
+/// action_name`.
+template <typename Derived, auto M>
+struct component_action
+{
+    using traits = detail::member_function_traits<decltype(M)>;
+    using component_type = typename traits::component_type;
+    using result_type = typename traits::result_type;
+    using args_tuple = typename traits::args_tuple;
+
+    /// Marker used by locality::async to require a gid target.
+    static constexpr bool is_component_action = true;
+
+    [[nodiscard]] static char const* name() noexcept
+    {
+        return Derived::action_name;
+    }
+
+    [[nodiscard]] static action_id id() noexcept
+    {
+        static action_id const cached = hash_action_name(name());
+        return cached;
+    }
+
+    static action_id ensure_registered()
+    {
+        static action_id const registered =
+            action_registry::instance().register_action(name(), &invoke);
+        return registered;
+    }
+
+    /// Marshal the target gid plus call arguments.
+    template <typename... CallArgs>
+    [[nodiscard]] static serialization::byte_buffer make_arguments(
+        agas::gid target, CallArgs&&... args)
+    {
+        serialization::byte_buffer buffer;
+        serialization::output_archive ar(buffer);
+        args_tuple tuple(std::forward<CallArgs>(args)...);
+        ar & target & tuple;
+        return buffer;
+    }
+
+    static void invoke(invocation_context& ctx, parcel&& p)
+    {
+        agas::gid target;
+        args_tuple args{};
+        serialization::input_archive ia(p.arguments);
+        ia & target & args;
+
+        if (!ctx.find_component)
+        {
+            COAL_LOG_ERROR("parcel",
+                "component action '%s' without a component resolver "
+                "(parcel dropped)",
+                name());
+            return;
+        }
+        auto instance = std::static_pointer_cast<component_type>(
+            ctx.find_component(target, std::type_index(
+                                           typeid(component_type))));
+        if (instance == nullptr)
+        {
+            COAL_LOG_ERROR("parcel",
+                "component action '%s': gid %llx not bound here or wrong "
+                "type (parcel dropped)",
+                name(), static_cast<unsigned long long>(target.raw()));
+            return;
+        }
+
+        auto call = [&](auto&&... unpacked) -> decltype(auto) {
+            return (instance.get()->*M)(
+                std::forward<decltype(unpacked)>(unpacked)...);
+        };
+
+        if constexpr (std::is_void_v<result_type>)
+        {
+            std::apply(call, std::move(args));
+            if (p.continuation != 0)
+                send_response(ctx, p, serialization::byte_buffer{});
+        }
+        else
+        {
+            result_type result = std::apply(call, std::move(args));
+            if (p.continuation != 0)
+                send_response(ctx, p, serialization::to_bytes(result));
+        }
+    }
+
+private:
+    static void send_response(invocation_context& ctx, parcel const& request,
+        serialization::byte_buffer&& payload)
+    {
+        parcel response;
+        response.source = ctx.this_locality;
+        response.dest = request.source;
+        response.action = make_response_id(id());
+        response.continuation = request.continuation;
+        response.arguments = std::move(payload);
+        ctx.put_parcel(std::move(response));
+    }
+};
+
+}    // namespace coal::parcel
+
+/// Define and register a component action for a member function pointer,
+/// HPX's HPX_DEFINE_COMPONENT_ACTION analogue.  Use at namespace scope.
+#define COAL_COMPONENT_ACTION(method_ptr, action_type)                         \
+    struct action_type                                                         \
+      : ::coal::parcel::component_action<action_type, method_ptr>             \
+    {                                                                          \
+        static constexpr char const* action_name = #action_type;              \
+    };                                                                         \
+    inline ::coal::parcel::action_registrar<action_type> const                 \
+        coal_action_registrar_##action_type {}

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file message_handler.hpp
+/// The seam between the parcelhandler and optional per-action message
+/// handling plugins — where HPX mounts its coalescing plugin.
+///
+/// When an action has a message handler installed, outbound parcels for
+/// that action are diverted to it instead of being sent one per message;
+/// the handler decides when to hand batches back for transmission.
+
+#include <coal/parcel/parcel.hpp>
+
+#include <cstddef>
+
+namespace coal::parcel {
+
+class message_handler
+{
+public:
+    virtual ~message_handler() = default;
+
+    /// Take ownership of an outbound parcel.
+    virtual void enqueue(parcel&& p) = 0;
+
+    /// Force-send everything queued (quiesce, shutdown, phase barriers).
+    virtual void flush() = 0;
+
+    /// Parcels currently held back (all destinations).
+    [[nodiscard]] virtual std::size_t queued_parcels() const = 0;
+};
+
+}    // namespace coal::parcel

@@ -1,0 +1,77 @@
+#include <coal/parcel/parcel.hpp>
+
+namespace coal::parcel {
+
+using serialization::byte_buffer;
+using serialization::input_archive;
+using serialization::output_archive;
+using serialization::serialization_error;
+
+namespace {
+
+void encode_parcel(output_archive& ar, parcel const& p)
+{
+    ar & p.source & p.dest & p.action & p.continuation;
+    ar & static_cast<std::uint64_t>(p.arguments.size());
+    ar.write_bytes(p.arguments.data(), p.arguments.size());
+}
+
+parcel decode_parcel(input_archive& ar)
+{
+    parcel p;
+    ar & p.source & p.dest & p.action & p.continuation;
+    std::uint64_t nbytes = 0;
+    ar & nbytes;
+    if (nbytes > ar.remaining())
+        throw serialization_error("parcel payload exceeds message size");
+    auto const* data = ar.borrow_bytes(static_cast<std::size_t>(nbytes));
+    p.arguments.assign(data, data + nbytes);
+    return p;
+}
+
+}    // namespace
+
+std::size_t message_wire_size(std::vector<parcel> const& parcels) noexcept
+{
+    std::size_t size = sizeof(std::uint32_t) * 2;    // magic + count
+    for (auto const& p : parcels)
+        size += p.wire_size() + sizeof(std::uint64_t);    // + length field
+    return size;
+}
+
+byte_buffer encode_message(std::vector<parcel> const& parcels)
+{
+    byte_buffer buffer;
+    buffer.reserve(message_wire_size(parcels));
+    output_archive ar(buffer);
+    ar & message_magic;
+    ar & static_cast<std::uint32_t>(parcels.size());
+    for (auto const& p : parcels)
+        encode_parcel(ar, p);
+    return buffer;
+}
+
+std::vector<parcel> decode_message(byte_buffer const& buffer)
+{
+    input_archive ar(buffer);
+    std::uint32_t magic = 0;
+    ar & magic;
+    if (magic != message_magic)
+        throw serialization_error("bad message magic");
+
+    std::uint32_t count = 0;
+    ar & count;
+    if (count > ar.remaining())    // each parcel needs >= 1 byte of header
+        throw serialization_error("parcel count exceeds message size");
+
+    std::vector<parcel> parcels;
+    parcels.reserve(count);
+    for (std::uint32_t i = 0; i != count; ++i)
+        parcels.push_back(decode_parcel(ar));
+
+    if (ar.remaining() != 0)
+        throw serialization_error("trailing bytes after last parcel");
+    return parcels;
+}
+
+}    // namespace coal::parcel

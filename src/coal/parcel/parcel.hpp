@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file parcel.hpp
+/// The parcel — HPX's form of an active message (Fig. 3 of the paper).
+///
+/// A parcel carries
+///  - the destination (locality, since plain actions execute on a
+///    locality; component actions resolve a gid to one),
+///  - the action to execute there,
+///  - the serialized arguments, and
+///  - an optional continuation: here, the id of a promise at the source
+///    locality that the action's result parcel will satisfy.
+///
+/// Wire format of one parcel image:
+///     u32 source | u32 dest | u64 action | u64 continuation |
+///     u64 nbytes | nbytes of serialized arguments
+///
+/// A *message* is what travels the transport: a frame of one or more
+/// parcel images (message coalescing packs several):
+///     u32 magic | u32 count | count * parcel image
+
+#include <coal/serialization/archive.hpp>
+#include <coal/serialization/buffer.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace coal::parcel {
+
+/// Stable identifier of an action (FNV-1a hash of its name).
+using action_id = std::uint64_t;
+
+/// Identifier of a promise in the source locality's response table.
+using continuation_id = std::uint64_t;
+
+struct parcel
+{
+    std::uint32_t source = 0;
+    std::uint32_t dest = 0;
+    action_id action = 0;
+    continuation_id continuation = 0;    ///< 0 = fire-and-forget
+    serialization::byte_buffer arguments;
+
+    /// Bytes this parcel occupies inside a message frame.
+    [[nodiscard]] std::size_t wire_size() const noexcept
+    {
+        return header_bytes + arguments.size();
+    }
+
+    /// source + dest (u32 each) + action + continuation (u64 each); the
+    /// payload-length field is part of the frame, not the parcel header.
+    static constexpr std::size_t header_bytes =
+        sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 2;
+};
+
+/// Frame magic guarding against mis-routed or corrupt buffers.
+inline constexpr std::uint32_t message_magic = 0x434f414cu;    // "COAL"
+
+/// Total wire size of a frame containing the given parcels.
+[[nodiscard]] std::size_t message_wire_size(
+    std::vector<parcel> const& parcels) noexcept;
+
+/// Encode parcels into one wire message.
+[[nodiscard]] serialization::byte_buffer encode_message(
+    std::vector<parcel> const& parcels);
+
+/// Decode a wire message back into parcels.
+/// \throws serialization::serialization_error on malformed input.
+[[nodiscard]] std::vector<parcel> decode_message(
+    serialization::byte_buffer const& buffer);
+
+}    // namespace coal::parcel

@@ -1,0 +1,255 @@
+#include <coal/parcel/parcelhandler.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/common/logging.hpp>
+#include <coal/timing/busy_work.hpp>
+#include <coal/trace/tracer.hpp>
+
+#include <utility>
+
+namespace coal::parcel {
+
+parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
+    threading::scheduler& scheduler)
+  : here_(here)
+  , transport_(transport)
+  , scheduler_(scheduler)
+{
+    transport_.set_delivery_handler(
+        here, [this](std::uint32_t src, serialization::byte_buffer&& buffer) {
+            inbox_.push(inbound_message{src, std::move(buffer)});
+        });
+
+    scheduler_.register_background_work([this] { return progress(); });
+}
+
+parcelhandler::~parcelhandler()
+{
+    stop();
+}
+
+void parcelhandler::put_parcel(parcel&& p)
+{
+    COAL_ASSERT_MSG(p.action != 0, "parcel without action");
+    p.source = here_;
+
+    if (p.dest == here_)
+    {
+        trace::tracer::global().record(
+            here_, trace::event_kind::parcel_local, p.action);
+        deliver_local(std::move(p));
+        return;
+    }
+
+    trace::tracer::global().record(
+        here_, trace::event_kind::parcel_put, p.action, p.dest);
+    counters_.parcels_sent.fetch_add(1, std::memory_order_relaxed);
+
+    if (auto handler = message_handler_for(p.action))
+    {
+        handler->enqueue(std::move(p));
+        return;
+    }
+
+    std::uint32_t const dst = p.dest;
+    std::vector<parcel> single;
+    single.push_back(std::move(p));
+    send_message(dst, std::move(single));
+}
+
+void parcelhandler::send_message(
+    std::uint32_t dst, std::vector<parcel>&& parcels)
+{
+    if (parcels.empty())
+        return;
+    COAL_ASSERT(dst != here_);
+    outbound_.push(send_job{dst, std::move(parcels)});
+}
+
+void parcelhandler::set_message_handler(
+    action_id id, std::shared_ptr<message_handler> handler)
+{
+    std::lock_guard lock(handlers_lock_);
+    if (handler == nullptr)
+        handlers_.erase(id);
+    else
+        handlers_[id] = std::move(handler);
+}
+
+std::shared_ptr<message_handler> parcelhandler::message_handler_for(
+    action_id id) const
+{
+    std::lock_guard lock(handlers_lock_);
+    auto it = handlers_.find(id);
+    return it == handlers_.end() ? nullptr : it->second;
+}
+
+void parcelhandler::flush_message_handlers()
+{
+    std::vector<std::shared_ptr<message_handler>> handlers;
+    {
+        std::lock_guard lock(handlers_lock_);
+        handlers.reserve(handlers_.size());
+        for (auto const& [id, h] : handlers_)
+            handlers.push_back(h);
+    }
+    for (auto const& h : handlers)
+        h->flush();
+}
+
+continuation_id parcelhandler::register_response_callback(
+    unique_function<void(serialization::byte_buffer&&)> callback)
+{
+    continuation_id const id =
+        next_continuation_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(responses_lock_);
+    responses_.emplace(id, std::move(callback));
+    return id;
+}
+
+std::size_t parcelhandler::pending_responses() const
+{
+    std::lock_guard lock(responses_lock_);
+    return responses_.size();
+}
+
+void parcelhandler::complete_promise(
+    continuation_id id, serialization::byte_buffer&& payload)
+{
+    unique_function<void(serialization::byte_buffer&&)> callback;
+    {
+        std::lock_guard lock(responses_lock_);
+        auto it = responses_.find(id);
+        if (it == responses_.end())
+        {
+            COAL_LOG_WARN("parcel",
+                "response for unknown continuation %llu at locality %u",
+                static_cast<unsigned long long>(id), here_);
+            return;
+        }
+        callback = std::move(it->second);
+        responses_.erase(it);
+    }
+    callback(std::move(payload));
+}
+
+void parcelhandler::deliver_local(parcel&& p)
+{
+    counters_.parcels_local.fetch_add(1, std::memory_order_relaxed);
+    scheduler_.post([this, parcel = std::move(p)]() mutable {
+        execute_parcel(std::move(parcel));
+    });
+}
+
+void parcelhandler::execute_parcel(parcel&& p)
+{
+    auto const* entry = action_registry::instance().find(p.action);
+    if (entry == nullptr)
+    {
+        COAL_LOG_ERROR("parcel",
+            "unknown action %llx at locality %u (parcel dropped)",
+            static_cast<unsigned long long>(p.action), here_);
+        return;
+    }
+
+    invocation_context ctx;
+    ctx.this_locality = here_;
+    ctx.put_parcel = [this](parcel&& out) { put_parcel(std::move(out)); };
+    ctx.complete_promise = [this](continuation_id id,
+                               serialization::byte_buffer&& payload) {
+        complete_promise(id, std::move(payload));
+    };
+    ctx.find_component = component_resolver_;
+
+    auto const action = p.action;
+    try
+    {
+        entry->invoke(ctx, std::move(p));
+    }
+    catch (std::exception const& e)
+    {
+        // Remote exceptions are not propagated across localities (see
+        // README limitations); a throwing action must not take the
+        // worker thread down with it.
+        COAL_LOG_ERROR("parcel", "action '%s' threw: %s (parcel dropped)",
+            entry->name.c_str(), e.what());
+    }
+    catch (...)
+    {
+        COAL_LOG_ERROR("parcel", "action '%s' threw a non-std exception "
+                                 "(parcel dropped)",
+            entry->name.c_str());
+    }
+    counters_.parcels_executed.fetch_add(1, std::memory_order_relaxed);
+    trace::tracer::global().record(
+        here_, trace::event_kind::parcel_executed, action);
+}
+
+bool parcelhandler::progress_send()
+{
+    auto job = outbound_.try_pop();
+    if (!job)
+        return false;
+
+    // Framing + transmission: this runs in background-work context, and
+    // transport_.send burns the modeled per-message sender CPU here.
+    serialization::byte_buffer wire = encode_message(job->parcels);
+
+    trace::tracer::global().record(here_, trace::event_kind::message_sent,
+        job->parcels.size(), wire.size());
+    counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+
+    transport_.send(here_, job->dst, std::move(wire));
+    return true;
+}
+
+bool parcelhandler::progress_receive()
+{
+    auto msg = inbox_.try_pop();
+    if (!msg)
+        return false;
+
+    // Receiver-side per-message CPU cost (protocol processing).
+    timing::spin_for_us(transport_.recv_overhead_us());
+
+    counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_received.fetch_add(
+        msg->payload.size(), std::memory_order_relaxed);
+
+    std::vector<parcel> parcels = decode_message(msg->payload);
+    trace::tracer::global().record(here_,
+        trace::event_kind::message_received, parcels.size(),
+        msg->payload.size());
+    counters_.parcels_received.fetch_add(
+        parcels.size(), std::memory_order_relaxed);
+
+    for (auto& p : parcels)
+    {
+        scheduler_.post([this, parcel = std::move(p)]() mutable {
+            execute_parcel(std::move(parcel));
+        });
+    }
+    return true;
+}
+
+bool parcelhandler::progress()
+{
+    if (stopped_.load(std::memory_order_acquire))
+        return false;
+    bool const sent = progress_send();
+    bool const received = progress_receive();
+    return sent || received;
+}
+
+void parcelhandler::stop()
+{
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+        return;
+    outbound_.close();
+    inbox_.close();
+}
+
+}    // namespace coal::parcel

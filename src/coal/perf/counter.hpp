@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file counter.hpp
+/// Performance-counter interfaces — the coal analogue of HPX's
+/// Performance Counter Framework (§II-A of the paper).
+///
+/// A counter is an object that produces a value on demand; counter
+/// *types* are registered under path templates like
+/// `/coalescing/count/parcels` and instantiated for a particular
+/// instance (locality) and parameter string (action name) when queried
+/// with a full name such as
+///
+///     /coalescing{locality#0/total}/count/parcels@my_action
+///
+/// Scalar counters return a double; array counters (the parcel-arrival
+/// histogram) return a vector of int64 in HPX's wire layout.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coal::perf {
+
+/// Result of a counter query.
+struct counter_value
+{
+    double value = 0.0;
+    std::vector<std::int64_t> values;    ///< array counters only
+    bool valid = false;
+
+    [[nodiscard]] bool is_array() const noexcept
+    {
+        return !values.empty();
+    }
+};
+
+/// A live counter instance.
+class counter
+{
+public:
+    virtual ~counter() = default;
+
+    /// Read the counter; when `reset` is true the counter restarts its
+    /// accumulation afterwards (HPX's reset-on-read semantics, used for
+    /// per-phase measurements such as Fig. 9).
+    virtual counter_value value(bool reset) = 0;
+
+    /// Reset without reading.
+    virtual void reset() = 0;
+};
+
+using counter_ptr = std::shared_ptr<counter>;
+
+/// Adapts a pair of callables to the counter interface.
+class function_counter final : public counter
+{
+public:
+    using read_fn = std::function<double()>;
+    using reset_fn = std::function<void()>;
+
+    explicit function_counter(read_fn read, reset_fn reset = {})
+      : read_(std::move(read))
+      , reset_(std::move(reset))
+    {
+    }
+
+    counter_value value(bool reset) override
+    {
+        counter_value v;
+        v.value = read_();
+        v.valid = true;
+        if (reset)
+            this->reset();
+        return v;
+    }
+
+    void reset() override
+    {
+        if (reset_)
+            reset_();
+    }
+
+private:
+    read_fn read_;
+    reset_fn reset_;
+};
+
+/// Adapts callables producing an int64 array (histogram counters).
+class array_function_counter final : public counter
+{
+public:
+    using read_fn = std::function<std::vector<std::int64_t>()>;
+    using reset_fn = std::function<void()>;
+
+    explicit array_function_counter(read_fn read, reset_fn reset = {})
+      : read_(std::move(read))
+      , reset_(std::move(reset))
+    {
+    }
+
+    counter_value value(bool reset) override
+    {
+        counter_value v;
+        v.values = read_();
+        v.valid = true;
+        if (reset)
+            this->reset();
+        return v;
+    }
+
+    void reset() override
+    {
+        if (reset_)
+            reset_();
+    }
+
+private:
+    read_fn read_;
+    reset_fn reset_;
+};
+
+}    // namespace coal::perf

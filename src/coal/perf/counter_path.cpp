@@ -1,0 +1,92 @@
+#include <coal/perf/counter_path.hpp>
+
+#include <cctype>
+
+namespace coal::perf {
+
+std::optional<counter_path> counter_path::parse(std::string const& full_name)
+{
+    if (full_name.empty() || full_name[0] != '/')
+        return std::nullopt;
+
+    counter_path out;
+    std::size_t pos = 1;
+
+    // object: up to '{' or '/'
+    std::size_t const object_end = full_name.find_first_of("{/", pos);
+    if (object_end == std::string::npos || object_end == pos)
+        return std::nullopt;
+    out.object = full_name.substr(pos, object_end - pos);
+    pos = object_end;
+
+    // optional {instance}
+    if (full_name[pos] == '{')
+    {
+        std::size_t const close = full_name.find('}', pos);
+        if (close == std::string::npos)
+            return std::nullopt;
+        out.instance = full_name.substr(pos + 1, close - pos - 1);
+        pos = close + 1;
+        if (pos >= full_name.size() || full_name[pos] != '/')
+            return std::nullopt;
+    }
+
+    ++pos;    // skip '/'
+
+    // name runs to '@' (or end); may itself contain '/'
+    std::size_t const at = full_name.find('@', pos);
+    if (at == std::string::npos)
+    {
+        out.name = full_name.substr(pos);
+    }
+    else
+    {
+        out.name = full_name.substr(pos, at - pos);
+        out.parameters = full_name.substr(at + 1);
+    }
+
+    if (out.name.empty())
+        return std::nullopt;
+    return out;
+}
+
+std::string counter_path::type_path() const
+{
+    return "/" + object + "/" + name;
+}
+
+std::string counter_path::str() const
+{
+    std::string s = "/" + object;
+    if (!instance.empty())
+        s += "{" + instance + "}";
+    s += "/" + name;
+    if (!parameters.empty())
+        s += "@" + parameters;
+    return s;
+}
+
+std::optional<std::uint32_t> counter_path::locality() const
+{
+    static constexpr char const prefix[] = "locality#";
+    if (instance.rfind(prefix, 0) != 0)
+        return std::nullopt;
+
+    std::size_t idx = sizeof(prefix) - 1;
+    if (idx >= instance.size() ||
+        !std::isdigit(static_cast<unsigned char>(instance[idx])))
+        return std::nullopt;
+
+    std::uint32_t value = 0;
+    while (idx < instance.size() &&
+        std::isdigit(static_cast<unsigned char>(instance[idx])))
+    {
+        value = value * 10 + static_cast<std::uint32_t>(instance[idx] - '0');
+        ++idx;
+    }
+    // Anything after the digits (e.g. "/total") is part of the instance
+    // but does not change the locality.
+    return value;
+}
+
+}    // namespace coal::perf

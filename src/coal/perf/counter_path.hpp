@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file counter_path.hpp
+/// Parser for HPX-style performance counter names:
+///
+///     /object{instance}/name@parameters
+///
+/// e.g. `/coalescing{locality#0/total}/count/parcels@my_action`
+///  - object:     "coalescing"
+///  - instance:   "locality#0/total"   (optional; empty means "total")
+///  - name:       "count/parcels"      (may contain '/')
+///  - parameters: "my_action"          (optional)
+///
+/// The *type path* used for registration is `/object/name`.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace coal::perf {
+
+struct counter_path
+{
+    std::string object;
+    std::string instance;
+    std::string name;
+    std::string parameters;
+
+    /// Parse a full counter name; nullopt on malformed input.
+    static std::optional<counter_path> parse(std::string const& full_name);
+
+    /// Type path `/object/name` (registration key).
+    [[nodiscard]] std::string type_path() const;
+
+    /// Reassembled canonical full name.
+    [[nodiscard]] std::string str() const;
+
+    /// Locality index embedded in the instance ("locality#3" -> 3);
+    /// nullopt for "total", empty, or other instances.
+    [[nodiscard]] std::optional<std::uint32_t> locality() const;
+
+    friend bool operator==(counter_path const&, counter_path const&) = default;
+};
+
+}    // namespace coal::perf

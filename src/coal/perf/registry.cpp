@@ -1,0 +1,108 @@
+#include <coal/perf/registry.hpp>
+
+#include <stdexcept>
+
+namespace coal::perf {
+
+void counter_registry::register_counter_type(
+    std::string type_path, std::string description, counter_factory factory)
+{
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = types_.emplace(std::move(type_path),
+        type_entry{std::move(description), std::move(factory)});
+    if (!inserted)
+        throw std::invalid_argument(
+            "duplicate counter type registration: " + it->first);
+}
+
+counter_ptr counter_registry::get(std::string const& full_name)
+{
+    auto const parsed = counter_path::parse(full_name);
+    if (!parsed)
+        return nullptr;
+
+    std::string const canonical = parsed->str();
+
+    counter_factory factory;
+    {
+        std::lock_guard lock(mutex_);
+        if (auto cached = instances_.find(canonical);
+            cached != instances_.end())
+        {
+            return cached->second;
+        }
+        auto type = types_.find(parsed->type_path());
+        if (type == types_.end())
+            return nullptr;
+        factory = type->second.factory;
+    }
+
+    // Instantiate outside the lock: factories may consult subsystems.
+    counter_ptr instance = factory(*parsed);
+    if (instance == nullptr)
+        return nullptr;
+
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = instances_.emplace(canonical, std::move(instance));
+    return it->second;
+}
+
+counter_value counter_registry::query(std::string const& full_name, bool reset)
+{
+    counter_ptr c = get(full_name);
+    if (c == nullptr)
+        return {};
+    return c->value(reset);
+}
+
+std::vector<std::pair<std::string, std::string>>
+counter_registry::discover() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(types_.size());
+    for (auto const& [path, entry] : types_)
+        out.emplace_back(path, entry.description);
+    return out;
+}
+
+void counter_registry::reset_all()
+{
+    std::vector<counter_ptr> instances;
+    {
+        std::lock_guard lock(mutex_);
+        instances.reserve(instances_.size());
+        for (auto const& [name, instance] : instances_)
+            instances.push_back(instance);
+    }
+    for (auto const& instance : instances)
+        instance->reset();
+}
+
+void counter_registry::clear_instances()
+{
+    std::lock_guard lock(mutex_);
+    instances_.clear();
+}
+
+delta_sampler::delta_sampler(counter_registry& registry, std::string full_name)
+  : registry_(&registry)
+  , name_(std::move(full_name))
+{
+    last_ = registry_->query(name_).value;
+}
+
+double delta_sampler::delta()
+{
+    double const current = registry_->query(name_).value;
+    double const d = current - last_;
+    last_ = current;
+    return d;
+}
+
+double delta_sampler::peek()
+{
+    return registry_->query(name_).value - last_;
+}
+
+}    // namespace coal::perf

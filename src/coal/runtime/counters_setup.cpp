@@ -1,0 +1,433 @@
+/// \file counters_setup.cpp
+/// Registers all built-in performance counter types with the runtime's
+/// registry — including the counters the paper adds to HPX:
+///
+///   /threads/time/average-overhead      (Eq. 2)
+///   /threads/background-work            (Eq. 3, added by the paper)
+///   /threads/background-overhead        (Eq. 4, added by the paper)
+///   /coalescing/count/parcels@action
+///   /coalescing/count/messages@action
+///   /coalescing/count/average-parcels-per-message@action
+///   /coalescing/time/average-parcel-arrival@action
+///   /coalescing/time/parcel-arrival-histogram@action
+///
+/// plus supporting counters for parcels, messages, data volume, task
+/// counts and the flush-timer service.  Instance selection follows HPX:
+/// `{locality#N}` reads one locality, empty or `{locality#*/total}`
+/// aggregates over all of them.
+
+#include <coal/runtime/runtime.hpp>
+
+#include <coal/core/coalescing_counters.hpp>
+#include <coal/perf/counter.hpp>
+#include <coal/perf/counter_path.hpp>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace coal {
+
+namespace {
+
+using perf::array_function_counter;
+using perf::counter_path;
+using perf::counter_ptr;
+using perf::counter_value;
+
+/// Scalar counter with reset-by-baseline semantics: reading with reset
+/// (or reset()) re-zeroes the reported value without disturbing the
+/// underlying monotonic source.
+class baseline_counter final : public perf::counter
+{
+public:
+    explicit baseline_counter(std::function<double()> read)
+      : read_(std::move(read))
+    {
+    }
+
+    counter_value value(bool reset) override
+    {
+        counter_value v;
+        v.value = read_() - baseline_;
+        v.valid = true;
+        if (reset)
+            baseline_ += v.value;
+        return v;
+    }
+
+    void reset() override
+    {
+        baseline_ = read_();
+    }
+
+private:
+    std::function<double()> read_;
+    double baseline_ = 0.0;
+};
+
+/// Ratio counter whose reset re-baselines numerator and denominator, so a
+/// post-reset read yields the ratio *for the interval since the reset* —
+/// exactly what per-phase network-overhead measurements need (Fig. 9).
+class ratio_counter final : public perf::counter
+{
+public:
+    ratio_counter(
+        std::function<double()> numerator, std::function<double()> denominator)
+      : num_(std::move(numerator))
+      , den_(std::move(denominator))
+    {
+    }
+
+    counter_value value(bool reset) override
+    {
+        double const n = num_() - num_base_;
+        double const d = den_() - den_base_;
+        counter_value v;
+        v.value = d > 0.0 ? n / d : 0.0;
+        v.valid = true;
+        if (reset)
+            this->reset();
+        return v;
+    }
+
+    void reset() override
+    {
+        num_base_ = num_();
+        den_base_ = den_();
+    }
+
+private:
+    std::function<double()> num_;
+    std::function<double()> den_;
+    double num_base_ = 0.0;
+    double den_base_ = 0.0;
+};
+
+}    // namespace
+
+void runtime::register_counters()
+{
+    using threading::scheduler_snapshot;
+
+    // Resolve a counter instance to a snapshot source: one locality or
+    // the aggregate.  Returns nullopt for an out-of-range locality.
+    auto snapshot_source = [this](counter_path const& path)
+        -> std::optional<std::function<scheduler_snapshot()>> {
+        if (auto loc = path.locality())
+        {
+            if (*loc >= num_localities())
+                return std::nullopt;
+            locality* l = localities_[*loc].get();
+            return [l] { return l->scheduler().snapshot(); };
+        }
+        return [this] { return aggregate_snapshot(); };
+    };
+
+    auto make_scalar = [snapshot_source](
+                           double (*extract)(scheduler_snapshot const&)) {
+        return [snapshot_source, extract](counter_path const& path)
+                   -> counter_ptr {
+            auto source = snapshot_source(path);
+            if (!source)
+                return nullptr;
+            return std::make_shared<baseline_counter>(
+                [src = *source, extract] { return extract(src()); });
+        };
+    };
+
+    counters_.register_counter_type("/threads/count/cumulative",
+        "number of executed tasks (HPX threads)",
+        make_scalar([](scheduler_snapshot const& s) {
+            return static_cast<double>(s.tasks_executed);
+        }));
+
+    counters_.register_counter_type("/threads/time/func",
+        "cumulative task duration Σt_func (Eq. 1), ns",
+        make_scalar([](scheduler_snapshot const& s) {
+            return static_cast<double>(s.func_time_ns);
+        }));
+
+    counters_.register_counter_type("/threads/time/exec",
+        "cumulative useful execution time Σt_exec, ns",
+        make_scalar([](scheduler_snapshot const& s) {
+            return static_cast<double>(s.exec_time_ns);
+        }));
+
+    counters_.register_counter_type("/threads/background-work",
+        "cumulative background-work duration (Eq. 3), ns",
+        make_scalar([](scheduler_snapshot const& s) {
+            return static_cast<double>(s.background_time_ns);
+        }));
+
+    counters_.register_counter_type("/threads/time/idle-polls",
+        "time spent in background polls that found no work, ns "
+        "(excluded from Eq. 3/4)",
+        make_scalar([](scheduler_snapshot const& s) {
+            return static_cast<double>(s.idle_poll_time_ns);
+        }));
+
+    // Average overhead needs joint reset of two sources; a ratio counter
+    // over (func - exec) and task count gives Eq. 2 with per-interval
+    // semantics.
+    counters_.register_counter_type("/threads/time/average-overhead",
+        "average per-task management overhead (Eq. 2), ns/task",
+        [snapshot_source](counter_path const& path) -> counter_ptr {
+            auto source = snapshot_source(path);
+            if (!source)
+                return nullptr;
+            auto src = *source;
+            return std::make_shared<ratio_counter>(
+                [src] {
+                    auto const s = src();
+                    return static_cast<double>(
+                        s.func_time_ns - s.exec_time_ns);
+                },
+                [src] {
+                    auto const s = src();
+                    return static_cast<double>(s.tasks_executed);
+                });
+        });
+
+    counters_.register_counter_type("/threads/background-overhead",
+        "network overhead n_oh = Σt_bg / Σt_func (Eq. 4), ratio",
+        [snapshot_source](counter_path const& path) -> counter_ptr {
+            auto source = snapshot_source(path);
+            if (!source)
+                return nullptr;
+            auto src = *source;
+            // Denominator includes background time: HPX runs background
+            // work as HPX threads, so Σt_func subsumes it there (see
+            // scheduler_snapshot::network_overhead()).
+            return std::make_shared<ratio_counter>(
+                [src] {
+                    return static_cast<double>(src().background_time_ns);
+                },
+                [src] {
+                    auto const s = src();
+                    return static_cast<double>(
+                        s.func_time_ns + s.background_time_ns);
+                });
+        });
+
+    // ---- parcel / message / data volume --------------------------------
+
+    auto parcel_scalar = [this](std::function<double(
+                                    parcel::parcelhandler_counters const&)>
+                                    extract) {
+        return [this, extract](counter_path const& path) -> counter_ptr {
+            if (auto loc = path.locality())
+            {
+                if (*loc >= num_localities())
+                    return nullptr;
+                locality* l = localities_[*loc].get();
+                return std::make_shared<baseline_counter>(
+                    [l, extract] { return extract(l->parcels().counters()); });
+            }
+            return std::make_shared<baseline_counter>([this, extract] {
+                double total = 0.0;
+                for (auto const& l : localities_)
+                    total += extract(l->parcels().counters());
+                return total;
+            });
+        };
+    };
+
+    using ph_counters = parcel::parcelhandler_counters;
+    counters_.register_counter_type("/parcels/count/sent",
+        "parcels handed to the parcel layer for remote delivery",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_sent.load());
+        }));
+    counters_.register_counter_type("/parcels/count/received",
+        "parcels decoded from incoming messages",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_received.load());
+        }));
+    counters_.register_counter_type("/parcels/count/routed-local",
+        "parcels short-circuited to the local scheduler",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_local.load());
+        }));
+    counters_.register_counter_type("/messages/count/sent",
+        "wire messages transmitted",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.messages_sent.load());
+        }));
+    counters_.register_counter_type("/messages/count/received",
+        "wire messages received",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.messages_received.load());
+        }));
+    counters_.register_counter_type("/data/count/sent",
+        "bytes transmitted (message frames)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.bytes_sent.load());
+        }));
+    counters_.register_counter_type("/data/count/received",
+        "bytes received (message frames)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.bytes_received.load());
+        }));
+
+    // ---- coalescing counters (the paper's §II-B additions) -------------
+
+    // Collect the per-action counter blocks selected by a path: one
+    // locality's or all localities'.
+    auto coalescing_blocks = [this](counter_path const& path)
+        -> std::vector<std::shared_ptr<coalescing::coalescing_counters>> {
+        std::vector<std::shared_ptr<coalescing::coalescing_counters>> out;
+        if (path.parameters.empty())
+            return out;
+        if (auto loc = path.locality())
+        {
+            if (*loc >= num_localities())
+                return out;
+            if (auto c = localities_[*loc]->coalescing().counters(
+                    path.parameters))
+                out.push_back(std::move(c));
+            return out;
+        }
+        for (auto const& l : localities_)
+        {
+            if (auto c = l->coalescing().counters(path.parameters))
+                out.push_back(std::move(c));
+        }
+        return out;
+    };
+
+    using cc = coalescing::coalescing_counters;
+    auto coalescing_scalar =
+        [coalescing_blocks](std::function<double(
+                std::vector<std::shared_ptr<cc>> const&)>
+                reduce) {
+            return [coalescing_blocks, reduce](
+                       counter_path const& path) -> counter_ptr {
+                auto blocks = coalescing_blocks(path);
+                if (blocks.empty())
+                    return nullptr;
+                return std::make_shared<baseline_counter>(
+                    [blocks, reduce] { return reduce(blocks); });
+            };
+        };
+
+    counters_.register_counter_type("/coalescing/count/parcels",
+        "parcels routed through the coalescing handler of an action",
+        coalescing_scalar([](auto const& blocks) {
+            double total = 0.0;
+            for (auto const& b : blocks)
+                total += static_cast<double>(b->parcels());
+            return total;
+        }));
+
+    counters_.register_counter_type("/coalescing/count/messages",
+        "messages generated by the coalescing handler of an action",
+        coalescing_scalar([](auto const& blocks) {
+            double total = 0.0;
+            for (auto const& b : blocks)
+                total += static_cast<double>(b->messages());
+            return total;
+        }));
+
+    counters_.register_counter_type(
+        "/coalescing/count/average-parcels-per-message",
+        "average number of parcels per coalesced message of an action",
+        [coalescing_blocks](counter_path const& path) -> counter_ptr {
+            auto blocks = coalescing_blocks(path);
+            if (blocks.empty())
+                return nullptr;
+            return std::make_shared<ratio_counter>(
+                [blocks] {
+                    double total = 0.0;
+                    for (auto const& b : blocks)
+                        total += static_cast<double>(b->parcels_in_messages());
+                    return total;
+                },
+                [blocks] {
+                    double total = 0.0;
+                    for (auto const& b : blocks)
+                        total += static_cast<double>(b->messages());
+                    return total;
+                });
+        });
+
+    counters_.register_counter_type("/coalescing/time/average-parcel-arrival",
+        "average time between parcel arrivals for an action, µs",
+        [coalescing_blocks](counter_path const& path) -> counter_ptr {
+            auto blocks = coalescing_blocks(path);
+            if (blocks.empty())
+                return nullptr;
+            return std::make_shared<ratio_counter>(
+                [blocks] {
+                    double weighted = 0.0;
+                    for (auto const& b : blocks)
+                        weighted += b->average_arrival_us() *
+                            static_cast<double>(b->gap_count());
+                    return weighted;
+                },
+                [blocks] {
+                    double gaps = 0.0;
+                    for (auto const& b : blocks)
+                        gaps += static_cast<double>(b->gap_count());
+                    return gaps;
+                });
+        });
+
+    counters_.register_counter_type("/coalescing/time/parcel-arrival-histogram",
+        "histogram of gaps between parcel arrivals for an action "
+        "(min, max, bucket-width, counts...), µs",
+        [coalescing_blocks](counter_path const& path) -> counter_ptr {
+            auto blocks = coalescing_blocks(path);
+            if (blocks.empty())
+                return nullptr;
+            return std::make_shared<array_function_counter>(
+                [blocks]() -> std::vector<std::int64_t> {
+                    // Element-wise sum; all blocks share the default
+                    // bucketing, including the 3-entry header.
+                    std::vector<std::int64_t> total =
+                        blocks.front()->arrival_histogram();
+                    for (std::size_t i = 1; i < blocks.size(); ++i)
+                    {
+                        auto const h = blocks[i]->arrival_histogram();
+                        for (std::size_t j = 3;
+                             j < total.size() && j < h.size(); ++j)
+                            total[j] += h[j];
+                    }
+                    return total;
+                },
+                [blocks] {
+                    for (auto const& b : blocks)
+                        b->reset_arrival_histogram();
+                });
+        });
+
+    // ---- flush-timer service -------------------------------------------
+
+    counters_.register_counter_type("/timers/count/scheduled",
+        "flush timers scheduled", [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this] {
+                return static_cast<double>(timers_->stats().scheduled);
+            });
+        });
+    counters_.register_counter_type("/timers/count/fired",
+        "flush timers fired", [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this] {
+                return static_cast<double>(timers_->stats().fired);
+            });
+        });
+    counters_.register_counter_type("/timers/count/cancelled",
+        "flush timers cancelled before firing",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this] {
+                return static_cast<double>(timers_->stats().cancelled);
+            });
+        });
+    counters_.register_counter_type("/timers/time/average-lateness",
+        "mean timer firing lateness, µs",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>(
+                [this] { return timers_->stats().mean_lateness_us; });
+        });
+}
+
+}    // namespace coal

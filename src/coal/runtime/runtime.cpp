@@ -1,0 +1,274 @@
+#include <coal/runtime/runtime.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/common/logging.hpp>
+#include <coal/core/coalescing_defaults.hpp>
+#include <coal/net/loopback.hpp>
+
+#include <chrono>
+#include <latch>
+#include <thread>
+
+namespace coal {
+
+runtime::runtime(runtime_config config)
+  : config_(config)
+{
+    COAL_ASSERT_MSG(config_.num_localities > 0, "need at least one locality");
+    COAL_ASSERT_MSG(
+        config_.workers_per_locality > 0, "need at least one worker");
+
+    agas_ = std::make_unique<agas::address_space>(config_.num_localities);
+
+    if (config_.use_loopback)
+        transport_ =
+            std::make_unique<net::loopback_transport>(config_.num_localities);
+    else
+        transport_ = std::make_unique<net::sim_network>(
+            config_.num_localities, config_.network);
+
+    timers_ = std::make_unique<timing::deadline_timer_service>();
+    barrier_ = std::make_unique<help_barrier>(config_.num_localities);
+
+    localities_.reserve(config_.num_localities);
+    for (std::uint32_t i = 0; i != config_.num_localities; ++i)
+    {
+        threading::scheduler_config sched;
+        sched.num_workers = config_.workers_per_locality;
+        sched.idle_sleep_us = config_.idle_sleep_us;
+        sched.name = "locality#" + std::to_string(i);
+        localities_.push_back(std::make_unique<locality>(*this,
+            agas::locality_id{i}, sched, *transport_, *timers_));
+    }
+
+    // Component actions resolve their target objects through AGAS.
+    for (auto const& loc : localities_)
+    {
+        loc->parcels().set_component_resolver(
+            [this](agas::gid target, std::type_index expected) {
+                return agas_->find_erased(target, expected);
+            });
+    }
+
+    if (config_.apply_coalescing_defaults)
+    {
+        for (auto const& entry :
+            coalescing::coalescing_defaults::instance().entries())
+        {
+            bool const include_responses =
+                entry.include_responses && config_.coalesce_responses;
+            for (auto const& loc : localities_)
+            {
+                loc->coalescing().enable(
+                    entry.action_name, entry.params, include_responses);
+            }
+        }
+    }
+
+    register_counters();
+}
+
+runtime::~runtime()
+{
+    stop();
+}
+
+locality& runtime::get_locality(std::uint32_t index)
+{
+    COAL_ASSERT(index < localities_.size());
+    return *localities_[index];
+}
+
+bool runtime::enable_coalescing(
+    std::string const& action_name, coalescing::coalescing_params params)
+{
+    bool ok = true;
+    for (auto const& loc : localities_)
+    {
+        ok = loc->coalescing().enable(
+                 action_name, params, config_.coalesce_responses) &&
+            ok;
+    }
+    return ok;
+}
+
+bool runtime::set_coalescing_params(
+    std::string const& action_name, coalescing::coalescing_params params)
+{
+    bool ok = true;
+    for (auto const& loc : localities_)
+        ok = loc->coalescing().set_params(action_name, params) && ok;
+    return ok;
+}
+
+void runtime::run_everywhere(std::function<void(locality&)> fn)
+{
+    COAL_ASSERT_MSG(threading::scheduler::current() == nullptr,
+        "run_everywhere must be called from a non-worker thread");
+
+    std::latch done(static_cast<std::ptrdiff_t>(localities_.size()));
+    for (auto const& loc : localities_)
+    {
+        locality* l = loc.get();
+        l->post([&fn, &done, l] {
+            try
+            {
+                fn(*l);
+            }
+            catch (std::exception const& e)
+            {
+                COAL_LOG_ERROR("runtime",
+                    "SPMD function threw on locality %u: %s",
+                    l->id().value(), e.what());
+            }
+            catch (...)
+            {
+                COAL_LOG_ERROR("runtime",
+                    "SPMD function threw a non-std exception on "
+                    "locality %u",
+                    l->id().value());
+            }
+            done.count_down();
+        });
+    }
+    done.wait();
+}
+
+void runtime::run_on(std::uint32_t index, std::function<void(locality&)> fn)
+{
+    locality& l = get_locality(index);
+    std::latch done(1);
+    l.post([&fn, &done, &l] {
+        try
+        {
+            fn(l);
+        }
+        catch (std::exception const& e)
+        {
+            COAL_LOG_ERROR("runtime", "run_on function threw on "
+                                      "locality %u: %s",
+                l.id().value(), e.what());
+        }
+        catch (...)
+        {
+            COAL_LOG_ERROR("runtime",
+                "run_on function threw a non-std exception on locality %u",
+                l.id().value());
+        }
+        done.count_down();
+    });
+    done.wait();
+}
+
+void runtime::help_barrier::arrive_and_wait()
+{
+    std::uint64_t const gen = generation.load(std::memory_order_acquire);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == participants)
+    {
+        arrived.store(0, std::memory_order_relaxed);
+        generation.fetch_add(1, std::memory_order_acq_rel);
+        return;
+    }
+
+    auto* sched = threading::scheduler::current();
+    unsigned idle = 0;
+    while (generation.load(std::memory_order_acquire) == gen)
+    {
+        // Keep local progress alive while parked at the barrier — other
+        // localities may still need our responses to arrive there.
+        if (sched != nullptr && sched->run_pending_task())
+            idle = 0;
+        else if (++idle < 64)
+            cpu_relax();
+        else
+            std::this_thread::yield();
+    }
+}
+
+void runtime::barrier()
+{
+    barrier_->arrive_and_wait();
+}
+
+void runtime::quiesce()
+{
+    // Iterate until the whole system is stable: flushing coalescing
+    // queues can create sends, sends create receives, receives create
+    // tasks, tasks can create parcels...
+    for (;;)
+    {
+        for (auto const& loc : localities_)
+            loc->coalescing().flush_all();
+
+        bool busy = false;
+        for (auto const& loc : localities_)
+        {
+            if (loc->scheduler().pending_tasks() != 0 ||
+                loc->parcels().pending_sends() != 0 ||
+                loc->parcels().pending_receives() != 0 ||
+                loc->coalescing().queued_parcels() != 0)
+            {
+                busy = true;
+                break;
+            }
+        }
+        if (!busy && transport_->in_flight() == 0)
+        {
+            // Re-check once after a short grace period: a message could
+            // have been between queues at the instant we looked.
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            bool still_busy = transport_->in_flight() != 0;
+            for (auto const& loc : localities_)
+            {
+                still_busy = still_busy ||
+                    loc->scheduler().pending_tasks() != 0 ||
+                    loc->parcels().pending_sends() != 0 ||
+                    loc->parcels().pending_receives() != 0 ||
+                    loc->coalescing().queued_parcels() != 0;
+            }
+            if (!still_busy)
+                return;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+void runtime::stop()
+{
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+        return;
+
+    quiesce();
+
+    // Counter factories capture subsystem references; drop instances
+    // before tearing the subsystems down.
+    counters_.clear_instances();
+
+    for (auto const& loc : localities_)
+        loc->parcels().stop();
+    transport_->shutdown();
+    for (auto const& loc : localities_)
+        loc->scheduler().stop();
+    timers_->shutdown();
+}
+
+threading::scheduler_snapshot runtime::aggregate_snapshot() const
+{
+    threading::scheduler_snapshot total;
+    for (auto const& loc : localities_)
+    {
+        auto const s = loc->scheduler().snapshot();
+        total.tasks_executed += s.tasks_executed;
+        total.func_time_ns += s.func_time_ns;
+        total.exec_time_ns += s.exec_time_ns;
+        total.background_time_ns += s.background_time_ns;
+        total.background_calls += s.background_calls;
+        total.tasks_stolen += s.tasks_stolen;
+        total.idle_loops += s.idle_loops;
+    }
+    return total;
+}
+
+}    // namespace coal

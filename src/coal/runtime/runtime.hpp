@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The distributed runtime: boots L in-process localities connected by
+/// the simulated interconnect, applies coalescing defaults, registers
+/// performance counters, and provides SPMD execution, barriers, quiesce
+/// and clean shutdown.
+///
+///     coal::runtime_config cfg;
+///     cfg.num_localities = 2;
+///     coal::runtime rt(cfg);
+///     rt.run_everywhere([](coal::locality& here) { ... });
+///     rt.stop();
+
+#include <coal/agas/address_space.hpp>
+#include <coal/net/sim_network.hpp>
+#include <coal/net/transport.hpp>
+#include <coal/perf/registry.hpp>
+#include <coal/runtime/locality.hpp>
+#include <coal/threading/instrumentation.hpp>
+#include <coal/timing/deadline_timer.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace coal {
+
+struct runtime_config
+{
+    std::uint32_t num_localities = 2;
+    unsigned workers_per_locality = 1;
+
+    /// Interconnect cost model (ignored when use_loopback).
+    net::cost_model network{};
+
+    /// Zero-cost synchronous transport — timing-independent unit tests.
+    bool use_loopback = false;
+
+    /// Apply COAL_ACTION_USES_MESSAGE_COALESCING opt-ins at startup.
+    bool apply_coalescing_defaults = true;
+
+    /// Install sibling handlers on response actions (DESIGN.md §2).
+    bool coalesce_responses = true;
+
+    /// Idle worker sleep between background polls (µs).
+    std::int64_t idle_sleep_us = 100;
+};
+
+class runtime
+{
+public:
+    explicit runtime(runtime_config config = {});
+    ~runtime();
+
+    runtime(runtime const&) = delete;
+    runtime& operator=(runtime const&) = delete;
+
+    [[nodiscard]] runtime_config const& config() const noexcept
+    {
+        return config_;
+    }
+
+    [[nodiscard]] std::uint32_t num_localities() const noexcept
+    {
+        return config_.num_localities;
+    }
+
+    [[nodiscard]] locality& get_locality(std::uint32_t index);
+    [[nodiscard]] locality& get_locality(agas::locality_id id)
+    {
+        return get_locality(id.value());
+    }
+
+    [[nodiscard]] agas::address_space& agas() noexcept
+    {
+        return *agas_;
+    }
+
+    [[nodiscard]] net::transport& network() noexcept
+    {
+        return *transport_;
+    }
+
+    [[nodiscard]] timing::deadline_timer_service& timers() noexcept
+    {
+        return *timers_;
+    }
+
+    [[nodiscard]] perf::counter_registry& counters() noexcept
+    {
+        return counters_;
+    }
+
+    /// Create a component instance hosted at `owner` and register it in
+    /// AGAS; the returned gid addresses it from any locality (and keeps
+    /// working across agas().migrate()).
+    template <typename Component, typename... Args>
+    agas::gid new_component(agas::locality_id owner, Args&&... args)
+    {
+        return agas_->bind(owner,
+            std::make_shared<Component>(std::forward<Args>(args)...));
+    }
+
+    /// Enable coalescing for an action on every locality.
+    bool enable_coalescing(std::string const& action_name,
+        coalescing::coalescing_params params);
+
+    /// Live-update coalescing parameters on every locality.
+    bool set_coalescing_params(std::string const& action_name,
+        coalescing::coalescing_params params);
+
+    /// SPMD: run `fn(locality)` as a task on every locality, wait for all
+    /// to return.  Must be called from a non-worker thread.
+    void run_everywhere(std::function<void(locality&)> fn);
+
+    /// Run `fn(locality)` as a task on one locality and wait.
+    void run_on(std::uint32_t index, std::function<void(locality&)> fn);
+
+    /// SPMD barrier callable from inside run_everywhere tasks; waiting
+    /// tasks keep their scheduler's background work running.
+    void barrier();
+
+    /// Flush all coalescing queues and wait until no parcel, message or
+    /// task is in flight anywhere.
+    void quiesce();
+
+    /// Quiesce, then shut everything down.  Idempotent.
+    void stop();
+
+    /// Sum of all localities' scheduler snapshots (Eq. 1–4 inputs).
+    [[nodiscard]] threading::scheduler_snapshot aggregate_snapshot() const;
+
+private:
+    void register_counters();
+
+    /// Sense-reversing barrier whose waiters help-run their scheduler.
+    struct help_barrier
+    {
+        explicit help_barrier(std::uint32_t n)
+          : participants(n)
+        {
+        }
+
+        void arrive_and_wait();
+
+        std::uint32_t participants;
+        std::atomic<std::uint32_t> arrived{0};
+        std::atomic<std::uint64_t> generation{0};
+    };
+
+    runtime_config config_;
+    std::unique_ptr<agas::address_space> agas_;
+    std::unique_ptr<net::transport> transport_;
+    std::unique_ptr<timing::deadline_timer_service> timers_;
+    perf::counter_registry counters_;
+    std::vector<std::unique_ptr<locality>> localities_;
+    std::unique_ptr<help_barrier> barrier_;
+    std::atomic<bool> stopped_{false};
+};
+
+}    // namespace coal

@@ -1,0 +1,19 @@
+#include <coal/serialization/archive.hpp>
+
+// The archives are header-only templates; this translation unit anchors the
+// library and provides a home for the error type's vtable.
+
+namespace coal::serialization {
+
+namespace {
+
+// Force the exception's key function into this TU.
+[[maybe_unused]] void anchor()
+{
+    serialization_error err("anchor");
+    (void) err;
+}
+
+}    // namespace
+
+}    // namespace coal::serialization

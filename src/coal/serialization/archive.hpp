@@ -1,0 +1,553 @@
+#pragma once
+
+/// \file archive.hpp
+/// Byte-stream archives used to serialize action arguments and parcels.
+///
+/// Usage mirrors the classic boost/HPX serialization idiom:
+///
+///     output_archive oa(buf);
+///     oa & x & y & z;
+///
+///     input_archive ia(buf);
+///     ia & x & y & z;
+///
+/// Built-in support: arithmetic types, enums, bool, std::string,
+/// std::vector, std::array, std::pair, std::tuple, std::optional,
+/// std::complex, std::chrono::duration.  User types participate by
+/// providing either a member `serialize(Archive&)` or a free function
+/// `serialize(Archive&, T&)` found by ADL; one function serves both
+/// directions (`Archive::is_saving` discriminates when needed).
+///
+/// Contiguous ranges of trivially copyable element types are written with
+/// a single memcpy — the fast path the parquet workload's
+/// vector<complex<double>> payloads take.
+
+#include <coal/common/assert.hpp>
+#include <coal/serialization/buffer.hpp>
+
+#include <array>
+#include <complex>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace coal::serialization {
+
+/// Thrown when an input archive runs out of bytes or decodes an
+/// impossible value (corrupt or truncated message).
+class serialization_error : public std::runtime_error
+{
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class output_archive;
+class input_archive;
+
+namespace detail {
+
+template <typename T, typename Archive>
+concept has_member_serialize = requires(T& t, Archive& ar) {
+    t.serialize(ar);
+};
+
+template <typename T, typename Archive>
+concept has_adl_serialize = requires(T& t, Archive& ar) {
+    serialize(ar, t);
+};
+
+template <typename T>
+concept trivially_serializable =
+    std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+}    // namespace detail
+
+class output_archive
+{
+public:
+    static constexpr bool is_saving = true;
+    static constexpr bool is_loading = false;
+
+    explicit output_archive(byte_buffer& buffer) noexcept
+      : buffer_(&buffer)
+    {
+    }
+
+    void write_bytes(void const* data, std::size_t size)
+    {
+        if (size == 0)
+            return;
+        // Sanity bound (also lets the optimizer prove `old + size` and
+        // `count * sizeof(T)` in callers cannot wrap, which otherwise
+        // trips GCC's -Wrestrict/-Wstringop-overflow false positives
+        // under deep inlining).
+        COAL_ASSERT_MSG(size < (std::size_t{1} << 48),
+            "implausible serialization size");
+        std::size_t const old_size = buffer_->size();
+        buffer_->resize(old_size + size);
+        std::memcpy(buffer_->data() + old_size, data, size);
+    }
+
+    [[nodiscard]] std::size_t bytes_written() const noexcept
+    {
+        return buffer_->size();
+    }
+
+    [[nodiscard]] byte_buffer& buffer() noexcept
+    {
+        return *buffer_;
+    }
+
+    template <typename T>
+    output_archive& operator&(T const& value)
+    {
+        save_value(*this, value);
+        return *this;
+    }
+
+    template <typename T>
+    output_archive& operator<<(T const& value)
+    {
+        return *this & value;
+    }
+
+private:
+    byte_buffer* buffer_;
+};
+
+class input_archive
+{
+public:
+    static constexpr bool is_saving = false;
+    static constexpr bool is_loading = true;
+
+    input_archive(std::uint8_t const* data, std::size_t size) noexcept
+      : data_(data)
+      , size_(size)
+    {
+    }
+
+    explicit input_archive(byte_buffer const& buffer) noexcept
+      : input_archive(buffer.data(), buffer.size())
+    {
+    }
+
+    void read_bytes(void* out, std::size_t size)
+    {
+        if (pos_ + size > size_)
+            throw serialization_error(
+                "input archive exhausted (truncated message?)");
+        std::memcpy(out, data_ + pos_, size);
+        pos_ += size;
+    }
+
+    /// Borrow `size` bytes in place without copying (bulk fast path).
+    std::uint8_t const* borrow_bytes(std::size_t size)
+    {
+        if (pos_ + size > size_)
+            throw serialization_error(
+                "input archive exhausted (truncated message?)");
+        std::uint8_t const* p = data_ + pos_;
+        pos_ += size;
+        return p;
+    }
+
+    [[nodiscard]] std::size_t remaining() const noexcept
+    {
+        return size_ - pos_;
+    }
+
+    [[nodiscard]] std::size_t position() const noexcept
+    {
+        return pos_;
+    }
+
+    template <typename T>
+    input_archive& operator&(T& value)
+    {
+        load_value(*this, value);
+        return *this;
+    }
+
+    template <typename T>
+    input_archive& operator>>(T& value)
+    {
+        return *this & value;
+    }
+
+private:
+    std::uint8_t const* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// --- scalar overloads ------------------------------------------------------
+
+template <typename T>
+    requires std::is_arithmetic_v<T>
+void save_value(output_archive& ar, T const& value)
+{
+    ar.write_bytes(&value, sizeof(T));
+}
+
+template <typename T>
+    requires std::is_arithmetic_v<T>
+void load_value(input_archive& ar, T& value)
+{
+    ar.read_bytes(&value, sizeof(T));
+}
+
+template <typename T>
+    requires std::is_enum_v<T>
+void save_value(output_archive& ar, T const& value)
+{
+    auto u = static_cast<std::underlying_type_t<T>>(value);
+    ar.write_bytes(&u, sizeof(u));
+}
+
+template <typename T>
+    requires std::is_enum_v<T>
+void load_value(input_archive& ar, T& value)
+{
+    std::underlying_type_t<T> u{};
+    ar.read_bytes(&u, sizeof(u));
+    value = static_cast<T>(u);
+}
+
+template <typename T>
+void save_value(output_archive& ar, std::complex<T> const& value)
+{
+    ar & value.real() & value.imag();
+}
+
+template <typename T>
+void load_value(input_archive& ar, std::complex<T>& value)
+{
+    T re{}, im{};
+    ar & re & im;
+    value = std::complex<T>(re, im);
+}
+
+template <typename Rep, typename Period>
+void save_value(
+    output_archive& ar, std::chrono::duration<Rep, Period> const& value)
+{
+    ar & value.count();
+}
+
+template <typename Rep, typename Period>
+void load_value(input_archive& ar, std::chrono::duration<Rep, Period>& value)
+{
+    Rep count{};
+    ar & count;
+    value = std::chrono::duration<Rep, Period>(count);
+}
+
+// --- strings and sequences -------------------------------------------------
+
+inline void save_value(output_archive& ar, std::string const& value)
+{
+    auto const size = static_cast<std::uint64_t>(value.size());
+    ar & size;
+    ar.write_bytes(value.data(), value.size());
+}
+
+inline void load_value(input_archive& ar, std::string& value)
+{
+    std::uint64_t size{};
+    ar & size;
+    if (size > ar.remaining())
+        throw serialization_error("string length exceeds archive size");
+    value.assign(reinterpret_cast<char const*>(
+                     ar.borrow_bytes(static_cast<std::size_t>(size))),
+        static_cast<std::size_t>(size));
+}
+
+template <typename T>
+void save_value(output_archive& ar, std::vector<T> const& value)
+{
+    auto const size = static_cast<std::uint64_t>(value.size());
+    ar & size;
+    if constexpr (detail::trivially_serializable<T>)
+    {
+        ar.write_bytes(value.data(), value.size() * sizeof(T));
+    }
+    else
+    {
+        for (auto const& element : value)
+            ar & element;
+    }
+}
+
+template <typename T>
+void load_value(input_archive& ar, std::vector<T>& value)
+{
+    std::uint64_t size{};
+    ar & size;
+    if constexpr (detail::trivially_serializable<T>)
+    {
+        auto const bytes = static_cast<std::size_t>(size) * sizeof(T);
+        if (bytes > ar.remaining())
+            throw serialization_error("vector length exceeds archive size");
+        value.resize(static_cast<std::size_t>(size));
+        std::memcpy(value.data(), ar.borrow_bytes(bytes), bytes);
+    }
+    else
+    {
+        if (size > ar.remaining())    // each element needs >= 1 byte
+            throw serialization_error("vector length exceeds archive size");
+        value.clear();
+        value.reserve(static_cast<std::size_t>(size));
+        for (std::uint64_t i = 0; i != size; ++i)
+        {
+            T element{};
+            ar & element;
+            value.push_back(std::move(element));
+        }
+    }
+}
+
+template <typename T, std::size_t N>
+void save_value(output_archive& ar, std::array<T, N> const& value)
+{
+    if constexpr (detail::trivially_serializable<T>)
+    {
+        ar.write_bytes(value.data(), N * sizeof(T));
+    }
+    else
+    {
+        for (auto const& element : value)
+            ar & element;
+    }
+}
+
+template <typename T, std::size_t N>
+void load_value(input_archive& ar, std::array<T, N>& value)
+{
+    if constexpr (detail::trivially_serializable<T>)
+    {
+        ar.read_bytes(value.data(), N * sizeof(T));
+    }
+    else
+    {
+        for (auto& element : value)
+            ar & element;
+    }
+}
+
+// --- associative containers --------------------------------------------------
+
+namespace detail {
+
+/// Shared save for any sized range of (de)serializable elements.
+template <typename Range>
+void save_sized_range(output_archive& ar, Range const& range)
+{
+    ar & static_cast<std::uint64_t>(range.size());
+    for (auto const& element : range)
+        ar & element;
+}
+
+/// Shared load for set-like containers (insert of value_type).
+template <typename Container, typename Element>
+void load_into_set(input_archive& ar, Container& out)
+{
+    std::uint64_t size{};
+    ar & size;
+    if (size > ar.remaining())
+        throw serialization_error("container size exceeds archive size");
+    out.clear();
+    for (std::uint64_t i = 0; i != size; ++i)
+    {
+        Element element{};
+        ar & element;
+        out.insert(std::move(element));
+    }
+}
+
+/// Shared load for map-like containers (emplace of key/value pair).
+template <typename Container, typename K, typename V>
+void load_into_map(input_archive& ar, Container& out)
+{
+    std::uint64_t size{};
+    ar & size;
+    if (size > ar.remaining())
+        throw serialization_error("container size exceeds archive size");
+    out.clear();
+    for (std::uint64_t i = 0; i != size; ++i)
+    {
+        K key{};
+        V value{};
+        ar & key & value;
+        out.emplace(std::move(key), std::move(value));
+    }
+}
+
+}    // namespace detail
+
+template <typename K, typename V, typename C, typename A>
+void save_value(output_archive& ar, std::map<K, V, C, A> const& value)
+{
+    detail::save_sized_range(ar, value);
+}
+
+template <typename K, typename V, typename C, typename A>
+void load_value(input_archive& ar, std::map<K, V, C, A>& value)
+{
+    detail::load_into_map<std::map<K, V, C, A>, K, V>(ar, value);
+}
+
+template <typename K, typename V, typename H, typename E, typename A>
+void save_value(
+    output_archive& ar, std::unordered_map<K, V, H, E, A> const& value)
+{
+    detail::save_sized_range(ar, value);
+}
+
+template <typename K, typename V, typename H, typename E, typename A>
+void load_value(input_archive& ar, std::unordered_map<K, V, H, E, A>& value)
+{
+    detail::load_into_map<std::unordered_map<K, V, H, E, A>, K, V>(
+        ar, value);
+}
+
+template <typename T, typename C, typename A>
+void save_value(output_archive& ar, std::set<T, C, A> const& value)
+{
+    detail::save_sized_range(ar, value);
+}
+
+template <typename T, typename C, typename A>
+void load_value(input_archive& ar, std::set<T, C, A>& value)
+{
+    detail::load_into_set<std::set<T, C, A>, T>(ar, value);
+}
+
+template <typename T, typename H, typename E, typename A>
+void save_value(output_archive& ar, std::unordered_set<T, H, E, A> const& value)
+{
+    detail::save_sized_range(ar, value);
+}
+
+template <typename T, typename H, typename E, typename A>
+void load_value(input_archive& ar, std::unordered_set<T, H, E, A>& value)
+{
+    detail::load_into_set<std::unordered_set<T, H, E, A>, T>(ar, value);
+}
+
+// --- product types ----------------------------------------------------------
+
+template <typename A, typename B>
+void save_value(output_archive& ar, std::pair<A, B> const& value)
+{
+    ar & value.first & value.second;
+}
+
+template <typename A, typename B>
+void load_value(input_archive& ar, std::pair<A, B>& value)
+{
+    ar & value.first & value.second;
+}
+
+template <typename... Ts>
+void save_value(output_archive& ar, std::tuple<Ts...> const& value)
+{
+    std::apply([&](auto const&... element) { (void) ((ar & element), ...); },
+        value);
+}
+
+template <typename... Ts>
+void load_value(input_archive& ar, std::tuple<Ts...>& value)
+{
+    std::apply([&](auto&... element) { (void) ((ar & element), ...); }, value);
+}
+
+template <typename T>
+void save_value(output_archive& ar, std::optional<T> const& value)
+{
+    ar & static_cast<std::uint8_t>(value.has_value() ? 1 : 0);
+    if (value)
+        ar & *value;
+}
+
+template <typename T>
+void load_value(input_archive& ar, std::optional<T>& value)
+{
+    std::uint8_t has{};
+    ar & has;
+    if (has != 0 && has != 1)
+        throw serialization_error("corrupt optional flag");
+    if (has)
+    {
+        T element{};
+        ar & element;
+        value = std::move(element);
+    }
+    else
+    {
+        value.reset();
+    }
+}
+
+// --- user-defined types ------------------------------------------------------
+
+template <typename T>
+    requires(!std::is_arithmetic_v<T> && !std::is_enum_v<T> &&
+        (detail::has_member_serialize<T, output_archive> ||
+            detail::has_adl_serialize<T, output_archive>))
+void save_value(output_archive& ar, T const& value)
+{
+    // One serialize() serves both directions, so it takes T& — safe here
+    // because saving never mutates.
+    auto& mutable_value = const_cast<T&>(value);
+    if constexpr (detail::has_member_serialize<T, output_archive>)
+        mutable_value.serialize(ar);
+    else
+        serialize(ar, mutable_value);
+}
+
+template <typename T>
+    requires(!std::is_arithmetic_v<T> && !std::is_enum_v<T> &&
+        (detail::has_member_serialize<T, input_archive> ||
+            detail::has_adl_serialize<T, input_archive>))
+void load_value(input_archive& ar, T& value)
+{
+    if constexpr (detail::has_member_serialize<T, input_archive>)
+        value.serialize(ar);
+    else
+        serialize(ar, value);
+}
+
+// --- convenience entry points ------------------------------------------------
+
+/// Serialize a value into a fresh buffer.
+template <typename T>
+[[nodiscard]] byte_buffer to_bytes(T const& value)
+{
+    byte_buffer buffer;
+    output_archive ar(buffer);
+    ar & value;
+    return buffer;
+}
+
+/// Deserialize a value of type T from a buffer (whole-buffer convenience).
+template <typename T>
+[[nodiscard]] T from_bytes(byte_buffer const& buffer)
+{
+    input_archive ar(buffer);
+    T value{};
+    ar & value;
+    return value;
+}
+
+}    // namespace coal::serialization

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file buffer.hpp
+/// Wire buffer type shared by serialization, parcels and the network.
+///
+/// A plain contiguous byte vector: parcels serialize into it, messages
+/// frame several parcel images inside one, and the simulated network
+/// moves it between localities by value (move).  Endianness is native —
+/// all localities live in one process, and the parcelport interface is
+/// the seam where a real transport would add conversion.
+
+#include <cstdint>
+#include <vector>
+
+namespace coal::serialization {
+
+using byte_buffer = std::vector<std::uint8_t>;
+
+}    // namespace coal::serialization

@@ -1,0 +1,50 @@
+#include <coal/threading/instrumentation.hpp>
+
+namespace coal::threading {
+
+scheduler_snapshot scheduler_snapshot::since(
+    scheduler_snapshot const& earlier) const noexcept
+{
+    scheduler_snapshot delta;
+    delta.tasks_executed = tasks_executed - earlier.tasks_executed;
+    delta.func_time_ns = func_time_ns - earlier.func_time_ns;
+    delta.exec_time_ns = exec_time_ns - earlier.exec_time_ns;
+    delta.background_time_ns =
+        background_time_ns - earlier.background_time_ns;
+    delta.background_calls = background_calls - earlier.background_calls;
+    delta.idle_poll_time_ns =
+        idle_poll_time_ns - earlier.idle_poll_time_ns;
+    delta.tasks_stolen = tasks_stolen - earlier.tasks_stolen;
+    delta.idle_loops = idle_loops - earlier.idle_loops;
+    return delta;
+}
+
+instrumentation::instrumentation(std::size_t workers)
+  : counters_(workers)
+{
+}
+
+scheduler_snapshot instrumentation::snapshot() const noexcept
+{
+    scheduler_snapshot s;
+    for (auto const& block : counters_)
+    {
+        auto const& c = *block;
+        s.tasks_executed += c.tasks_executed.load(std::memory_order_relaxed);
+        s.func_time_ns += c.func_time_ns.load(std::memory_order_relaxed);
+        s.exec_time_ns += c.exec_time_ns.load(std::memory_order_relaxed);
+        s.background_time_ns +=
+            c.background_time_ns.load(std::memory_order_relaxed);
+        s.background_calls +=
+            c.background_calls.load(std::memory_order_relaxed);
+        s.idle_poll_time_ns +=
+            c.idle_poll_time_ns.load(std::memory_order_relaxed);
+        s.tasks_stolen += c.tasks_stolen.load(std::memory_order_relaxed);
+        s.idle_loops += c.idle_loops.load(std::memory_order_relaxed);
+    }
+    s.background_time_ns +=
+        external_background_ns_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}    // namespace coal::threading

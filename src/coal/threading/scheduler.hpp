@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Lightweight-task scheduler: the coal analogue of HPX's threading
+/// subsystem.
+///
+/// Each locality owns one scheduler with N OS worker threads.  Workers
+/// run queued tasks (the analogue of HPX threads), stealing from each
+/// other when their own deque is empty, and — crucially for this paper —
+/// execute registered *background work* between tasks: parcelport send
+/// and receive progress, exactly where HPX performs network protocol
+/// work.  The time spent in each activity is accounted separately
+/// (instrumentation.hpp), which is what makes the paper's
+/// `/threads/background-overhead` metric observable from inside the
+/// runtime.
+///
+/// Waiting inside a task must not block the worker: future::wait calls
+/// back into `run_pending_task()` (help-while-wait), so a single-worker
+/// locality can wait for remote results that require further local
+/// progress.
+
+#include <coal/common/mpmc_queue.hpp>
+#include <coal/common/spinlock.hpp>
+#include <coal/common/unique_function.hpp>
+#include <coal/threading/instrumentation.hpp>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace coal::threading {
+
+using task_type = unique_function<void()>;
+
+/// Background work hook.  Returns true when it made progress; the idle
+/// loop uses that to decide whether to back off.  May be invoked
+/// concurrently from several workers and must be thread-safe.
+using background_fn = std::function<bool()>;
+
+struct scheduler_config
+{
+    unsigned num_workers = 1;
+    bool enable_stealing = true;
+    /// How long an idle worker sleeps between background polls (µs).
+    /// Short enough that receive progress stays responsive.
+    std::int64_t idle_sleep_us = 100;
+    std::string name = "worker";
+};
+
+class scheduler
+{
+public:
+    explicit scheduler(scheduler_config config);
+    ~scheduler();
+
+    scheduler(scheduler const&) = delete;
+    scheduler& operator=(scheduler const&) = delete;
+
+    /// Enqueue a task.  Called from workers (goes to the local deque) or
+    /// any external thread (round-robin across workers).
+    void post(task_type task);
+
+    /// Execute one pending task or one round of background work.
+    /// Returns true if anything ran.  Safe from worker threads (the
+    /// help-while-wait path) and from external threads.
+    bool run_pending_task();
+
+    /// Register a background work hook.  Thread-safe; takes effect for
+    /// subsequent polls.
+    void register_background_work(background_fn fn);
+
+    /// Tasks posted but not yet finished executing.
+    [[nodiscard]] std::uint64_t pending_tasks() const noexcept
+    {
+        return pending_.load(std::memory_order_acquire);
+    }
+
+    /// Block the calling (non-worker) thread until no task is pending.
+    /// Background work keeps running; new posts restart the wait.
+    void wait_idle();
+
+    /// Stop all workers.  Remaining queued tasks are executed first
+    /// (drain), then workers join.
+    void stop();
+
+    [[nodiscard]] bool stopped() const noexcept
+    {
+        return stopped_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] scheduler_snapshot snapshot() const noexcept
+    {
+        return instrumentation_.snapshot();
+    }
+
+    /// Credit externally performed background (network) time, e.g. a
+    /// coalescing flush executed on the timer thread.
+    void add_external_background_ns(std::int64_t ns) noexcept
+    {
+        instrumentation_.add_external_background_ns(ns);
+    }
+
+    [[nodiscard]] unsigned num_workers() const noexcept
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// True when the calling thread is one of *this* scheduler's workers.
+    [[nodiscard]] bool on_worker_thread() const noexcept;
+
+    /// The scheduler owning the calling worker thread, or nullptr when
+    /// called from a non-worker thread.  Used by future::wait to find the
+    /// help-while-wait target.
+    static scheduler* current();
+
+private:
+    struct worker_queue
+    {
+        spinlock lock;
+        std::deque<task_type> tasks;
+    };
+
+    void worker_loop(std::size_t index);
+    bool try_pop(std::size_t index, task_type& out);
+    bool try_steal(std::size_t index, task_type& out);
+    void execute(task_type task, worker_counters& counters);
+    bool do_background_work(worker_counters* counters);
+
+    scheduler_config config_;
+    std::uint64_t const uid_;    ///< process-unique (cache invalidation)
+    instrumentation instrumentation_;
+
+    std::vector<std::unique_ptr<worker_queue>> queues_;
+    std::atomic<std::size_t> next_queue_{0};
+
+    std::vector<background_fn> background_;
+    std::atomic<std::uint64_t> background_version_{0};
+    mutable spinlock background_lock_;
+
+    std::atomic<std::uint64_t> pending_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+
+    std::mutex idle_mutex_;
+    std::condition_variable idle_cv_;
+
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;
+
+    std::vector<std::thread> workers_;
+};
+
+}    // namespace coal::threading

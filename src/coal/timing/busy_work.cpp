@@ -1,0 +1,34 @@
+#include <coal/timing/busy_work.hpp>
+
+#include <coal/common/spinlock.hpp>
+#include <coal/common/stopwatch.hpp>
+
+namespace coal::timing {
+
+void spin_for_us(double us) noexcept
+{
+    spin_for_ns(static_cast<std::int64_t>(us * 1000.0));
+}
+
+void spin_for_ns(std::int64_t ns) noexcept
+{
+    if (ns <= 0)
+        return;
+    std::int64_t const deadline = now_ns() + ns;
+    while (now_ns() < deadline)
+        cpu_relax();
+}
+
+double spin_flops(std::uint64_t n) noexcept
+{
+    double acc = 1.000000001;
+    for (std::uint64_t i = 0; i != n; ++i)
+    {
+        // Dependent FMA chain: one mul + one add per iteration, not
+        // vectorizable because each step feeds the next.
+        acc = acc * 1.0000001 + 1e-12;
+    }
+    return acc;
+}
+
+}    // namespace coal::timing

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file busy_work.hpp
+/// Calibrated CPU busy-work.
+///
+/// The simulated interconnect charges per-message CPU costs (protocol
+/// processing, handshaking, NIC doorbells) as *real CPU time* rather than
+/// sleeps, so the time lands in the runtime's background-work accounting
+/// exactly the way HPX's network progress work does.  `spin_for_us` polls
+/// the steady clock; `spin_flops` burns a deterministic number of
+/// floating-point operations (used by the parquet kernel's compute phase).
+
+#include <cstdint>
+
+namespace coal::timing {
+
+/// Busy-wait for approximately `us` microseconds of wall time.
+/// Accuracy is bounded by clock read latency (tens of ns).
+void spin_for_us(double us) noexcept;
+
+/// Busy-wait for approximately `ns` nanoseconds of wall time.
+void spin_for_ns(std::int64_t ns) noexcept;
+
+/// Execute `n` dependent floating-point multiply-adds and return the
+/// result so the optimizer cannot elide the loop.  Deterministic work,
+/// independent of clock resolution; used for modeled compute.
+double spin_flops(std::uint64_t n) noexcept;
+
+}    // namespace coal::timing

@@ -1,0 +1,175 @@
+#include <coal/timing/deadline_timer.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/common/spinlock.hpp>
+
+#include <utility>
+#include <vector>
+
+namespace coal::timing {
+
+deadline_timer_service::deadline_timer_service(std::int64_t spin_threshold_us)
+  : spin_threshold_us_(spin_threshold_us)
+{
+    thread_ = std::thread([this] { run(); });
+}
+
+deadline_timer_service::~deadline_timer_service()
+{
+    shutdown();
+}
+
+timer_id deadline_timer_service::schedule_at(
+    time_point deadline, timer_callback cb)
+{
+    std::uint64_t id = 0;
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_)
+            return {};
+        id = next_id_++;
+        auto it = queue_.emplace(deadline, std::pair{id, std::move(cb)});
+        index_.emplace(id, it);
+        ++scheduled_;
+    }
+    cv_.notify_one();
+    return {id};
+}
+
+timer_id deadline_timer_service::schedule_after(
+    std::int64_t delay_us, timer_callback cb)
+{
+    return schedule_at(
+        steady_clock::now() + std::chrono::microseconds(delay_us),
+        std::move(cb));
+}
+
+bool deadline_timer_service::cancel(timer_id id)
+{
+    if (!id.valid())
+        return false;
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(id.value);
+    if (it == index_.end())
+        return false;    // already fired (or never existed)
+    queue_.erase(it->second);
+    index_.erase(it);
+    ++cancelled_;
+    return true;
+}
+
+std::size_t deadline_timer_service::pending() const
+{
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+}
+
+timer_service_stats deadline_timer_service::stats() const
+{
+    std::lock_guard lock(mutex_);
+    timer_service_stats s;
+    s.scheduled = scheduled_;
+    s.fired = fired_;
+    s.cancelled = cancelled_;
+    s.mean_lateness_us =
+        fired_ ? lateness_sum_us_ / static_cast<double>(fired_) : 0.0;
+    s.max_lateness_us = lateness_max_us_;
+    return s;
+}
+
+void deadline_timer_service::shutdown()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_)
+        {
+            // Second call: thread may already be joined.
+            if (thread_.joinable())
+            {
+                // fallthrough to join below
+            }
+        }
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void deadline_timer_service::run()
+{
+    std::unique_lock lock(mutex_);
+    for (;;)
+    {
+        if (stopping_)
+            return;
+
+        if (queue_.empty())
+        {
+            cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+            continue;
+        }
+
+        auto const next_deadline = queue_.begin()->first;
+        auto const now = steady_clock::now();
+
+        if (next_deadline > now)
+        {
+            auto const remaining_us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    next_deadline - now)
+                    .count();
+            if (remaining_us > spin_threshold_us_)
+            {
+                // Sleep until shortly before the deadline; a new earlier
+                // timer or shutdown wakes us via the condvar.
+                cv_.wait_until(lock,
+                    next_deadline -
+                        std::chrono::microseconds(spin_threshold_us_));
+                continue;
+            }
+
+            // Close to the deadline: spin with the lock *released* so
+            // schedule/cancel stay responsive, then re-evaluate.
+            lock.unlock();
+            while (steady_clock::now() < next_deadline)
+                cpu_relax();
+            lock.lock();
+            continue;
+        }
+
+        // Deadline reached: detach the entry and run the callback
+        // unlocked so callbacks may schedule/cancel timers.
+        auto it = queue_.begin();
+        std::uint64_t const id = it->second.first;
+        timer_callback cb = std::move(it->second.second);
+        index_.erase(id);
+        queue_.erase(it);
+
+        auto const lateness_us =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    steady_clock::now() - next_deadline)
+                    .count()) /
+            1000.0;
+        ++fired_;
+        lateness_sum_us_ += lateness_us;
+        if (lateness_us > lateness_max_us_)
+            lateness_max_us_ = lateness_us;
+
+        callback_running_ = true;
+        lock.unlock();
+        cb();
+        lock.lock();
+        callback_running_ = false;
+        cv_.notify_all();    // wake synchronize() waiters
+    }
+}
+
+void deadline_timer_service::synchronize()
+{
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !callback_running_; });
+}
+
+}    // namespace coal::timing

@@ -1,0 +1,95 @@
+#include <coal/timing/timer_accuracy.hpp>
+
+#include <coal/common/stopwatch.hpp>
+#include <coal/timing/deadline_timer.hpp>
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace coal::timing {
+
+namespace {
+
+accuracy_result summarize(
+    std::int64_t delay_us, running_stats const& errors)
+{
+    accuracy_result r;
+    r.requested_delay_us = delay_us;
+    r.samples = errors.count();
+    r.mean_error_us = errors.mean();
+    r.max_error_us = errors.max();
+    r.stddev_error_us = errors.stddev();
+    return r;
+}
+
+}    // namespace
+
+accuracy_result measure_deadline_timer_accuracy(
+    std::int64_t delay_us, std::uint64_t samples,
+    std::int64_t spin_threshold_us)
+{
+    deadline_timer_service service(
+        spin_threshold_us < 0 ? 500 : spin_threshold_us);
+    running_stats errors;
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool fired = false;
+
+    for (std::uint64_t i = 0; i != samples; ++i)
+    {
+        auto const deadline =
+            steady_clock::now() + std::chrono::microseconds(delay_us);
+        fired = false;
+
+        service.schedule_at(deadline, [&] {
+            auto const err_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    steady_clock::now() - deadline)
+                    .count();
+            {
+                std::lock_guard lock(m);
+                errors.add(std::abs(static_cast<double>(err_ns)) / 1000.0);
+                fired = true;
+            }
+            cv.notify_one();
+        });
+
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return fired; });
+    }
+
+    return summarize(delay_us, errors);
+}
+
+accuracy_result measure_sleep_timer_accuracy(
+    std::int64_t delay_us, std::uint64_t samples)
+{
+    running_stats errors;
+
+    for (std::uint64_t i = 0; i != samples; ++i)
+    {
+        auto const deadline =
+            steady_clock::now() + std::chrono::microseconds(delay_us);
+
+        // One OS thread per timer, sleeping until the deadline — the
+        // design the paper rejects because wake-up is at the mercy of the
+        // scheduler's time slicing.
+        std::int64_t err_ns = 0;
+        std::thread t([&] {
+            std::this_thread::sleep_until(deadline);
+            err_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                steady_clock::now() - deadline)
+                         .count();
+        });
+        t.join();
+        errors.add(std::abs(static_cast<double>(err_ns)) / 1000.0);
+    }
+
+    return summarize(delay_us, errors);
+}
+
+}    // namespace coal::timing

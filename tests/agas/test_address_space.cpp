@@ -1,0 +1,162 @@
+// AGAS service: locality enumeration, gid allocation/resolution,
+// migration, symbolic names and typed component binding.
+
+#include <coal/agas/address_space.hpp>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace {
+
+using coal::agas::address_space;
+using coal::agas::gid;
+using coal::agas::locality_id;
+
+TEST(AddressSpace, LocalityEnumeration)
+{
+    address_space agas(4);
+    EXPECT_EQ(agas.num_localities(), 4u);
+    EXPECT_EQ(agas.all_localities().size(), 4u);
+
+    auto const remotes = agas.remote_localities(locality_id{1});
+    ASSERT_EQ(remotes.size(), 3u);
+    for (auto r : remotes)
+        EXPECT_NE(r, locality_id{1});
+}
+
+TEST(AddressSpace, ValidityChecks)
+{
+    address_space agas(2);
+    EXPECT_TRUE(agas.is_valid(locality_id{0}));
+    EXPECT_TRUE(agas.is_valid(locality_id{1}));
+    EXPECT_FALSE(agas.is_valid(locality_id{2}));
+    EXPECT_FALSE(agas.is_valid(locality_id::invalid()));
+}
+
+TEST(AddressSpace, AllocateGivesUniqueValidGids)
+{
+    address_space agas(2);
+    std::unordered_set<gid> seen;
+    for (int i = 0; i != 1000; ++i)
+    {
+        gid const g = agas.allocate(locality_id{i % 2 == 0 ? 0u : 1u});
+        EXPECT_TRUE(g.valid());
+        EXPECT_TRUE(seen.insert(g).second);
+    }
+}
+
+TEST(AddressSpace, ResolveUnmigratedUsesOriginBits)
+{
+    address_space agas(3);
+    gid const g = agas.allocate(locality_id{2});
+    EXPECT_EQ(agas.resolve(g), locality_id{2});
+}
+
+TEST(AddressSpace, ResolveInvalidGid)
+{
+    address_space agas(2);
+    EXPECT_FALSE(agas.resolve(gid{}).has_value());
+    // A gid whose origin locality does not exist here.
+    EXPECT_FALSE(agas.resolve(gid(locality_id{9}, 1)).has_value());
+}
+
+TEST(AddressSpace, MigrationRehomesGid)
+{
+    address_space agas(3);
+    gid const g = agas.allocate(locality_id{0});
+
+    EXPECT_TRUE(agas.migrate(g, locality_id{2}));
+    EXPECT_EQ(agas.resolve(g), locality_id{2});
+
+    // Migrating home again removes the override.
+    EXPECT_TRUE(agas.migrate(g, locality_id{0}));
+    EXPECT_EQ(agas.resolve(g), locality_id{0});
+}
+
+TEST(AddressSpace, MigrationRejectsBadArgs)
+{
+    address_space agas(2);
+    gid const g = agas.allocate(locality_id{0});
+    EXPECT_FALSE(agas.migrate(g, locality_id{7}));
+    EXPECT_FALSE(agas.migrate(gid{}, locality_id{1}));
+}
+
+TEST(AddressSpace, SymbolicNames)
+{
+    address_space agas(2);
+    gid const g = agas.allocate(locality_id{1});
+
+    EXPECT_TRUE(agas.register_name("objects/main", g));
+    EXPECT_EQ(agas.resolve_name("objects/main"), g);
+    EXPECT_FALSE(agas.resolve_name("objects/other").has_value());
+
+    // Names are unique.
+    gid const h = agas.allocate(locality_id{0});
+    EXPECT_FALSE(agas.register_name("objects/main", h));
+
+    EXPECT_TRUE(agas.unregister_name("objects/main"));
+    EXPECT_FALSE(agas.unregister_name("objects/main"));
+    EXPECT_FALSE(agas.resolve_name("objects/main").has_value());
+}
+
+TEST(AddressSpace, NameRejectsEmptyOrInvalid)
+{
+    address_space agas(1);
+    EXPECT_FALSE(agas.register_name("", agas.allocate(locality_id{0})));
+    EXPECT_FALSE(agas.register_name("x", gid{}));
+}
+
+TEST(AddressSpace, ComponentBindFindUnbind)
+{
+    address_space agas(2);
+    auto obj = std::make_shared<std::string>("component state");
+    gid const g = agas.bind(locality_id{0}, obj);
+
+    auto found = agas.find<std::string>(g);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, "component state");
+    EXPECT_EQ(agas.component_count(), 1u);
+
+    // Type mismatch yields nullptr, not a bad cast.
+    EXPECT_EQ(agas.find<int>(g), nullptr);
+
+    EXPECT_TRUE(agas.unbind(g));
+    EXPECT_EQ(agas.find<std::string>(g), nullptr);
+    EXPECT_FALSE(agas.unbind(g));
+    EXPECT_EQ(agas.component_count(), 0u);
+}
+
+TEST(AddressSpace, ConcurrentAllocationIsRaceFree)
+{
+    address_space agas(2);
+    constexpr int threads = 4;
+    constexpr int per_thread = 5000;
+    std::vector<std::vector<gid>> results(threads);
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&agas, &results, t] {
+            results[static_cast<std::size_t>(t)].reserve(per_thread);
+            for (int i = 0; i != per_thread; ++i)
+                results[static_cast<std::size_t>(t)].push_back(
+                    agas.allocate(locality_id{static_cast<std::uint32_t>(
+                        t % 2)}));
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    std::unordered_set<gid> all;
+    for (auto const& batch : results)
+        for (auto g : batch)
+            EXPECT_TRUE(all.insert(g).second);
+    EXPECT_EQ(all.size(),
+        static_cast<std::size_t>(threads) * per_thread);
+}
+
+}    // namespace

@@ -1,0 +1,87 @@
+#include <coal/agas/gid.hpp>
+
+#include <coal/serialization/archive.hpp>
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace {
+
+using coal::agas::gid;
+using coal::agas::locality_id;
+
+TEST(LocalityId, DefaultIsInvalid)
+{
+    locality_id id;
+    EXPECT_FALSE(id.valid());
+    EXPECT_EQ(id, locality_id::invalid());
+}
+
+TEST(LocalityId, RootIsZero)
+{
+    EXPECT_EQ(locality_id::root().value(), 0u);
+    EXPECT_TRUE(locality_id::root().valid());
+}
+
+TEST(LocalityId, Ordering)
+{
+    EXPECT_LT(locality_id{1}, locality_id{2});
+    EXPECT_EQ(locality_id{3}, locality_id{3});
+}
+
+TEST(LocalityId, SerializeRoundTrip)
+{
+    locality_id const id{42};
+    auto const copy =
+        coal::serialization::from_bytes<locality_id>(
+            coal::serialization::to_bytes(id));
+    EXPECT_EQ(copy, id);
+}
+
+TEST(Gid, DefaultIsInvalid)
+{
+    gid g;
+    EXPECT_FALSE(g.valid());
+    EXPECT_EQ(g.raw(), 0u);
+}
+
+TEST(Gid, FieldPacking)
+{
+    gid const g(locality_id{5}, 12345);
+    EXPECT_EQ(g.origin().value(), 5u);
+    EXPECT_EQ(g.sequence(), 12345u);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(Gid, MaxSequencePreserved)
+{
+    std::uint64_t const max_seq = gid::sequence_mask;
+    gid const g(locality_id{65535}, max_seq);
+    EXPECT_EQ(g.origin().value(), 65535u);
+    EXPECT_EQ(g.sequence(), max_seq);
+}
+
+TEST(Gid, SequenceTruncatesToMask)
+{
+    gid const g(locality_id{0}, gid::sequence_mask + 5);
+    EXPECT_EQ(g.sequence(), 4u);    // wrapped into the 48-bit field
+}
+
+TEST(Gid, DistinctInputsGiveDistinctGids)
+{
+    std::unordered_set<gid> seen;
+    for (std::uint32_t loc = 0; loc != 8; ++loc)
+        for (std::uint64_t seq = 1; seq != 100; ++seq)
+            EXPECT_TRUE(seen.insert(gid(locality_id{loc}, seq)).second);
+}
+
+TEST(Gid, SerializeRoundTrip)
+{
+    gid const g(locality_id{3}, 999);
+    auto const copy = coal::serialization::from_bytes<gid>(
+        coal::serialization::to_bytes(g));
+    EXPECT_EQ(copy, g);
+}
+
+}    // namespace

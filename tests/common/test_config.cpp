@@ -1,0 +1,93 @@
+#include <coal/common/config.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace {
+
+using coal::config;
+using coal::parse_bool;
+
+TEST(Config, DefaultsWhenMissing)
+{
+    config c;
+    EXPECT_FALSE(c.contains("foo"));
+    EXPECT_EQ(c.get_string("foo", "bar"), "bar");
+    EXPECT_EQ(c.get_int("foo", 7), 7);
+    EXPECT_DOUBLE_EQ(c.get_double("foo", 1.5), 1.5);
+    EXPECT_TRUE(c.get_bool("foo", true));
+}
+
+TEST(Config, SetAndGet)
+{
+    config c;
+    c.set("a.b", "12");
+    EXPECT_TRUE(c.contains("a.b"));
+    EXPECT_EQ(c.get_int("a.b", 0), 12);
+    c.set("a.b", "13");    // override
+    EXPECT_EQ(c.get_int("a.b", 0), 13);
+}
+
+TEST(Config, TypedGetters)
+{
+    config c;
+    c.set("i", "-42");
+    c.set("d", "2.75");
+    c.set("b1", "yes");
+    c.set("b0", "off");
+    c.set("junk", "not-a-number");
+
+    EXPECT_EQ(c.get_int("i", 0), -42);
+    EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 2.75);
+    EXPECT_TRUE(c.get_bool("b1", false));
+    EXPECT_FALSE(c.get_bool("b0", true));
+    EXPECT_EQ(c.get_int("junk", 5), 5);
+    EXPECT_DOUBLE_EQ(c.get_double("junk", 5.5), 5.5);
+}
+
+TEST(Config, ParseArgsSeparatesPositional)
+{
+    config c;
+    char const* argv[] = {"prog", "alpha=1", "positional", "beta=two",
+        "=weird"};
+    auto const positional = c.parse_args(5, argv);
+
+    EXPECT_EQ(c.get_int("alpha", 0), 1);
+    EXPECT_EQ(c.get_string("beta", ""), "two");
+    ASSERT_EQ(positional.size(), 2u);
+    EXPECT_EQ(positional[0], "positional");
+    EXPECT_EQ(positional[1], "=weird");
+}
+
+TEST(Config, EnvironmentImport)
+{
+    ::setenv("COAL_TEST_KEY_ONE", "99", 1);
+    config c;
+    c.load_environment();
+    EXPECT_EQ(c.get_int("test.key.one", 0), 99);
+    ::unsetenv("COAL_TEST_KEY_ONE");
+}
+
+TEST(Config, EntriesSorted)
+{
+    config c;
+    c.set("zz", "1");
+    c.set("aa", "2");
+    auto const entries = c.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].first, "aa");
+    EXPECT_EQ(entries[1].first, "zz");
+}
+
+TEST(ParseBool, AllSpellings)
+{
+    for (auto const* t : {"1", "true", "yes", "on", "TRUE", "Yes", "ON"})
+        EXPECT_EQ(parse_bool(t), true) << t;
+    for (auto const* f : {"0", "false", "no", "off", "FALSE", "No", "OFF"})
+        EXPECT_EQ(parse_bool(f), false) << f;
+    EXPECT_FALSE(parse_bool("maybe").has_value());
+    EXPECT_FALSE(parse_bool("").has_value());
+}
+
+}    // namespace

@@ -1,0 +1,115 @@
+// Histogram tests — layout must match the HPX wire format the
+// /coalescing/time/parcel-arrival-histogram counter reports.
+
+#include <coal/common/histogram.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::concurrent_histogram;
+using coal::histogram;
+using coal::histogram_params;
+
+TEST(Histogram, BucketWidthRoundsUp)
+{
+    histogram_params p{0, 100, 30};
+    EXPECT_EQ(p.bucket_width(), 4);    // ceil(100/30)
+    histogram_params q{0, 90, 30};
+    EXPECT_EQ(q.bucket_width(), 3);
+}
+
+TEST(Histogram, ValuesLandInCorrectBuckets)
+{
+    histogram h(histogram_params{0, 100, 10});    // width 10
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(99);
+
+    auto const& buckets = h.buckets();
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[9], 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowFoldIntoEdges)
+{
+    histogram h(histogram_params{10, 20, 5});
+    h.add(-100);
+    h.add(9);
+    h.add(20);
+    h.add(1000000);
+    auto const& buckets = h.buckets();
+    EXPECT_EQ(buckets.front(), 2u);
+    EXPECT_EQ(buckets.back(), 2u);
+}
+
+TEST(Histogram, SerializeLayoutIsMinMaxWidthCounts)
+{
+    histogram h(histogram_params{5, 25, 4});
+    h.add(6);
+    h.add(24);
+    auto const wire = h.serialize();
+    ASSERT_EQ(wire.size(), 3u + 4u);
+    EXPECT_EQ(wire[0], 5);
+    EXPECT_EQ(wire[1], 25);
+    EXPECT_EQ(wire[2], 5);    // ceil(20/4)
+    EXPECT_EQ(std::accumulate(wire.begin() + 3, wire.end(), std::int64_t{0}),
+        2);
+}
+
+TEST(Histogram, ResetZeroesCounts)
+{
+    histogram h(histogram_params{0, 10, 2});
+    h.add(1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    for (auto c : h.buckets())
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(ConcurrentHistogram, CountsAreExactUnderContention)
+{
+    concurrent_histogram h(histogram_params{0, 1000, 10});
+    constexpr int threads = 4;
+    constexpr int per_thread = 25000;
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i != per_thread; ++i)
+                h.add((t * 31 + i) % 1000);
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    EXPECT_EQ(h.total(),
+        static_cast<std::uint64_t>(threads) * per_thread);
+    auto const wire = h.serialize();
+    EXPECT_EQ(std::accumulate(wire.begin() + 3, wire.end(), std::int64_t{0}),
+        static_cast<std::int64_t>(threads) * per_thread);
+}
+
+TEST(ConcurrentHistogram, SerializeMatchesSingleThreadedReference)
+{
+    histogram_params const p{0, 100, 10};
+    concurrent_histogram ch(p);
+    histogram h(p);
+    for (int i = -10; i != 150; ++i)
+    {
+        ch.add(i);
+        h.add(i);
+    }
+    EXPECT_EQ(ch.serialize(), h.serialize());
+}
+
+}    // namespace

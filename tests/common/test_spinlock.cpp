@@ -1,0 +1,67 @@
+#include <coal/common/spinlock.hpp>
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::spinlock;
+
+TEST(Spinlock, BasicLockUnlock)
+{
+    spinlock lock;
+    lock.lock();
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld)
+{
+    spinlock lock;
+    lock.lock();
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(Spinlock, WorksWithLockGuard)
+{
+    spinlock lock;
+    {
+        std::lock_guard guard(lock);
+        EXPECT_FALSE(lock.try_lock());
+    }
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(Spinlock, MutualExclusionUnderContention)
+{
+    spinlock lock;
+    long long counter = 0;    // deliberately unprotected except by `lock`
+    constexpr int threads = 4;
+    constexpr int per_thread = 50000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&] {
+            for (int i = 0; i != per_thread; ++i)
+            {
+                std::lock_guard guard(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    EXPECT_EQ(counter, static_cast<long long>(threads) * per_thread);
+}
+
+}    // namespace

@@ -1,0 +1,187 @@
+// Unit tests for the statistics helpers the evaluation harness relies on
+// (Pearson correlation is how the paper quantifies Figs. 4 and 7).
+
+#include <coal/common/stats.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace {
+
+using coal::fit_line;
+using coal::mean_of;
+using coal::median_of;
+using coal::pearson_correlation;
+using coal::running_stats;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.relative_stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    running_stats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    running_stats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum of squared deviations is 32.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, RelativeStddevMatchesDefinition)
+{
+    running_stats s;
+    for (double x : {10.0, 11.0, 9.0, 10.0})
+        s.add(x);
+    EXPECT_NEAR(s.relative_stddev(), s.stddev() / s.mean(), 1e-15);
+}
+
+TEST(RunningStats, ResetClearsEverything)
+{
+    running_stats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    std::mt19937 rng(7);
+    std::normal_distribution<double> dist(5.0, 2.0);
+
+    running_stats all, a, b;
+    for (int i = 0; i != 1000; ++i)
+    {
+        double const x = dist(rng);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    running_stats a, b;
+    a.add(3.0);
+    a.merge(b);    // no-op
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);    // adopts
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Pearson, PerfectPositive)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero)
+{
+    std::vector<double> x{1, 2, 3};
+    std::vector<double> y{5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Pearson, TooShortIsZero)
+{
+    std::vector<double> x{1};
+    std::vector<double> y{2};
+    EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Pearson, InvariantUnderAffineTransform)
+{
+    std::vector<double> x{1.0, 4.0, 2.0, 8.0, 5.0, 7.0};
+    std::vector<double> y{2.0, 5.0, 3.0, 9.0, 4.0, 8.0};
+    double const r = pearson_correlation(x, y);
+
+    std::vector<double> x2 = x, y2 = y;
+    for (auto& v : x2)
+        v = 3.0 * v + 11.0;
+    for (auto& v : y2)
+        v = 0.5 * v - 2.0;
+    EXPECT_NEAR(pearson_correlation(x2, y2), r, 1e-12);
+}
+
+TEST(Pearson, NoisyLinearIsStrong)
+{
+    std::mt19937 rng(13);
+    std::normal_distribution<double> noise(0.0, 0.1);
+    std::vector<double> x, y;
+    for (int i = 0; i != 200; ++i)
+    {
+        double const v = static_cast<double>(i) / 100.0;
+        x.push_back(v);
+        y.push_back(2.0 * v + noise(rng));
+    }
+    EXPECT_GT(pearson_correlation(x, y), 0.95);
+}
+
+TEST(FitLine, RecoversSlopeAndIntercept)
+{
+    std::vector<double> x{0, 1, 2, 3, 4};
+    std::vector<double> y{1, 3, 5, 7, 9};    // y = 2x + 1
+    auto const fit = fit_line(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(FitLine, DegenerateInputs)
+{
+    std::vector<double> x{1, 1, 1};
+    std::vector<double> y{1, 2, 3};
+    auto const fit = fit_line(x, y);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+}
+
+TEST(MeanMedian, Basics)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+    EXPECT_DOUBLE_EQ(median_of(xs), 3.0);
+    EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+    EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+}    // namespace

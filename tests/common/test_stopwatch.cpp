@@ -1,0 +1,71 @@
+#include <coal/common/stopwatch.hpp>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using coal::interval_accumulator;
+using coal::now_ns;
+using coal::now_us;
+using coal::stopwatch;
+
+TEST(Stopwatch, MonotonicClock)
+{
+    auto const a = now_ns();
+    auto const b = now_ns();
+    EXPECT_GE(b, a);
+    EXPECT_GE(now_us(), a / 1000);
+}
+
+TEST(Stopwatch, MeasuresSleep)
+{
+    stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto const us = sw.elapsed_us();
+    EXPECT_GE(us, 18000);
+    EXPECT_LT(us, 2000000);    // sanity upper bound (loaded CI machine)
+}
+
+TEST(Stopwatch, RestartResets)
+{
+    stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sw.restart();
+    EXPECT_LT(sw.elapsed_us(), 10000);
+}
+
+TEST(Stopwatch, UnitConversionsAgree)
+{
+    stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto const ns = sw.elapsed_ns();
+    EXPECT_NEAR(sw.elapsed_ms(), static_cast<double>(ns) / 1e6, 5.0);
+    EXPECT_NEAR(sw.elapsed_s(), static_cast<double>(ns) / 1e9, 0.005);
+}
+
+TEST(IntervalAccumulator, SumsOnlyActiveIntervals)
+{
+    interval_accumulator acc;
+    acc.resume();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    acc.suspend();
+
+    auto const after_first = acc.total_ns();
+    EXPECT_GE(after_first, 8000000);
+
+    // Suspended time must not count.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(acc.total_ns(), after_first);
+
+    acc.resume();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    acc.suspend();
+    EXPECT_GT(acc.total_ns(), after_first);
+
+    acc.reset();
+    EXPECT_EQ(acc.total_ns(), 0);
+}
+
+}    // namespace

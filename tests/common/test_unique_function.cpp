@@ -1,0 +1,148 @@
+// unique_function is the scheduler's task type; these tests pin down the
+// move-only, SBO and lifetime behaviour the runtime depends on.
+
+#include <coal/common/unique_function.hpp>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using coal::unique_function;
+
+TEST(UniqueFunction, EmptyIsFalsy)
+{
+    unique_function<void()> f;
+    EXPECT_FALSE(f);
+    unique_function<void()> g(nullptr);
+    EXPECT_FALSE(g);
+}
+
+TEST(UniqueFunction, CallsLambda)
+{
+    int hits = 0;
+    unique_function<void()> f([&] { ++hits; });
+    ASSERT_TRUE(f);
+    f();
+    f();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, ReturnsValueAndTakesArguments)
+{
+    unique_function<int(int, int)> add([](int a, int b) { return a + b; });
+    EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture)
+{
+    auto p = std::make_unique<int>(99);
+    unique_function<int()> f([p = std::move(p)] { return *p; });
+    EXPECT_EQ(f(), 99);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership)
+{
+    int hits = 0;
+    unique_function<void()> a([&] { ++hits; });
+    unique_function<void()> b(std::move(a));
+    EXPECT_FALSE(a);    // NOLINT(bugprone-use-after-move) — testing it
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget)
+{
+    int first = 0, second = 0;
+    unique_function<void()> a([&] { ++first; });
+    unique_function<void()> b([&] { ++second; });
+    b = std::move(a);
+    b();
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 0);
+}
+
+TEST(UniqueFunction, SelfMoveAssignIsSafe)
+{
+    int hits = 0;
+    unique_function<void()> f([&] { ++hits; });
+    auto* alias = &f;
+    f = std::move(*alias);
+    ASSERT_TRUE(f);
+    f();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, LargeCaptureGoesToHeapAndWorks)
+{
+    // 256 bytes of captured state — far beyond the SBO buffer.
+    std::array<std::uint64_t, 32> big{};
+    big.fill(7);
+    unique_function<std::uint64_t()> f([big] {
+        std::uint64_t sum = 0;
+        for (auto v : big)
+            sum += v;
+        return sum;
+    });
+    EXPECT_EQ(f(), 7u * 32u);
+
+    unique_function<std::uint64_t()> g(std::move(f));
+    EXPECT_EQ(g(), 7u * 32u);
+}
+
+TEST(UniqueFunction, DestructorRunsCaptureDestructors)
+{
+    auto counter = std::make_shared<int>(0);
+    struct bump_on_destroy
+    {
+        std::shared_ptr<int> n;
+        ~bump_on_destroy()
+        {
+            if (n)
+                ++*n;
+        }
+        bump_on_destroy(std::shared_ptr<int> p)
+          : n(std::move(p))
+        {
+        }
+        bump_on_destroy(bump_on_destroy&&) = default;
+        void operator()() const
+        {
+        }
+    };
+    {
+        unique_function<void()> f(bump_on_destroy{counter});
+        f();
+        EXPECT_EQ(*counter, 0);
+    }
+    // Exactly one live instance was destroyed (moves must not double-run).
+    EXPECT_EQ(*counter, 1);
+}
+
+TEST(UniqueFunction, ResetDestroysTarget)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    unique_function<void()> f([token = std::move(token)] {});
+    EXPECT_FALSE(watch.expired());
+    f.reset();
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(f);
+}
+
+TEST(UniqueFunction, StoredInVector)
+{
+    std::vector<unique_function<int()>> tasks;
+    for (int i = 0; i != 20; ++i)
+        tasks.emplace_back([i] { return i * i; });
+    // Force reallocation moves.
+    tasks.reserve(200);
+    for (int i = 0; i != 20; ++i)
+        EXPECT_EQ(tasks[static_cast<std::size_t>(i)](), i * i);
+}
+
+}    // namespace

@@ -1,0 +1,128 @@
+// Per-action coalescing statistics (the paper's five /coalescing
+// counters) in isolation.
+
+#include <coal/core/coalescing_counters.hpp>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using coal::coalescing::coalescing_counters;
+
+TEST(CoalescingCounters, StartEmpty)
+{
+    coalescing_counters c;
+    EXPECT_EQ(c.parcels(), 0u);
+    EXPECT_EQ(c.messages(), 0u);
+    EXPECT_EQ(c.gap_count(), 0u);
+    EXPECT_DOUBLE_EQ(c.average_parcels_per_message(), 0.0);
+    EXPECT_DOUBLE_EQ(c.average_arrival_us(), 0.0);
+}
+
+TEST(CoalescingCounters, FirstParcelHasNoGap)
+{
+    coalescing_counters c;
+    EXPECT_EQ(c.record_parcel(), -1);
+    EXPECT_EQ(c.parcels(), 1u);
+    EXPECT_EQ(c.gap_count(), 0u);
+}
+
+TEST(CoalescingCounters, GapsAreMeasured)
+{
+    coalescing_counters c;
+    c.record_parcel();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    auto const gap = c.record_parcel();
+    EXPECT_GE(gap, 2000000);    // >= 2 ms in ns
+    EXPECT_EQ(c.gap_count(), 1u);
+    EXPECT_GE(c.average_arrival_us(), 2000.0);
+}
+
+TEST(CoalescingCounters, ParcelsPerMessageAverage)
+{
+    coalescing_counters c;
+    c.record_message(4);
+    c.record_message(8);
+    EXPECT_EQ(c.messages(), 2u);
+    EXPECT_EQ(c.parcels_in_messages(), 12u);
+    EXPECT_DOUBLE_EQ(c.average_parcels_per_message(), 6.0);
+}
+
+TEST(CoalescingCounters, HistogramWireLayout)
+{
+    coalescing_counters c({0, 1000, 10});
+    c.record_parcel();
+    c.record_parcel();    // one gap, sub-millisecond
+    auto const wire = c.arrival_histogram();
+    ASSERT_EQ(wire.size(), 13u);
+    EXPECT_EQ(wire[0], 0);
+    EXPECT_EQ(wire[1], 1000);
+    EXPECT_EQ(wire[2], 100);
+    std::int64_t total = 0;
+    for (std::size_t i = 3; i < wire.size(); ++i)
+        total += wire[i];
+    EXPECT_EQ(total, 1);
+}
+
+TEST(CoalescingCounters, ResetClearsAll)
+{
+    coalescing_counters c;
+    c.record_parcel();
+    c.record_parcel();
+    c.record_message(2);
+    c.reset();
+    EXPECT_EQ(c.parcels(), 0u);
+    EXPECT_EQ(c.messages(), 0u);
+    EXPECT_EQ(c.gap_count(), 0u);
+    // Gap tracking restarts: next parcel is "first" again.
+    EXPECT_EQ(c.record_parcel(), -1);
+}
+
+TEST(CoalescingCounters, ResetHistogramKeepsScalars)
+{
+    coalescing_counters c;
+    c.record_parcel();
+    c.record_parcel();
+    c.record_message(2);
+    c.reset_arrival_histogram();
+    EXPECT_EQ(c.parcels(), 2u);
+    EXPECT_EQ(c.messages(), 1u);
+
+    auto const wire = c.arrival_histogram();
+    std::int64_t total = 0;
+    for (std::size_t i = 3; i < wire.size(); ++i)
+        total += wire[i];
+    EXPECT_EQ(total, 0);
+}
+
+TEST(CoalescingCounters, ConcurrentRecordingConserves)
+{
+    coalescing_counters c;
+    constexpr int threads = 4;
+    constexpr int per_thread = 10000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&c] {
+            for (int i = 0; i != per_thread; ++i)
+            {
+                c.record_parcel();
+                if (i % 8 == 7)
+                    c.record_message(8);
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    EXPECT_EQ(c.parcels(), static_cast<std::uint64_t>(threads) * per_thread);
+    EXPECT_EQ(c.gap_count(),
+        static_cast<std::uint64_t>(threads) * per_thread - 1);
+    EXPECT_EQ(c.parcels_in_messages(),
+        static_cast<std::uint64_t>(threads) * per_thread);
+}
+
+}    // namespace

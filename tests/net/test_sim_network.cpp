@@ -1,0 +1,224 @@
+// Simulated interconnect: delivery, ordering, latency, stats, drain and
+// shutdown behaviour.
+
+#include <coal/net/sim_network.hpp>
+
+#include <coal/common/stopwatch.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::net::cost_model;
+using coal::net::sim_network;
+using coal::serialization::byte_buffer;
+
+cost_model cheap_model()
+{
+    cost_model m;
+    m.send_overhead_us = 0.0;
+    m.send_per_kb_us = 0.0;
+    m.recv_overhead_us = 0.0;
+    m.wire_latency_us = 0.0;
+    m.bandwidth_bytes_per_us = 0.0;    // free transmit
+    return m;
+}
+
+byte_buffer make_payload(std::size_t n, std::uint8_t fill)
+{
+    return byte_buffer(n, fill);
+}
+
+TEST(SimNetwork, DeliversToCorrectHandlerWithSource)
+{
+    sim_network net(3, cheap_model());
+    std::atomic<int> delivered{0};
+    std::atomic<std::uint32_t> seen_src{99};
+
+    net.set_delivery_handler(2, [&](std::uint32_t src, byte_buffer&& buf) {
+        seen_src = src;
+        EXPECT_EQ(buf.size(), 10u);
+        ++delivered;
+    });
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ADD_FAILURE(); });
+
+    net.send(0, 2, make_payload(10, 0xab));
+    net.drain();
+    EXPECT_EQ(delivered.load(), 1);
+    EXPECT_EQ(seen_src.load(), 0u);
+}
+
+TEST(SimNetwork, PayloadContentSurvives)
+{
+    sim_network net(2, cheap_model());
+    byte_buffer received;
+    std::mutex m;
+
+    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&& buf) {
+        std::lock_guard lock(m);
+        received = std::move(buf);
+    });
+
+    byte_buffer payload{1, 2, 3, 4, 5};
+    net.send(0, 1, byte_buffer(payload));
+    net.drain();
+    std::lock_guard lock(m);
+    EXPECT_EQ(received, payload);
+}
+
+TEST(SimNetwork, PerLinkFifoOrder)
+{
+    sim_network net(2, cheap_model());
+    std::vector<std::uint8_t> order;
+    std::mutex m;
+
+    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&& buf) {
+        std::lock_guard lock(m);
+        order.push_back(buf[0]);
+    });
+
+    for (std::uint8_t i = 0; i != 50; ++i)
+        net.send(0, 1, make_payload(4, i));
+    net.drain();
+
+    std::lock_guard lock(m);
+    ASSERT_EQ(order.size(), 50u);
+    for (std::uint8_t i = 0; i != 50; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SimNetwork, LatencyDelaysDelivery)
+{
+    cost_model m = cheap_model();
+    m.wire_latency_us = 20000;    // 20 ms
+    sim_network net(2, m);
+
+    std::atomic<std::int64_t> delivered_at{0};
+    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&&) {
+        delivered_at = coal::now_us();
+    });
+
+    std::int64_t const sent_at = coal::now_us();
+    net.send(0, 1, make_payload(8, 1));
+    net.drain();
+    EXPECT_GE(delivered_at.load() - sent_at, 20000);
+}
+
+TEST(SimNetwork, BandwidthSerializesLink)
+{
+    cost_model m = cheap_model();
+    m.bandwidth_bytes_per_us = 10.0;    // 10 bytes/µs: 1000 B = 100 µs
+    sim_network net(2, m);
+
+    std::atomic<int> delivered{0};
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+
+    coal::stopwatch sw;
+    for (int i = 0; i != 10; ++i)
+        net.send(0, 1, make_payload(1000, 2));
+    net.drain();
+    // 10 messages × 100 µs serialized transmission = at least 1 ms.
+    EXPECT_GE(sw.elapsed_us(), 1000);
+    EXPECT_EQ(delivered.load(), 10);
+}
+
+TEST(SimNetwork, SenderCpuCostBurnsOnCallingThread)
+{
+    cost_model m = cheap_model();
+    m.send_overhead_us = 500.0;
+    sim_network net(2, m);
+    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+
+    coal::stopwatch sw;
+    net.send(0, 1, make_payload(4, 0));
+    // send() itself must have taken >= 500 µs of caller time.
+    EXPECT_GE(sw.elapsed_us(), 500);
+    net.drain();
+}
+
+TEST(SimNetwork, StatsCountMessagesAndBytes)
+{
+    sim_network net(2, cheap_model());
+    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(0, [](std::uint32_t, byte_buffer&&) {});
+
+    net.send(0, 1, make_payload(100, 0));
+    net.send(0, 1, make_payload(50, 0));
+    net.send(1, 0, make_payload(7, 0));
+    net.drain();
+
+    auto const s = net.stats();
+    EXPECT_EQ(s.messages_sent, 3u);
+    EXPECT_EQ(s.bytes_sent, 157u);
+    EXPECT_EQ(s.messages_delivered, 3u);
+    EXPECT_EQ(s.bytes_delivered, 157u);
+
+    EXPECT_EQ(net.link(0, 1).messages, 2u);
+    EXPECT_EQ(net.link(0, 1).bytes, 150u);
+    EXPECT_EQ(net.link(1, 0).messages, 1u);
+    EXPECT_EQ(net.link(1, 1).messages, 0u);
+}
+
+TEST(SimNetwork, InFlightAndDrain)
+{
+    cost_model m = cheap_model();
+    m.wire_latency_us = 30000;
+    sim_network net(2, m);
+    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+
+    net.send(0, 1, make_payload(4, 0));
+    EXPECT_EQ(net.in_flight(), 1u);
+    net.drain();
+    EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(SimNetwork, MissingHandlerDropsWithoutCrash)
+{
+    sim_network net(2, cheap_model());
+    net.send(0, 1, make_payload(4, 0));
+    net.drain();    // message dropped, in_flight still reaches 0
+    EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(SimNetwork, SendAfterShutdownIsIgnored)
+{
+    sim_network net(2, cheap_model());
+    std::atomic<int> delivered{0};
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+    net.shutdown();
+    net.send(0, 1, make_payload(4, 0));
+    EXPECT_EQ(delivered.load(), 0);
+}
+
+TEST(SimNetwork, ConcurrentSendersConserveMessages)
+{
+    sim_network net(4, cheap_model());
+    std::atomic<int> delivered{0};
+    for (std::uint32_t d = 0; d != 4; ++d)
+        net.set_delivery_handler(
+            d, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+
+    constexpr int per_thread = 2000;
+    std::vector<std::thread> senders;
+    for (std::uint32_t t = 0; t != 3; ++t)
+    {
+        senders.emplace_back([&net, t] {
+            for (int i = 0; i != per_thread; ++i)
+                net.send(t, (t + 1) % 4, byte_buffer{1, 2, 3});
+        });
+    }
+    for (auto& s : senders)
+        s.join();
+    net.drain();
+    EXPECT_EQ(delivered.load(), 3 * per_thread);
+}
+
+}    // namespace

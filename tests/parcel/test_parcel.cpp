@@ -1,0 +1,168 @@
+// Parcel wire format and message framing — what coalescing actually
+// batches.  Conservation and corruption tests here guard the experiments
+// against silent message loss.
+
+#include <coal/parcel/parcel.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using coal::parcel::decode_message;
+using coal::parcel::encode_message;
+using coal::parcel::message_wire_size;
+using coal::parcel::parcel;
+using coal::serialization::byte_buffer;
+using coal::serialization::serialization_error;
+
+parcel make_parcel(std::uint32_t src, std::uint32_t dst, std::uint64_t action,
+    std::size_t payload_size, std::uint8_t fill)
+{
+    parcel p;
+    p.source = src;
+    p.dest = dst;
+    p.action = action;
+    p.continuation = action ^ 0xff;
+    p.arguments = byte_buffer(payload_size, fill);
+    return p;
+}
+
+TEST(Parcel, WireSizeIsHeaderPlusPayload)
+{
+    auto const p = make_parcel(0, 1, 42, 100, 0);
+    EXPECT_EQ(p.wire_size(), parcel::header_bytes + 100);
+}
+
+TEST(Message, SingleParcelRoundTrip)
+{
+    std::vector<parcel> in;
+    in.push_back(make_parcel(3, 7, 0xabcdef, 33, 0x5a));
+
+    auto const wire = encode_message(in);
+    EXPECT_EQ(wire.size(), message_wire_size(in));
+
+    auto const out = decode_message(wire);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].source, 3u);
+    EXPECT_EQ(out[0].dest, 7u);
+    EXPECT_EQ(out[0].action, 0xabcdefu);
+    EXPECT_EQ(out[0].continuation, 0xabcdefu ^ 0xff);
+    EXPECT_EQ(out[0].arguments, byte_buffer(33, 0x5a));
+}
+
+TEST(Message, EmptyMessage)
+{
+    std::vector<parcel> const none;
+    auto const wire = encode_message(none);
+    EXPECT_EQ(decode_message(wire).size(), 0u);
+}
+
+TEST(Message, CoalescedBatchPreservesOrderAndContent)
+{
+    std::vector<parcel> in;
+    for (std::uint8_t i = 0; i != 100; ++i)
+        in.push_back(make_parcel(0, 1, 1000 + i, i, i));
+
+    auto const out = decode_message(encode_message(in));
+    ASSERT_EQ(out.size(), 100u);
+    for (std::uint8_t i = 0; i != 100; ++i)
+    {
+        EXPECT_EQ(out[i].action, 1000u + i);
+        EXPECT_EQ(out[i].arguments.size(), i);
+        if (i > 0)
+        {
+            EXPECT_EQ(out[i].arguments[0], i);
+        }
+    }
+}
+
+TEST(Message, ParcelsWithEmptyPayloads)
+{
+    std::vector<parcel> in;
+    in.push_back(make_parcel(0, 1, 5, 0, 0));
+    in.push_back(make_parcel(0, 1, 6, 0, 0));
+    auto const out = decode_message(encode_message(in));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].arguments.empty());
+}
+
+TEST(Message, ByteConservationProperty)
+{
+    // Total payload bytes in == total payload bytes out, across random
+    // batch shapes (the framing adds exactly the documented header).
+    std::mt19937 rng(42);
+    std::uniform_int_distribution<int> batch(1, 64);
+    std::uniform_int_distribution<int> size(0, 300);
+
+    for (int round = 0; round != 20; ++round)
+    {
+        std::vector<parcel> in;
+        std::size_t payload_in = 0;
+        int const n = batch(rng);
+        for (int i = 0; i != n; ++i)
+        {
+            auto const s = static_cast<std::size_t>(size(rng));
+            payload_in += s;
+            in.push_back(make_parcel(0, 1,
+                static_cast<std::uint64_t>(i), s,
+                static_cast<std::uint8_t>(i)));
+        }
+
+        auto const wire = encode_message(in);
+        std::size_t const expected_frame = 8 +
+            static_cast<std::size_t>(n) * (parcel::header_bytes + 8) +
+            payload_in;
+        EXPECT_EQ(wire.size(), expected_frame);
+
+        auto const out = decode_message(wire);
+        std::size_t payload_out = 0;
+        for (auto const& p : out)
+            payload_out += p.arguments.size();
+        EXPECT_EQ(payload_out, payload_in);
+    }
+}
+
+TEST(Message, BadMagicRejected)
+{
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    wire[0] ^= 0xff;
+    EXPECT_THROW(decode_message(wire), serialization_error);
+}
+
+TEST(Message, TruncatedFrameRejected)
+{
+    auto wire = encode_message({make_parcel(0, 1, 1, 100, 0)});
+    wire.resize(wire.size() / 2);
+    EXPECT_THROW(decode_message(wire), serialization_error);
+}
+
+TEST(Message, TrailingGarbageRejected)
+{
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    wire.push_back(0);
+    EXPECT_THROW(decode_message(wire), serialization_error);
+}
+
+TEST(Message, LyingParcelCountRejected)
+{
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    // Bump the count field (offset 4, little-endian u32) without adding
+    // parcels.
+    wire[4] = 200;
+    EXPECT_THROW(decode_message(wire), serialization_error);
+}
+
+TEST(Message, LyingPayloadLengthRejected)
+{
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    // The payload-length field sits after magic+count+header; set it huge.
+    std::size_t const offset = 8 + parcel::header_bytes;
+    wire[offset] = 0xff;
+    wire[offset + 1] = 0xff;
+    wire[offset + 2] = 0xff;
+    EXPECT_THROW(decode_message(wire), serialization_error);
+}
+
+}    // namespace

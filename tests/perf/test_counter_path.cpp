@@ -1,0 +1,94 @@
+// The HPX-style counter-name grammar: /object{instance}/name@parameters.
+
+#include <coal/perf/counter_path.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using coal::perf::counter_path;
+
+TEST(CounterPath, MinimalForm)
+{
+    auto p = counter_path::parse("/threads/count");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->object, "threads");
+    EXPECT_EQ(p->instance, "");
+    EXPECT_EQ(p->name, "count");
+    EXPECT_EQ(p->parameters, "");
+}
+
+TEST(CounterPath, NameWithSlashes)
+{
+    auto p = counter_path::parse("/coalescing/count/average-parcels-per-message");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->object, "coalescing");
+    EXPECT_EQ(p->name, "count/average-parcels-per-message");
+}
+
+TEST(CounterPath, FullForm)
+{
+    auto p = counter_path::parse(
+        "/coalescing{locality#0/total}/count/parcels@my_action");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->object, "coalescing");
+    EXPECT_EQ(p->instance, "locality#0/total");
+    EXPECT_EQ(p->name, "count/parcels");
+    EXPECT_EQ(p->parameters, "my_action");
+}
+
+TEST(CounterPath, TypePathStripsInstanceAndParams)
+{
+    auto p = counter_path::parse("/threads{locality#2}/background-work@x");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->type_path(), "/threads/background-work");
+}
+
+TEST(CounterPath, StrRoundTrips)
+{
+    for (auto const* name : {
+             "/threads/count/cumulative",
+             "/coalescing{locality#1}/count/messages@actn",
+             "/data{locality#0/total}/count/sent",
+             "/timers/time/average-lateness",
+         })
+    {
+        auto p = counter_path::parse(name);
+        ASSERT_TRUE(p.has_value()) << name;
+        EXPECT_EQ(p->str(), name);
+        // Parse(str()) is idempotent.
+        auto q = counter_path::parse(p->str());
+        ASSERT_TRUE(q.has_value());
+        EXPECT_EQ(*p, *q);
+    }
+}
+
+TEST(CounterPath, LocalityExtraction)
+{
+    EXPECT_EQ(counter_path::parse("/a{locality#3}/b")->locality(), 3u);
+    EXPECT_EQ(counter_path::parse("/a{locality#12/total}/b")->locality(), 12u);
+    EXPECT_FALSE(counter_path::parse("/a{total}/b")->locality().has_value());
+    EXPECT_FALSE(counter_path::parse("/a/b")->locality().has_value());
+    EXPECT_FALSE(
+        counter_path::parse("/a{locality#}/b")->locality().has_value());
+}
+
+TEST(CounterPath, MalformedInputsRejected)
+{
+    EXPECT_FALSE(counter_path::parse("").has_value());
+    EXPECT_FALSE(counter_path::parse("threads/count").has_value());
+    EXPECT_FALSE(counter_path::parse("/").has_value());
+    EXPECT_FALSE(counter_path::parse("//name").has_value());
+    EXPECT_FALSE(counter_path::parse("/obj{unclosed/name").has_value());
+    EXPECT_FALSE(counter_path::parse("/obj{x}name").has_value());
+    EXPECT_FALSE(counter_path::parse("/obj").has_value());
+}
+
+TEST(CounterPath, ParametersMayContainSpecialChars)
+{
+    auto p = counter_path::parse("/coalescing/time/histogram@actn,0,1000,20");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->parameters, "actn,0,1000,20");
+}
+
+}    // namespace

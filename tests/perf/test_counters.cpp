@@ -1,0 +1,59 @@
+// Counter adapter types (scalar function counters, array counters).
+
+#include <coal/perf/counter.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using coal::perf::array_function_counter;
+using coal::perf::function_counter;
+
+TEST(FunctionCounter, ReadsThroughCallable)
+{
+    double value = 1.5;
+    function_counter c([&] { return value; });
+    EXPECT_DOUBLE_EQ(c.value(false).value, 1.5);
+    value = 2.5;
+    EXPECT_DOUBLE_EQ(c.value(false).value, 2.5);
+    EXPECT_TRUE(c.value(false).valid);
+    EXPECT_FALSE(c.value(false).is_array());
+}
+
+TEST(FunctionCounter, ResetOnReadInvokesResetFn)
+{
+    double value = 10.0;
+    int resets = 0;
+    function_counter c([&] { return value; }, [&] { ++resets; });
+    EXPECT_DOUBLE_EQ(c.value(true).value, 10.0);
+    EXPECT_EQ(resets, 1);
+    c.reset();
+    EXPECT_EQ(resets, 2);
+}
+
+TEST(FunctionCounter, ResetWithoutFnIsNoop)
+{
+    function_counter c([] { return 1.0; });
+    c.reset();    // must not crash
+    EXPECT_DOUBLE_EQ(c.value(true).value, 1.0);
+}
+
+TEST(ArrayCounter, ReturnsValuesVector)
+{
+    array_function_counter c(
+        [] { return std::vector<std::int64_t>{1, 2, 3}; });
+    auto const v = c.value(false);
+    EXPECT_TRUE(v.valid);
+    ASSERT_TRUE(v.is_array());
+    EXPECT_EQ(v.values, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(ArrayCounter, ResetOnRead)
+{
+    std::vector<std::int64_t> data{5};
+    array_function_counter c([&] { return data; }, [&] { data = {0}; });
+    EXPECT_EQ(c.value(true).values, (std::vector<std::int64_t>{5}));
+    EXPECT_EQ(c.value(false).values, (std::vector<std::int64_t>{0}));
+}
+
+}    // namespace

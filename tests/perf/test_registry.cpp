@@ -1,0 +1,155 @@
+// Counter registry: type registration, lazy instantiation + caching,
+// discovery, reset_all, and failure modes.
+
+#include <coal/perf/registry.hpp>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+using coal::perf::counter_path;
+using coal::perf::counter_ptr;
+using coal::perf::counter_registry;
+using coal::perf::delta_sampler;
+using coal::perf::function_counter;
+
+TEST(Registry, RegisterAndQuery)
+{
+    counter_registry reg;
+    double value = 3.0;
+    reg.register_counter_type("/test/value", "a test counter",
+        [&value](counter_path const&) -> counter_ptr {
+            return std::make_shared<function_counter>(
+                [&value] { return value; });
+        });
+
+    auto const v = reg.query("/test/value");
+    EXPECT_TRUE(v.valid);
+    EXPECT_DOUBLE_EQ(v.value, 3.0);
+}
+
+TEST(Registry, UnknownTypeGivesInvalid)
+{
+    counter_registry reg;
+    auto const v = reg.query("/nope/value");
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(reg.get("/nope/value"), nullptr);
+}
+
+TEST(Registry, MalformedNameGivesInvalid)
+{
+    counter_registry reg;
+    EXPECT_FALSE(reg.query("garbage").valid);
+    EXPECT_FALSE(reg.query("").valid);
+}
+
+TEST(Registry, DuplicateRegistrationThrows)
+{
+    counter_registry reg;
+    auto factory = [](counter_path const&) -> counter_ptr {
+        return std::make_shared<function_counter>([] { return 0.0; });
+    };
+    reg.register_counter_type("/dup/x", "first", factory);
+    EXPECT_THROW(
+        reg.register_counter_type("/dup/x", "second", factory),
+        std::invalid_argument);
+}
+
+TEST(Registry, InstancesAreCachedPerFullName)
+{
+    counter_registry reg;
+    int instantiations = 0;
+    reg.register_counter_type("/cache/x", "",
+        [&instantiations](counter_path const&) -> counter_ptr {
+            ++instantiations;
+            return std::make_shared<function_counter>([] { return 1.0; });
+        });
+
+    (void) reg.get("/cache/x@a");
+    (void) reg.get("/cache/x@a");
+    EXPECT_EQ(instantiations, 1);
+    (void) reg.get("/cache/x@b");    // distinct parameters = new instance
+    EXPECT_EQ(instantiations, 2);
+    (void) reg.get("/cache{locality#0}/x@a");
+    EXPECT_EQ(instantiations, 3);
+}
+
+TEST(Registry, FactoryReturningNullGivesInvalid)
+{
+    counter_registry reg;
+    reg.register_counter_type("/strict/x", "",
+        [](counter_path const& path) -> counter_ptr {
+            if (path.parameters.empty())
+                return nullptr;
+            return std::make_shared<function_counter>([] { return 1.0; });
+        });
+    EXPECT_FALSE(reg.query("/strict/x").valid);
+    EXPECT_TRUE(reg.query("/strict/x@param").valid);
+}
+
+TEST(Registry, DiscoverListsTypesSorted)
+{
+    counter_registry reg;
+    auto factory = [](counter_path const&) -> counter_ptr {
+        return nullptr;
+    };
+    reg.register_counter_type("/z/last", "zd", factory);
+    reg.register_counter_type("/a/first", "ad", factory);
+
+    auto const types = reg.discover();
+    ASSERT_EQ(types.size(), 2u);
+    EXPECT_EQ(types[0].first, "/a/first");
+    EXPECT_EQ(types[0].second, "ad");
+    EXPECT_EQ(types[1].first, "/z/last");
+}
+
+TEST(Registry, ResetAllResetsEveryInstance)
+{
+    counter_registry reg;
+    int resets = 0;
+    reg.register_counter_type("/r/x", "",
+        [&resets](counter_path const&) -> counter_ptr {
+            return std::make_shared<function_counter>(
+                [] { return 0.0; }, [&resets] { ++resets; });
+        });
+    (void) reg.get("/r/x@a");
+    (void) reg.get("/r/x@b");
+    reg.reset_all();
+    EXPECT_EQ(resets, 2);
+}
+
+TEST(Registry, QueryWithResetPassesThrough)
+{
+    counter_registry reg;
+    double value = 7.0;
+    reg.register_counter_type("/q/x", "",
+        [&value](counter_path const&) -> counter_ptr {
+            return std::make_shared<function_counter>(
+                [&value] { return value; }, [&value] { value = 0.0; });
+        });
+    EXPECT_DOUBLE_EQ(reg.query("/q/x", true).value, 7.0);
+    EXPECT_DOUBLE_EQ(reg.query("/q/x").value, 0.0);
+}
+
+TEST(DeltaSampler, ReportsChangesBetweenCalls)
+{
+    counter_registry reg;
+    double value = 100.0;
+    reg.register_counter_type("/d/x", "",
+        [&value](counter_path const&) -> counter_ptr {
+            return std::make_shared<function_counter>(
+                [&value] { return value; });
+        });
+
+    delta_sampler sampler(reg, "/d/x");
+    value = 130.0;
+    EXPECT_DOUBLE_EQ(sampler.peek(), 30.0);
+    EXPECT_DOUBLE_EQ(sampler.delta(), 30.0);
+    EXPECT_DOUBLE_EQ(sampler.delta(), 0.0);
+    value = 150.0;
+    EXPECT_DOUBLE_EQ(sampler.delta(), 20.0);
+}
+
+}    // namespace

@@ -1,0 +1,222 @@
+// Component actions: gid-addressed objects, AGAS resolution, migration
+// transparency, and coalescing of component-action traffic.
+
+#include <coal/parcel/component_action.hpp>
+#include <coal/runtime/runtime.hpp>
+#include <coal/threading/future.hpp>
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+
+namespace {
+
+// A counter object hosted on one locality, mutated remotely.
+struct counter_component
+{
+    std::int64_t add(std::int64_t n)
+    {
+        std::lock_guard lock(mutex);
+        value += n;
+        return value;
+    }
+
+    std::int64_t read() const
+    {
+        // Component actions target non-const members in this model;
+        // read() is exposed through a non-const wrapper below.
+        return value;
+    }
+
+    std::int64_t get()
+    {
+        std::lock_guard lock(mutex);
+        return value;
+    }
+
+    void reset()
+    {
+        std::lock_guard lock(mutex);
+        value = 0;
+    }
+
+    std::mutex mutex;
+    std::int64_t value = 0;
+};
+
+struct name_component
+{
+    std::string greet(std::string who)
+    {
+        return "hello " + who;
+    }
+};
+
+}    // namespace
+
+COAL_COMPONENT_ACTION(&counter_component::add, counter_add_action);
+COAL_COMPONENT_ACTION(&counter_component::get, counter_get_action);
+COAL_COMPONENT_ACTION(&counter_component::reset, counter_reset_action);
+COAL_COMPONENT_ACTION(&name_component::greet, name_greet_action);
+
+namespace {
+
+using coal::locality;
+using coal::runtime;
+using coal::runtime_config;
+using coal::agas::gid;
+using coal::agas::locality_id;
+
+runtime_config loopback(std::uint32_t n = 2)
+{
+    runtime_config cfg;
+    cfg.num_localities = n;
+    cfg.use_loopback = true;
+    cfg.apply_coalescing_defaults = false;
+    return cfg;
+}
+
+TEST(Components, RemoteInvocationMutatesHostedObject)
+{
+    runtime rt(loopback());
+    gid const counter = rt.new_component<counter_component>(locality_id{1});
+
+    std::int64_t result = 0;
+    rt.run_on(0, [&](locality& here) {
+        result = here.async<counter_add_action>(counter, 40).get();
+        result = here.async<counter_add_action>(counter, 2).get();
+    });
+    EXPECT_EQ(result, 42);
+
+    // Direct AGAS access sees the same instance.
+    auto instance = rt.agas().find<counter_component>(counter);
+    ASSERT_NE(instance, nullptr);
+    EXPECT_EQ(instance->value, 42);
+    rt.stop();
+}
+
+TEST(Components, LocalInvocationShortCircuits)
+{
+    runtime rt(loopback());
+    gid const counter = rt.new_component<counter_component>(locality_id{0});
+    rt.run_on(0, [&](locality& here) {
+        EXPECT_EQ(here.async<counter_add_action>(counter, 7).get(), 7);
+    });
+    EXPECT_EQ(rt.network().stats().messages_sent, 0u);
+    rt.stop();
+}
+
+TEST(Components, VoidMethodAndApply)
+{
+    runtime rt(loopback());
+    gid const counter = rt.new_component<counter_component>(locality_id{1});
+    rt.run_on(0, [&](locality& here) {
+        here.async<counter_add_action>(counter, 5).get();
+        here.async<counter_reset_action>(counter).get();
+        EXPECT_EQ(here.async<counter_get_action>(counter).get(), 0);
+        here.apply<counter_add_action>(counter, 3);    // fire-and-forget
+    });
+    rt.quiesce();
+    EXPECT_EQ(rt.agas().find<counter_component>(counter)->value, 3);
+    rt.stop();
+}
+
+TEST(Components, StringArgumentsAndResults)
+{
+    runtime rt(loopback());
+    gid const greeter = rt.new_component<name_component>(locality_id{1});
+    std::string result;
+    rt.run_on(0, [&](locality& here) {
+        result =
+            here.async<name_greet_action>(greeter, std::string("coal"))
+                .get();
+    });
+    EXPECT_EQ(result, "hello coal");
+    rt.stop();
+}
+
+TEST(Components, MultipleInstancesAreIndependent)
+{
+    runtime rt(loopback(3));
+    gid const a = rt.new_component<counter_component>(locality_id{1});
+    gid const b = rt.new_component<counter_component>(locality_id{2});
+
+    rt.run_on(0, [&](locality& here) {
+        here.async<counter_add_action>(a, 1).get();
+        here.async<counter_add_action>(b, 100).get();
+        EXPECT_EQ(here.async<counter_get_action>(a).get(), 1);
+        EXPECT_EQ(here.async<counter_get_action>(b).get(), 100);
+    });
+    rt.stop();
+}
+
+TEST(Components, MigrationIsTransparentToCallers)
+{
+    runtime rt(loopback(3));
+    gid const counter = rt.new_component<counter_component>(locality_id{1});
+
+    rt.run_on(0, [&](locality& here) {
+        here.async<counter_add_action>(counter, 10).get();
+    });
+
+    // Re-home the object; the gid stays valid (paper §II-A: "maintained
+    // throughout the lifetime of the object even if it is moved").
+    ASSERT_TRUE(rt.agas().migrate(counter, locality_id{2}));
+
+    rt.run_on(0, [&](locality& here) {
+        EXPECT_EQ(here.async<counter_add_action>(counter, 5).get(), 15);
+    });
+    rt.stop();
+}
+
+TEST(Components, ConcurrentRemoteIncrementsConserve)
+{
+    runtime rt(loopback());
+    gid const counter = rt.new_component<counter_component>(locality_id{1});
+
+    rt.run_everywhere([&](locality& here) {
+        std::vector<coal::threading::future<std::int64_t>> futures;
+        for (int i = 0; i != 500; ++i)
+            futures.push_back(here.async<counter_add_action>(counter, 1));
+        coal::threading::wait_all(futures);
+    });
+    EXPECT_EQ(rt.agas().find<counter_component>(counter)->value, 1000);
+    rt.stop();
+}
+
+TEST(Components, CoalescingAppliesToComponentActions)
+{
+    runtime rt(loopback());
+    rt.enable_coalescing("counter_add_action", {32, 5000});
+    gid const counter = rt.new_component<counter_component>(locality_id{1});
+
+    rt.run_on(0, [&](locality& here) {
+        std::vector<coal::threading::future<std::int64_t>> futures;
+        for (int i = 0; i != 320; ++i)
+            futures.push_back(here.async<counter_add_action>(counter, 1));
+        coal::threading::wait_all(futures);
+    });
+    rt.quiesce();
+    EXPECT_EQ(rt.agas().find<counter_component>(counter)->value, 320);
+    // 320 requests / 32 per message (+ responses + flush slack).
+    EXPECT_LE(rt.network().stats().messages_sent, 40u);
+    rt.stop();
+}
+
+TEST(Components, UnboundGidDropsParcelSafely)
+{
+    runtime rt(loopback());
+    gid const counter = rt.new_component<counter_component>(locality_id{1});
+    rt.agas().unbind(counter);
+
+    rt.run_on(0, [&](locality& here) {
+        // The action is dropped at the target; the future never becomes
+        // ready — use apply (no future) to exercise the path safely.
+        here.apply<counter_add_action>(counter, 1);
+    });
+    rt.quiesce();
+    SUCCEED();
+}
+
+}    // namespace

@@ -1,0 +1,256 @@
+// The performance-counter framework wired to live subsystems: every
+// registered counter type must resolve, count real traffic, aggregate
+// across localities and honour reset-on-read.
+
+#include <coal/runtime/runtime.hpp>
+
+#include <coal/parcel/action.hpp>
+#include <coal/threading/future.hpp>
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+int ci_echo(int x)
+{
+    return x;
+}
+
+}    // namespace
+
+COAL_PLAIN_ACTION(ci_echo, ci_echo_action);
+
+namespace {
+
+using coal::locality;
+using coal::runtime;
+using coal::runtime_config;
+
+runtime_config loopback()
+{
+    runtime_config cfg;
+    cfg.num_localities = 2;
+    cfg.use_loopback = true;
+    cfg.apply_coalescing_defaults = false;
+    return cfg;
+}
+
+void round_trips(runtime& rt, int n)
+{
+    rt.run_on(0, [n](locality& here) {
+        auto const other = here.find_remote_localities().front();
+        std::vector<coal::threading::future<int>> futures;
+        for (int i = 0; i != n; ++i)
+            futures.push_back(here.async<ci_echo_action>(other, i));
+        coal::threading::wait_all(futures);
+    });
+}
+
+TEST(CountersIntegration, DiscoverListsAllBuiltinTypes)
+{
+    runtime rt(loopback());
+    auto const types = rt.counters().discover();
+
+    auto has = [&](std::string const& path) {
+        for (auto const& [p, d] : types)
+        {
+            if (p == path)
+                return true;
+        }
+        return false;
+    };
+
+    // The paper's counters:
+    EXPECT_TRUE(has("/coalescing/count/parcels"));
+    EXPECT_TRUE(has("/coalescing/count/messages"));
+    EXPECT_TRUE(has("/coalescing/count/average-parcels-per-message"));
+    EXPECT_TRUE(has("/coalescing/time/average-parcel-arrival"));
+    EXPECT_TRUE(has("/coalescing/time/parcel-arrival-histogram"));
+    EXPECT_TRUE(has("/threads/time/average-overhead"));
+    EXPECT_TRUE(has("/threads/background-work"));
+    EXPECT_TRUE(has("/threads/background-overhead"));
+    // Supporting counters:
+    EXPECT_TRUE(has("/threads/count/cumulative"));
+    EXPECT_TRUE(has("/parcels/count/sent"));
+    EXPECT_TRUE(has("/messages/count/sent"));
+    EXPECT_TRUE(has("/data/count/sent"));
+    EXPECT_TRUE(has("/timers/count/fired"));
+    rt.stop();
+}
+
+TEST(CountersIntegration, ParcelsSentCountsTraffic)
+{
+    runtime rt(loopback());
+    round_trips(rt, 100);
+    rt.quiesce();
+
+    // 100 requests from locality 0 + 100 responses from locality 1.
+    EXPECT_DOUBLE_EQ(rt.counters().query("/parcels/count/sent").value, 200.0);
+    EXPECT_DOUBLE_EQ(
+        rt.counters().query("/parcels{locality#0}/count/sent").value, 100.0);
+    EXPECT_DOUBLE_EQ(
+        rt.counters().query("/parcels{locality#1}/count/sent").value, 100.0);
+    EXPECT_DOUBLE_EQ(
+        rt.counters().query("/parcels/count/received").value, 200.0);
+    rt.stop();
+}
+
+TEST(CountersIntegration, MessageAndDataCountersConsistent)
+{
+    runtime rt(loopback());
+    round_trips(rt, 50);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    double const sent = c.query("/messages/count/sent").value;
+    double const received = c.query("/messages/count/received").value;
+    EXPECT_DOUBLE_EQ(sent, received);
+    EXPECT_DOUBLE_EQ(sent, 100.0);    // uncoalesced: 1 parcel per message
+
+    EXPECT_DOUBLE_EQ(c.query("/data/count/sent").value,
+        c.query("/data/count/received").value);
+    EXPECT_GT(c.query("/data/count/sent").value, 0.0);
+    rt.stop();
+}
+
+TEST(CountersIntegration, ThreadCountersReflectTasks)
+{
+    runtime rt(loopback());
+    round_trips(rt, 100);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    EXPECT_GT(c.query("/threads/count/cumulative").value, 200.0);
+    EXPECT_GT(c.query("/threads/time/func").value, 0.0);
+    EXPECT_GE(c.query("/threads/time/func").value,
+        c.query("/threads/time/exec").value);
+    EXPECT_GE(c.query("/threads/time/average-overhead").value, 0.0);
+    rt.stop();
+}
+
+TEST(CountersIntegration, UnknownLocalityInstanceInvalid)
+{
+    runtime rt(loopback());
+    EXPECT_FALSE(
+        rt.counters().query("/parcels{locality#9}/count/sent").valid);
+    rt.stop();
+}
+
+TEST(CountersIntegration, CoalescingCountersNeedKnownAction)
+{
+    runtime rt(loopback());
+    EXPECT_FALSE(rt.counters().query("/coalescing/count/parcels").valid);
+    EXPECT_FALSE(
+        rt.counters().query("/coalescing/count/parcels@never_enabled").valid);
+    rt.stop();
+}
+
+TEST(CountersIntegration, CoalescingCountersCountPerAction)
+{
+    runtime rt(loopback());
+    rt.enable_coalescing("ci_echo_action", {16, 2000});
+    round_trips(rt, 160);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    std::string const a = "@ci_echo_action";
+    // Requests and responses both pass coalescing handlers: 320 parcels.
+    EXPECT_DOUBLE_EQ(
+        c.query("/coalescing/count/parcels" + a).value, 320.0);
+    double const messages =
+        c.query("/coalescing/count/messages" + a).value;
+    EXPECT_GE(messages, 20.0);
+    EXPECT_LE(messages, 60.0);    // ~320/16 plus partial flushes
+    double const ppm =
+        c.query("/coalescing/count/average-parcels-per-message" + a).value;
+    EXPECT_GT(ppm, 4.0);
+    EXPECT_LE(ppm, 16.0);
+    EXPECT_GT(
+        c.query("/coalescing/time/average-parcel-arrival" + a).value, 0.0);
+
+    auto const histogram =
+        c.query("/coalescing/time/parcel-arrival-histogram" + a);
+    ASSERT_TRUE(histogram.valid);
+    ASSERT_GT(histogram.values.size(), 3u);
+    std::int64_t gaps = 0;
+    for (std::size_t i = 3; i < histogram.values.size(); ++i)
+        gaps += histogram.values[i];
+    // 320 parcels counted per locality; gaps ≈ parcels - localities.
+    EXPECT_GE(gaps, 300);
+    rt.stop();
+}
+
+TEST(CountersIntegration, PerLocalityCoalescingInstanceSelectsOne)
+{
+    runtime rt(loopback());
+    rt.enable_coalescing("ci_echo_action", {8, 2000});
+    round_trips(rt, 80);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    double const l0 = c.query(
+                           "/coalescing{locality#0}/count/parcels@"
+                           "ci_echo_action")
+                          .value;
+    double const l1 = c.query(
+                           "/coalescing{locality#1}/count/parcels@"
+                           "ci_echo_action")
+                          .value;
+    double const total =
+        c.query("/coalescing/count/parcels@ci_echo_action").value;
+    EXPECT_DOUBLE_EQ(l0 + l1, total);
+    EXPECT_DOUBLE_EQ(l0, 80.0);    // requests at 0
+    EXPECT_DOUBLE_EQ(l1, 80.0);    // responses at 1
+    rt.stop();
+}
+
+TEST(CountersIntegration, ResetOnReadGivesPerPhaseValues)
+{
+    runtime rt(loopback());
+    round_trips(rt, 30);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    double const phase1 = c.query("/parcels/count/sent", true).value;
+    EXPECT_DOUBLE_EQ(phase1, 60.0);
+    EXPECT_DOUBLE_EQ(c.query("/parcels/count/sent").value, 0.0);
+
+    round_trips(rt, 10);
+    rt.quiesce();
+    EXPECT_DOUBLE_EQ(c.query("/parcels/count/sent").value, 20.0);
+    rt.stop();
+}
+
+TEST(CountersIntegration, BackgroundOverheadBetweenZeroAndOne)
+{
+    runtime_config cfg;    // sim network: real background costs
+    cfg.num_localities = 2;
+    cfg.apply_coalescing_defaults = false;
+    runtime rt(cfg);
+    round_trips(rt, 200);
+    rt.quiesce();
+
+    double const overhead =
+        rt.counters().query("/threads/background-overhead").value;
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_LT(overhead, 1.0);
+    EXPECT_GT(rt.counters().query("/threads/background-work").value, 0.0);
+    rt.stop();
+}
+
+TEST(CountersIntegration, TimerCountersTrackFlushTimers)
+{
+    runtime rt(loopback());
+    rt.enable_coalescing("ci_echo_action", {1000, 500});    // never fills
+    round_trips(rt, 20);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    EXPECT_GT(c.query("/timers/count/scheduled").value, 0.0);
+    EXPECT_GE(c.query("/timers/time/average-lateness").value, 0.0);
+    rt.stop();
+}
+
+}    // namespace

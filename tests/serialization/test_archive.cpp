@@ -1,0 +1,257 @@
+// Round-trip tests for every built-in archive type plus user-defined
+// types via member and ADL serialize.
+
+#include <coal/serialization/archive.hpp>
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using coal::serialization::byte_buffer;
+using coal::serialization::from_bytes;
+using coal::serialization::input_archive;
+using coal::serialization::output_archive;
+using coal::serialization::to_bytes;
+
+template <typename T>
+T round_trip(T const& value)
+{
+    return from_bytes<T>(to_bytes(value));
+}
+
+TEST(Archive, ArithmeticTypes)
+{
+    EXPECT_EQ(round_trip<std::int8_t>(-5), -5);
+    EXPECT_EQ(round_trip<std::uint8_t>(200), 200);
+    EXPECT_EQ(round_trip<std::int32_t>(-123456), -123456);
+    EXPECT_EQ(round_trip<std::uint64_t>(0xdeadbeefcafeull),
+        0xdeadbeefcafeull);
+    EXPECT_EQ(round_trip<bool>(true), true);
+    EXPECT_EQ(round_trip<bool>(false), false);
+    EXPECT_FLOAT_EQ(round_trip<float>(3.14f), 3.14f);
+    EXPECT_DOUBLE_EQ(round_trip<double>(-2.718281828), -2.718281828);
+}
+
+TEST(Archive, FloatingEdgeValues)
+{
+    EXPECT_DOUBLE_EQ(round_trip<double>(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        round_trip<double>(std::numeric_limits<double>::max()),
+        std::numeric_limits<double>::max());
+    EXPECT_DOUBLE_EQ(
+        round_trip<double>(std::numeric_limits<double>::denorm_min()),
+        std::numeric_limits<double>::denorm_min());
+    EXPECT_TRUE(std::isinf(
+        round_trip<double>(std::numeric_limits<double>::infinity())));
+    EXPECT_TRUE(std::isnan(
+        round_trip<double>(std::numeric_limits<double>::quiet_NaN())));
+}
+
+enum class color : std::uint16_t
+{
+    red = 1,
+    green = 513,
+};
+
+TEST(Archive, Enums)
+{
+    EXPECT_EQ(round_trip(color::green), color::green);
+}
+
+TEST(Archive, ComplexDouble)
+{
+    // The paper's payload type (Listing 1).
+    std::complex<double> const value(13.3, -23.8);
+    EXPECT_EQ(round_trip(value), value);
+}
+
+TEST(Archive, Strings)
+{
+    EXPECT_EQ(round_trip(std::string{}), "");
+    EXPECT_EQ(round_trip(std::string("hello parcel")), "hello parcel");
+    std::string big(100000, 'x');
+    big[50000] = '\0';    // embedded NUL survives
+    EXPECT_EQ(round_trip(big), big);
+}
+
+TEST(Archive, VectorTriviallyCopyableFastPath)
+{
+    std::vector<double> const v{1.0, -2.5, 3.25, 1e300};
+    EXPECT_EQ(round_trip(v), v);
+
+    std::vector<std::complex<double>> const tensor_row(
+        512, std::complex<double>(0.5, -0.25));
+    EXPECT_EQ(round_trip(tensor_row), tensor_row);
+}
+
+TEST(Archive, VectorOfStringsSlowPath)
+{
+    std::vector<std::string> const v{"a", "", "long string with spaces",
+        std::string(1000, 'z')};
+    EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Archive, NestedVectors)
+{
+    std::vector<std::vector<int>> const v{{1, 2}, {}, {3, 4, 5}};
+    EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Archive, EmptyVector)
+{
+    EXPECT_EQ(round_trip(std::vector<int>{}), std::vector<int>{});
+}
+
+TEST(Archive, ArrayPairTuple)
+{
+    std::array<int, 4> const a{1, 2, 3, 4};
+    EXPECT_EQ(round_trip(a), a);
+
+    std::array<std::string, 2> const sa{"x", "y"};
+    EXPECT_EQ(round_trip(sa), sa);
+
+    std::pair<int, std::string> const p{7, "seven"};
+    EXPECT_EQ(round_trip(p), p);
+
+    std::tuple<int, double, std::string> const t{1, 2.5, "three"};
+    EXPECT_EQ(round_trip(t), t);
+
+    std::tuple<> const empty{};
+    EXPECT_EQ(round_trip(empty), empty);
+}
+
+TEST(Archive, AssociativeContainers)
+{
+    std::map<std::string, int> const m{{"a", 1}, {"b", 2}, {"zzz", -5}};
+    EXPECT_EQ(round_trip(m), m);
+
+    std::unordered_map<int, std::string> const um{
+        {1, "one"}, {2, "two"}, {42, ""}};
+    EXPECT_EQ(round_trip(um), um);
+
+    std::set<std::int64_t> const s{-7, 0, 3, 1000000};
+    EXPECT_EQ(round_trip(s), s);
+
+    std::unordered_set<std::string> const us{"x", "y", ""};
+    EXPECT_EQ(round_trip(us), us);
+
+    EXPECT_EQ(round_trip(std::map<int, int>{}), (std::map<int, int>{}));
+    EXPECT_EQ(round_trip(std::set<int>{}), std::set<int>{});
+}
+
+TEST(Archive, NestedAssociative)
+{
+    std::map<std::string, std::vector<double>> const m{
+        {"series-a", {1.0, 2.0}}, {"series-b", {}},
+        {"series-c", {3.5, -1.25, 0.0}}};
+    EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Archive, Optional)
+{
+    std::optional<int> const none;
+    std::optional<int> const some = 42;
+    EXPECT_EQ(round_trip(none), none);
+    EXPECT_EQ(round_trip(some), some);
+
+    std::optional<std::vector<std::string>> const nested =
+        std::vector<std::string>{"a", "b"};
+    EXPECT_EQ(round_trip(nested), nested);
+}
+
+TEST(Archive, ChronoDuration)
+{
+    using us = std::chrono::microseconds;
+    EXPECT_EQ(round_trip(us(4000)), us(4000));
+}
+
+struct member_serializable
+{
+    int a = 0;
+    std::string b;
+
+    template <typename Archive>
+    void serialize(Archive& ar)
+    {
+        ar & a & b;
+    }
+
+    friend bool operator==(
+        member_serializable const&, member_serializable const&) = default;
+};
+
+TEST(Archive, UserTypeWithMemberSerialize)
+{
+    member_serializable const v{5, "five"};
+    EXPECT_EQ(round_trip(v), v);
+}
+
+struct adl_serializable
+{
+    double x = 0.0;
+    std::vector<int> ys;
+
+    friend bool operator==(
+        adl_serializable const&, adl_serializable const&) = default;
+};
+
+template <typename Archive>
+void serialize(Archive& ar, adl_serializable& v)
+{
+    ar & v.x & v.ys;
+}
+
+TEST(Archive, UserTypeWithAdlSerialize)
+{
+    adl_serializable const v{1.5, {1, 2, 3}};
+    EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Archive, SequentialFieldsPreserveOrder)
+{
+    byte_buffer buf;
+    output_archive oa(buf);
+    oa & std::int32_t{1} & std::int32_t{2} & std::string("mid") &
+        std::int32_t{3};
+
+    input_archive ia(buf);
+    std::int32_t a{}, b{}, c{};
+    std::string s;
+    ia & a & b & s & c;
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(s, "mid");
+    EXPECT_EQ(c, 3);
+    EXPECT_EQ(ia.remaining(), 0u);
+}
+
+TEST(Archive, BytesWrittenTracksSize)
+{
+    byte_buffer buf;
+    output_archive oa(buf);
+    oa & std::uint64_t{1};
+    EXPECT_EQ(oa.bytes_written(), 8u);
+    oa & std::uint8_t{1};
+    EXPECT_EQ(oa.bytes_written(), 9u);
+}
+
+TEST(Archive, InputPositionAndRemaining)
+{
+    auto const buf = to_bytes(std::uint32_t{7});
+    input_archive ia(buf);
+    EXPECT_EQ(ia.remaining(), 4u);
+    std::uint32_t v{};
+    ia & v;
+    EXPECT_EQ(ia.position(), 4u);
+    EXPECT_EQ(ia.remaining(), 0u);
+}
+
+}    // namespace

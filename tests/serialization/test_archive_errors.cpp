@@ -1,0 +1,89 @@
+// Failure-injection tests: truncated and corrupt buffers must raise
+// serialization_error, never crash or over-read.
+
+#include <coal/serialization/archive.hpp>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using coal::serialization::byte_buffer;
+using coal::serialization::from_bytes;
+using coal::serialization::input_archive;
+using coal::serialization::serialization_error;
+using coal::serialization::to_bytes;
+
+TEST(ArchiveErrors, ReadingFromEmptyBufferThrows)
+{
+    byte_buffer empty;
+    EXPECT_THROW((void) from_bytes<std::uint64_t>(empty), serialization_error);
+}
+
+TEST(ArchiveErrors, TruncatedScalarThrows)
+{
+    auto buf = to_bytes(std::uint64_t{42});
+    buf.resize(4);
+    EXPECT_THROW((void) from_bytes<std::uint64_t>(buf), serialization_error);
+}
+
+TEST(ArchiveErrors, TruncatedStringBodyThrows)
+{
+    auto buf = to_bytes(std::string("hello world"));
+    buf.resize(buf.size() - 3);
+    EXPECT_THROW((void) from_bytes<std::string>(buf), serialization_error);
+}
+
+TEST(ArchiveErrors, HugeDeclaredStringLengthThrows)
+{
+    // Length prefix claims far more bytes than exist.
+    byte_buffer buf = to_bytes(std::uint64_t{1ull << 40});
+    buf.push_back('x');
+    EXPECT_THROW((void) from_bytes<std::string>(buf), serialization_error);
+}
+
+TEST(ArchiveErrors, HugeDeclaredVectorLengthThrows)
+{
+    byte_buffer buf = to_bytes(std::uint64_t{1ull << 50});
+    EXPECT_THROW((void) from_bytes<std::vector<double>>(buf), serialization_error);
+    EXPECT_THROW(
+        (void) from_bytes<std::vector<std::string>>(buf), serialization_error);
+}
+
+TEST(ArchiveErrors, CorruptOptionalFlagThrows)
+{
+    byte_buffer buf;
+    buf.push_back(7);    // neither 0 nor 1
+    EXPECT_THROW((void) from_bytes<std::optional<int>>(buf), serialization_error);
+}
+
+TEST(ArchiveErrors, TruncatedVectorElementThrows)
+{
+    auto buf = to_bytes(std::vector<std::string>{"aaa", "bbb"});
+    buf.resize(buf.size() - 1);
+    EXPECT_THROW(
+        (void) from_bytes<std::vector<std::string>>(buf), serialization_error);
+}
+
+TEST(ArchiveErrors, ExceptionLeavesNoUndefinedBehaviourOnRetry)
+{
+    auto good = to_bytes(std::string("payload"));
+    auto bad = good;
+    bad.resize(bad.size() - 2);
+
+    EXPECT_THROW((void) from_bytes<std::string>(bad), serialization_error);
+    // The good buffer still decodes fine afterwards.
+    EXPECT_EQ(from_bytes<std::string>(good), "payload");
+}
+
+TEST(ArchiveErrors, BorrowBeyondEndThrows)
+{
+    byte_buffer buf{1, 2, 3};
+    input_archive ia(buf);
+    EXPECT_NO_THROW(ia.borrow_bytes(3));
+    EXPECT_THROW(ia.borrow_bytes(1), serialization_error);
+}
+
+}    // namespace

@@ -1,0 +1,144 @@
+// Property-style parameterized sweeps: random payloads of varying sizes
+// must round-trip bit-exactly, and the encoded size must follow the
+// documented wire format.
+
+#include <coal/serialization/archive.hpp>
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace {
+
+using coal::serialization::from_bytes;
+using coal::serialization::to_bytes;
+
+class VectorRoundTrip : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(VectorRoundTrip, DoublesBitExact)
+{
+    std::size_t const n = GetParam();
+    std::mt19937_64 rng(n * 2654435761u + 1);
+    std::uniform_real_distribution<double> dist(-1e12, 1e12);
+
+    std::vector<double> v(n);
+    for (auto& x : v)
+        x = dist(rng);
+
+    auto const buf = to_bytes(v);
+    // Wire format: u64 count + n * 8 bytes.
+    EXPECT_EQ(buf.size(), 8 + n * sizeof(double));
+    EXPECT_EQ(from_bytes<std::vector<double>>(buf), v);
+}
+
+TEST_P(VectorRoundTrip, ComplexPayloadLikeParquet)
+{
+    std::size_t const n = GetParam();
+    std::mt19937_64 rng(n + 99);
+    std::uniform_real_distribution<double> dist(-10.0, 10.0);
+
+    std::vector<std::complex<double>> v(n);
+    for (auto& x : v)
+        x = {dist(rng), dist(rng)};
+
+    EXPECT_EQ(from_bytes<std::vector<std::complex<double>>>(to_bytes(v)), v);
+}
+
+TEST_P(VectorRoundTrip, RandomStringsRoundTrip)
+{
+    std::size_t const n = GetParam() % 257;    // keep the slow path bounded
+    std::mt19937_64 rng(n * 31 + 7);
+    std::uniform_int_distribution<int> len(0, 64);
+    std::uniform_int_distribution<int> ch(0, 255);
+
+    std::vector<std::string> v(n);
+    for (auto& s : v)
+    {
+        s.resize(static_cast<std::size_t>(len(rng)));
+        for (auto& c : s)
+            c = static_cast<char>(ch(rng));
+    }
+    EXPECT_EQ(from_bytes<std::vector<std::string>>(to_bytes(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VectorRoundTrip,
+    ::testing::Values(0, 1, 2, 3, 7, 16, 64, 255, 256, 257, 1024, 4096,
+        65536));
+
+// Mixed random tuples: exercises composition of all the built-in
+// serializers at once.
+class TupleRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TupleRoundTrip, MixedPayload)
+{
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<std::int64_t> ints(
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max());
+    std::uniform_real_distribution<double> reals(-1e6, 1e6);
+    std::uniform_int_distribution<int> small(0, 40);
+
+    using payload = std::tuple<std::int64_t, double,
+        std::complex<double>, std::string, std::vector<std::uint32_t>,
+        std::optional<std::pair<int, std::string>>>;
+
+    std::string s(static_cast<std::size_t>(small(rng)), '?');
+    for (auto& c : s)
+        c = static_cast<char>('a' + small(rng) % 26);
+
+    std::vector<std::uint32_t> nums(static_cast<std::size_t>(small(rng)));
+    for (auto& x : nums)
+        x = static_cast<std::uint32_t>(ints(rng));
+
+    std::optional<std::pair<int, std::string>> opt;
+    if (small(rng) % 2)
+        opt = {small(rng), s + "!"};
+
+    payload const original{ints(rng), reals(rng), {reals(rng), reals(rng)},
+        s, nums, opt};
+    EXPECT_EQ(from_bytes<payload>(to_bytes(original)), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TupleRoundTrip, ::testing::Range(0u, 25u));
+
+// Concatenation property: serializing A then B into one buffer and
+// reading A then B must be identical to separate round trips — this is
+// exactly what message framing does with parcel images.
+class ConcatenationProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ConcatenationProperty, FramingComposition)
+{
+    std::mt19937_64 rng(GetParam() * 7919);
+    std::uniform_int_distribution<int> len(0, 100);
+
+    std::vector<double> a(static_cast<std::size_t>(len(rng)), 1.5);
+    std::string b(static_cast<std::size_t>(len(rng)), 'q');
+
+    coal::serialization::byte_buffer buf;
+    coal::serialization::output_archive oa(buf);
+    oa & a & b;
+
+    coal::serialization::input_archive ia(buf);
+    std::vector<double> a2;
+    std::string b2;
+    ia & a2 & b2;
+
+    EXPECT_EQ(a2, a);
+    EXPECT_EQ(b2, b);
+    EXPECT_EQ(ia.remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConcatenationProperty, ::testing::Range(0u, 10u));
+
+}    // namespace

@@ -1,0 +1,254 @@
+// Future/promise (LCO) semantics, including the property the runtime
+// depends on: waiting inside a task keeps the scheduler making progress
+// (help-while-wait) instead of deadlocking a single-worker locality.
+
+#include <coal/threading/future.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::threading::future;
+using coal::threading::make_ready_future;
+using coal::threading::promise;
+using coal::threading::scheduler;
+using coal::threading::scheduler_config;
+using coal::threading::wait_all;
+using coal::threading::when_all;
+
+TEST(Future, DefaultConstructedIsInvalid)
+{
+    future<int> f;
+    EXPECT_FALSE(f.valid());
+}
+
+TEST(Future, SetThenGet)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    EXPECT_TRUE(f.valid());
+    EXPECT_FALSE(f.is_ready());
+    p.set_value(42);
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 42);
+    EXPECT_FALSE(f.valid());    // consumed
+}
+
+TEST(Future, VoidSpecialization)
+{
+    promise<void> p;
+    auto f = p.get_future();
+    p.set_value();
+    EXPECT_TRUE(f.is_ready());
+    f.get();
+}
+
+TEST(Future, MoveOnlyValue)
+{
+    promise<std::unique_ptr<int>> p;
+    auto f = p.get_future();
+    p.set_value(std::make_unique<int>(9));
+    auto v = f.get();
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 9);
+}
+
+TEST(Future, ExceptionPropagates)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    p.set_exception(
+        std::make_exception_ptr(std::runtime_error("remote boom")));
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(Future, BlockingWaitFromExternalThread)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    std::thread setter([&p] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        p.set_value(5);
+    });
+    EXPECT_EQ(f.get(), 5);
+    setter.join();
+}
+
+TEST(Future, WaitForTimesOut)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    EXPECT_FALSE(f.wait_for_us(20000));
+    p.set_value(1);
+    EXPECT_TRUE(f.wait_for_us(20000));
+}
+
+TEST(Future, MakeReadyFuture)
+{
+    auto f = make_ready_future(std::string("done"));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), "done");
+
+    auto v = coal::threading::make_ready_future();
+    EXPECT_TRUE(v.is_ready());
+}
+
+TEST(Future, ThenRunsAfterValue)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    auto g = f.then([](future<int>&& done) { return done.get() * 2; });
+    EXPECT_FALSE(f.valid());    // then() consumes
+    EXPECT_FALSE(g.is_ready());
+    p.set_value(21);
+    EXPECT_EQ(g.get(), 42);
+}
+
+TEST(Future, ThenOnReadyFutureRunsImmediately)
+{
+    auto f = make_ready_future(10);
+    auto g = f.then([](future<int>&& done) { return done.get() + 1; });
+    EXPECT_TRUE(g.is_ready());
+    EXPECT_EQ(g.get(), 11);
+}
+
+TEST(Future, ThenPropagatesException)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    auto g = f.then([](future<int>&& done) { return done.get(); });
+    p.set_exception(std::make_exception_ptr(std::logic_error("x")));
+    EXPECT_THROW(g.get(), std::logic_error);
+}
+
+TEST(Future, ThenChain)
+{
+    promise<int> p;
+    auto f = p.get_future()
+                 .then([](future<int>&& a) { return a.get() + 1; })
+                 .then([](future<int>&& b) { return b.get() * 3; });
+    p.set_value(1);
+    EXPECT_EQ(f.get(), 6);
+}
+
+TEST(Future, WaitAllWaitsForEvery)
+{
+    std::vector<promise<int>> promises(10);
+    std::vector<future<int>> futures;
+    for (auto& p : promises)
+        futures.push_back(p.get_future());
+
+    std::thread setter([&promises] {
+        for (auto& p : promises)
+        {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            p.set_value(1);
+        }
+    });
+    wait_all(futures);
+    for (auto& f : futures)
+        EXPECT_TRUE(f.is_ready());
+    setter.join();
+}
+
+TEST(Future, WhenAllBecomesReadyOnLast)
+{
+    std::vector<promise<int>> promises(3);
+    std::vector<future<int>> futures;
+    for (auto& p : promises)
+        futures.push_back(p.get_future());
+
+    auto all = when_all(futures);
+    EXPECT_FALSE(all.is_ready());
+    promises[1].set_value(1);
+    promises[0].set_value(2);
+    EXPECT_FALSE(all.is_ready());
+    promises[2].set_value(3);
+    EXPECT_TRUE(all.is_ready());
+    all.get();
+}
+
+TEST(Future, WhenAllOnEmptyIsReady)
+{
+    std::vector<future<int>> futures;
+    auto all = when_all(futures);
+    EXPECT_TRUE(all.is_ready());
+}
+
+// The deadlock-avoidance property: a task on a 1-worker scheduler waits
+// on a future whose fulfilment requires ANOTHER task on the same
+// scheduler to run.  Blocking the OS thread would deadlock; the
+// help-while-wait loop must execute the other task instead.
+TEST(Future, HelpWhileWaitAvoidsSingleWorkerDeadlock)
+{
+    scheduler_config cfg;
+    cfg.num_workers = 1;
+    scheduler sched(cfg);
+
+    promise<int> p;
+    std::atomic<bool> done{false};
+
+    sched.post([&] {
+        auto f = p.get_future();
+        // The fulfilling task is queued behind us on the same worker.
+        sched.post([&p] { p.set_value(77); });
+        EXPECT_EQ(f.get(), 77);
+        done = true;
+    });
+
+    sched.wait_idle();
+    EXPECT_TRUE(done.load());
+}
+
+TEST(Future, HelpWhileWaitHandlesDeepDependencyChain)
+{
+    scheduler_config cfg;
+    cfg.num_workers = 1;
+    scheduler sched(cfg);
+
+    std::atomic<int> result{0};
+    sched.post([&] {
+        // Each level waits on a future fulfilled by a deeper task.
+        std::function<int(int)> level = [&](int depth) -> int {
+            if (depth == 0)
+                return 1;
+            promise<int> p;
+            auto f = p.get_future();
+            sched.post([&level, depth, pr = std::move(p)]() mutable {
+                pr.set_value(level(depth - 1) + 1);
+            });
+            return f.get();
+        };
+        result = level(20);
+    });
+    sched.wait_idle();
+    EXPECT_EQ(result.load(), 21);
+}
+
+TEST(Future, ManyContinuationsOnOnePromiseAllFire)
+{
+    // Fan-out: a chain of then() calls, each link derived from the
+    // previous, all become ready after one set_value.
+    promise<int> p;
+    auto f = p.get_future();
+    std::atomic<int> fired{0};
+    future<int> tail = std::move(f);
+    for (int i = 0; i != 8; ++i)
+    {
+        tail = tail.then([&fired](future<int>&& prev) {
+            ++fired;
+            return prev.get();
+        });
+    }
+    p.set_value(3);
+    EXPECT_EQ(tail.get(), 3);
+    EXPECT_EQ(fired.load(), 8);
+}
+
+}    // namespace

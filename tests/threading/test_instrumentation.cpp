@@ -1,0 +1,110 @@
+// Instrumentation arithmetic: the snapshot type implements the paper's
+// equations, so the identities are pinned down here with synthetic
+// numbers (no timing dependence).
+
+#include <coal/threading/instrumentation.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using coal::threading::instrumentation;
+using coal::threading::scheduler_snapshot;
+
+scheduler_snapshot make_snapshot(std::uint64_t tasks, std::int64_t func_ns,
+    std::int64_t exec_ns, std::int64_t bg_ns)
+{
+    scheduler_snapshot s;
+    s.tasks_executed = tasks;
+    s.func_time_ns = func_ns;
+    s.exec_time_ns = exec_ns;
+    s.background_time_ns = bg_ns;
+    return s;
+}
+
+TEST(Snapshot, EquationOneTaskDuration)
+{
+    auto const s = make_snapshot(10, 5000, 4000, 100);
+    EXPECT_EQ(s.task_duration_ns(), 5000);
+}
+
+TEST(Snapshot, EquationTwoAverageOverhead)
+{
+    // (Σt_func − Σt_exec) / n_t = (5000 − 4000) / 10 = 100.
+    auto const s = make_snapshot(10, 5000, 4000, 0);
+    EXPECT_DOUBLE_EQ(s.average_task_overhead_ns(), 100.0);
+}
+
+TEST(Snapshot, EquationTwoZeroTasks)
+{
+    auto const s = make_snapshot(0, 0, 0, 0);
+    EXPECT_DOUBLE_EQ(s.average_task_overhead_ns(), 0.0);
+}
+
+TEST(Snapshot, EquationThreeBackgroundDuration)
+{
+    auto const s = make_snapshot(1, 10, 10, 777);
+    EXPECT_EQ(s.background_duration_ns(), 777);
+}
+
+TEST(Snapshot, EquationFourNetworkOverhead)
+{
+    // bg / (func + bg) = 2000 / (6000 + 2000) = 0.25.
+    auto const s = make_snapshot(5, 6000, 5000, 2000);
+    EXPECT_DOUBLE_EQ(s.network_overhead(), 0.25);
+}
+
+TEST(Snapshot, EquationFourBounds)
+{
+    EXPECT_DOUBLE_EQ(make_snapshot(0, 0, 0, 0).network_overhead(), 0.0);
+    // All background, no tasks: ratio approaches 1 but stays defined.
+    EXPECT_DOUBLE_EQ(make_snapshot(0, 0, 0, 500).network_overhead(), 1.0);
+}
+
+TEST(Snapshot, NetworkOverheadMonotoneInBackgroundTime)
+{
+    double last = -1.0;
+    for (std::int64_t bg : {0, 100, 1000, 10000, 100000})
+    {
+        double const v = make_snapshot(1, 5000, 4000, bg).network_overhead();
+        EXPECT_GT(v, last);
+        last = v;
+    }
+}
+
+TEST(Snapshot, SinceSubtractsFieldwise)
+{
+    auto const a = make_snapshot(10, 1000, 800, 50);
+    auto const b = make_snapshot(25, 3000, 2400, 250);
+    auto const d = b.since(a);
+    EXPECT_EQ(d.tasks_executed, 15u);
+    EXPECT_EQ(d.func_time_ns, 2000);
+    EXPECT_EQ(d.exec_time_ns, 1600);
+    EXPECT_EQ(d.background_time_ns, 200);
+}
+
+TEST(Instrumentation, AggregatesAcrossWorkers)
+{
+    instrumentation instr(3);
+    instr.worker(0).tasks_executed.store(5);
+    instr.worker(1).tasks_executed.store(7);
+    instr.worker(2).tasks_executed.store(1);
+    instr.worker(0).func_time_ns.store(100);
+    instr.worker(1).func_time_ns.store(200);
+    instr.worker(2).background_time_ns.store(40);
+
+    auto const s = instr.snapshot();
+    EXPECT_EQ(s.tasks_executed, 13u);
+    EXPECT_EQ(s.func_time_ns, 300);
+    EXPECT_EQ(s.background_time_ns, 40);
+}
+
+TEST(Instrumentation, ExternalBackgroundTimeJoinsEquationThree)
+{
+    instrumentation instr(1);
+    instr.worker(0).background_time_ns.store(100);
+    instr.add_external_background_ns(900);
+    EXPECT_EQ(instr.snapshot().background_duration_ns(), 1000);
+}
+
+}    // namespace

@@ -1,0 +1,65 @@
+#include <coal/timing/busy_work.hpp>
+
+#include <coal/common/stopwatch.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using coal::stopwatch;
+using coal::timing::spin_flops;
+using coal::timing::spin_for_ns;
+using coal::timing::spin_for_us;
+
+TEST(BusyWork, SpinDurationIsAtLeastRequested)
+{
+    stopwatch sw;
+    spin_for_us(500);
+    EXPECT_GE(sw.elapsed_us(), 500);
+}
+
+TEST(BusyWork, ZeroAndNegativeAreNoops)
+{
+    stopwatch sw;
+    spin_for_us(0);
+    spin_for_us(-5.0);
+    spin_for_ns(-100);
+    EXPECT_LT(sw.elapsed_us(), 200);
+}
+
+TEST(BusyWork, SpinScalesRoughlyLinearly)
+{
+    stopwatch sw;
+    spin_for_us(200);
+    auto const short_ns = sw.elapsed_ns();
+
+    sw.restart();
+    spin_for_us(2000);
+    auto const long_ns = sw.elapsed_ns();
+
+    EXPECT_GT(long_ns, short_ns * 5);
+}
+
+TEST(BusyWork, FlopsReturnsFiniteDeterministicValue)
+{
+    double const a = spin_flops(10000);
+    double const b = spin_flops(10000);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 1.0);
+    EXPECT_LT(a, 1e12);
+}
+
+TEST(BusyWork, FlopsTimeGrowsWithCount)
+{
+    stopwatch sw;
+    (void) spin_flops(100000);
+    auto const small = sw.elapsed_ns();
+
+    sw.restart();
+    (void) spin_flops(2000000);
+    auto const large = sw.elapsed_ns();
+
+    EXPECT_GT(large, small * 4);
+}
+
+}    // namespace

@@ -1,0 +1,199 @@
+// Deadline timer service — the flush timer of Algorithm 1.  Correct
+// cancellation semantics are what prevent double flushes, so they get
+// particular attention.
+
+#include <coal/timing/deadline_timer.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::steady_clock;
+using coal::timing::deadline_timer_service;
+using coal::timing::timer_id;
+
+TEST(DeadlineTimer, FiresOnce)
+{
+    deadline_timer_service service;
+    std::atomic<int> fired{0};
+    service.schedule_after(1000, [&] { ++fired; });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(service.pending(), 0u);
+}
+
+TEST(DeadlineTimer, FiresNotBeforeDeadline)
+{
+    deadline_timer_service service;
+    auto const start = steady_clock::now();
+    std::atomic<std::int64_t> fire_delay_us{-1};
+
+    service.schedule_after(20000, [&] {
+        fire_delay_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                steady_clock::now() - start)
+                .count();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_GE(fire_delay_us.load(), 0) << "timer never fired";
+    EXPECT_GE(fire_delay_us.load(), 20000);
+}
+
+TEST(DeadlineTimer, OrdersByDeadlineNotScheduleOrder)
+{
+    deadline_timer_service service;
+    std::mutex m;
+    std::vector<int> order;
+
+    service.schedule_after(30000, [&] {
+        std::lock_guard lock(m);
+        order.push_back(2);
+    });
+    service.schedule_after(5000, [&] {
+        std::lock_guard lock(m);
+        order.push_back(1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+    std::lock_guard lock(m);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(DeadlineTimer, CancelPreventsFiring)
+{
+    deadline_timer_service service;
+    std::atomic<int> fired{0};
+    timer_id const id = service.schedule_after(50000, [&] { ++fired; });
+
+    EXPECT_TRUE(service.cancel(id));
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_EQ(fired.load(), 0);
+    EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(DeadlineTimer, CancelAfterFireReturnsFalse)
+{
+    deadline_timer_service service;
+    std::atomic<int> fired{0};
+    timer_id const id = service.schedule_after(500, [&] { ++fired; });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_FALSE(service.cancel(id));
+}
+
+TEST(DeadlineTimer, CancelUnknownIdReturnsFalse)
+{
+    deadline_timer_service service;
+    EXPECT_FALSE(service.cancel(timer_id{}));
+    EXPECT_FALSE(service.cancel(timer_id{123456}));
+}
+
+TEST(DeadlineTimer, ManyTimersAllFire)
+{
+    deadline_timer_service service;
+    constexpr int n = 200;
+    std::atomic<int> fired{0};
+    for (int i = 0; i != n; ++i)
+        service.schedule_after(100 + (i % 50) * 100, [&] { ++fired; });
+
+    for (int spin = 0; spin != 100 && fired.load() != n; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(fired.load(), n);
+    EXPECT_EQ(service.stats().fired, static_cast<std::uint64_t>(n));
+}
+
+TEST(DeadlineTimer, CallbackMayScheduleAnotherTimer)
+{
+    deadline_timer_service service;
+    std::atomic<int> chain{0};
+    service.schedule_after(500, [&] {
+        ++chain;
+        service.schedule_after(500, [&] { ++chain; });
+    });
+    for (int spin = 0; spin != 100 && chain.load() != 2; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(chain.load(), 2);
+}
+
+TEST(DeadlineTimer, ShutdownDropsPendingTimers)
+{
+    std::atomic<int> fired{0};
+    {
+        deadline_timer_service service;
+        service.schedule_after(1000000, [&] { ++fired; });    // 1 s away
+        service.shutdown();
+    }
+    EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(DeadlineTimer, ScheduleAfterShutdownIsRejected)
+{
+    deadline_timer_service service;
+    service.shutdown();
+    timer_id const id = service.schedule_after(100, [] {});
+    EXPECT_FALSE(id.valid());
+}
+
+TEST(DeadlineTimer, StatsTrackLateness)
+{
+    deadline_timer_service service;
+    std::atomic<int> fired{0};
+    for (int i = 0; i != 20; ++i)
+    {
+        service.schedule_after(2000, [&] { ++fired; });
+        while (fired.load() != i + 1)
+            std::this_thread::yield();
+    }
+    auto const stats = service.stats();
+    EXPECT_EQ(stats.fired, 20u);
+    EXPECT_GE(stats.mean_lateness_us, 0.0);
+    EXPECT_GE(stats.max_lateness_us, stats.mean_lateness_us);
+}
+
+// Concurrent schedule/cancel storm: exercises the lock discipline between
+// the caller side and the timer thread (a coalescing queue under load).
+TEST(DeadlineTimer, ConcurrentScheduleCancelStorm)
+{
+    deadline_timer_service service;
+    std::atomic<int> fired{0};
+    std::atomic<int> cancelled{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t != 3; ++t)
+    {
+        threads.emplace_back([&] {
+            for (int i = 0; i != 500; ++i)
+            {
+                timer_id const id =
+                    service.schedule_after(100 + i % 7, [&] { ++fired; });
+                if (i % 2 == 0 && service.cancel(id))
+                    ++cancelled;
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    // Every timer either fired or was cancelled — no losses, no doubles.
+    for (int spin = 0; spin != 200; ++spin)
+    {
+        if (fired.load() + cancelled.load() == 1500)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(fired.load() + cancelled.load(), 1500);
+    auto const stats = service.stats();
+    EXPECT_EQ(stats.scheduled, 1500u);
+    EXPECT_EQ(stats.fired + stats.cancelled, 1500u);
+}
+
+}    // namespace
