@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_bypass.cpp" "bench-build/CMakeFiles/bench_ablation_bypass.dir/bench_ablation_bypass.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_bypass.dir/bench_ablation_bypass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coal/collectives/CMakeFiles/coal_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/apps/CMakeFiles/coal_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/adaptive/CMakeFiles/coal_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/runtime/CMakeFiles/coal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/perf/CMakeFiles/coal_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/core/CMakeFiles/coal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/parcel/CMakeFiles/coal_parcel.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/threading/CMakeFiles/coal_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/agas/CMakeFiles/coal_agas.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/net/CMakeFiles/coal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/timing/CMakeFiles/coal_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/serialization/CMakeFiles/coal_serialization.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/trace/CMakeFiles/coal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/common/CMakeFiles/coal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bypass"
+  "../bench/bench_ablation_bypass.pdb"
+  "CMakeFiles/bench_ablation_bypass.dir/bench_ablation_bypass.cpp.o"
+  "CMakeFiles/bench_ablation_bypass.dir/bench_ablation_bypass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

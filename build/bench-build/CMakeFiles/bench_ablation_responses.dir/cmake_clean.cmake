@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_responses"
+  "../bench/bench_ablation_responses.pdb"
+  "CMakeFiles/bench_ablation_responses.dir/bench_ablation_responses.cpp.o"
+  "CMakeFiles/bench_ablation_responses.dir/bench_ablation_responses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_alltoall"
+  "../bench/bench_alltoall.pdb"
+  "CMakeFiles/bench_alltoall.dir/bench_alltoall.cpp.o"
+  "CMakeFiles/bench_alltoall.dir/bench_alltoall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_toy_phase_times"
+  "../bench/bench_fig5_toy_phase_times.pdb"
+  "CMakeFiles/bench_fig5_toy_phase_times.dir/bench_fig5_toy_phase_times.cpp.o"
+  "CMakeFiles/bench_fig5_toy_phase_times.dir/bench_fig5_toy_phase_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_toy_phase_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

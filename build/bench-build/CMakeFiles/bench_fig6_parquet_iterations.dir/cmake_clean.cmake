@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_parquet_iterations"
+  "../bench/bench_fig6_parquet_iterations.pdb"
+  "CMakeFiles/bench_fig6_parquet_iterations.dir/bench_fig6_parquet_iterations.cpp.o"
+  "CMakeFiles/bench_fig6_parquet_iterations.dir/bench_fig6_parquet_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_parquet_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_timer_accuracy"
+  "../bench/bench_timer_accuracy.pdb"
+  "CMakeFiles/bench_timer_accuracy.dir/bench_timer_accuracy.cpp.o"
+  "CMakeFiles/bench_timer_accuracy.dir/bench_timer_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timer_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

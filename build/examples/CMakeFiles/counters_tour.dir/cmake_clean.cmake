@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_tour.dir/counters_tour.cpp.o"
+  "CMakeFiles/counters_tour.dir/counters_tour.cpp.o.d"
+  "counters_tour"
+  "counters_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parquet_app.dir/parquet_app.cpp.o"
+  "CMakeFiles/parquet_app.dir/parquet_app.cpp.o.d"
+  "parquet_app"
+  "parquet_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parquet_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

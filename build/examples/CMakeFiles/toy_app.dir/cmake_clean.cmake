@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_app.dir/toy_app.cpp.o"
+  "CMakeFiles/toy_app.dir/toy_app.cpp.o.d"
+  "toy_app"
+  "toy_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

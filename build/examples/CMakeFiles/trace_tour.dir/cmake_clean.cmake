@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tour.dir/trace_tour.cpp.o"
+  "CMakeFiles/trace_tour.dir/trace_tour.cpp.o.d"
+  "trace_tour"
+  "trace_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

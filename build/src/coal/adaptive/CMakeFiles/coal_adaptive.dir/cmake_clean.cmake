@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_adaptive.dir/adaptive_coalescer.cpp.o"
+  "CMakeFiles/coal_adaptive.dir/adaptive_coalescer.cpp.o.d"
+  "libcoal_adaptive.a"
+  "libcoal_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_agas.dir/address_space.cpp.o"
+  "CMakeFiles/coal_agas.dir/address_space.cpp.o.d"
+  "libcoal_agas.a"
+  "libcoal_agas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_agas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

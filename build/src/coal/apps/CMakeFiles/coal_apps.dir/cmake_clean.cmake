@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_apps.dir/parquet_app.cpp.o"
+  "CMakeFiles/coal_apps.dir/parquet_app.cpp.o.d"
+  "CMakeFiles/coal_apps.dir/toy_app.cpp.o"
+  "CMakeFiles/coal_apps.dir/toy_app.cpp.o.d"
+  "libcoal_apps.a"
+  "libcoal_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_collectives.dir/collectives.cpp.o"
+  "CMakeFiles/coal_collectives.dir/collectives.cpp.o.d"
+  "libcoal_collectives.a"
+  "libcoal_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coal/common/config.cpp" "src/coal/common/CMakeFiles/coal_common.dir/config.cpp.o" "gcc" "src/coal/common/CMakeFiles/coal_common.dir/config.cpp.o.d"
+  "/root/repo/src/coal/common/histogram.cpp" "src/coal/common/CMakeFiles/coal_common.dir/histogram.cpp.o" "gcc" "src/coal/common/CMakeFiles/coal_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/coal/common/logging.cpp" "src/coal/common/CMakeFiles/coal_common.dir/logging.cpp.o" "gcc" "src/coal/common/CMakeFiles/coal_common.dir/logging.cpp.o.d"
+  "/root/repo/src/coal/common/stats.cpp" "src/coal/common/CMakeFiles/coal_common.dir/stats.cpp.o" "gcc" "src/coal/common/CMakeFiles/coal_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

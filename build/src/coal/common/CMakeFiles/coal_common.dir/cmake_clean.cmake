@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_common.dir/config.cpp.o"
+  "CMakeFiles/coal_common.dir/config.cpp.o.d"
+  "CMakeFiles/coal_common.dir/histogram.cpp.o"
+  "CMakeFiles/coal_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/coal_common.dir/logging.cpp.o"
+  "CMakeFiles/coal_common.dir/logging.cpp.o.d"
+  "CMakeFiles/coal_common.dir/stats.cpp.o"
+  "CMakeFiles/coal_common.dir/stats.cpp.o.d"
+  "libcoal_common.a"
+  "libcoal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

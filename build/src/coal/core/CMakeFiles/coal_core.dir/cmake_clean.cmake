@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_core.dir/coalescing_counters.cpp.o"
+  "CMakeFiles/coal_core.dir/coalescing_counters.cpp.o.d"
+  "CMakeFiles/coal_core.dir/coalescing_defaults.cpp.o"
+  "CMakeFiles/coal_core.dir/coalescing_defaults.cpp.o.d"
+  "CMakeFiles/coal_core.dir/coalescing_message_handler.cpp.o"
+  "CMakeFiles/coal_core.dir/coalescing_message_handler.cpp.o.d"
+  "CMakeFiles/coal_core.dir/coalescing_registry.cpp.o"
+  "CMakeFiles/coal_core.dir/coalescing_registry.cpp.o.d"
+  "libcoal_core.a"
+  "libcoal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

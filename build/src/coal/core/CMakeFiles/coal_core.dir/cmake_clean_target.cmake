@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoal_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_net.dir/loopback.cpp.o"
+  "CMakeFiles/coal_net.dir/loopback.cpp.o.d"
+  "CMakeFiles/coal_net.dir/sim_network.cpp.o"
+  "CMakeFiles/coal_net.dir/sim_network.cpp.o.d"
+  "libcoal_net.a"
+  "libcoal_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_parcel.dir/action_registry.cpp.o"
+  "CMakeFiles/coal_parcel.dir/action_registry.cpp.o.d"
+  "CMakeFiles/coal_parcel.dir/parcel.cpp.o"
+  "CMakeFiles/coal_parcel.dir/parcel.cpp.o.d"
+  "CMakeFiles/coal_parcel.dir/parcelhandler.cpp.o"
+  "CMakeFiles/coal_parcel.dir/parcelhandler.cpp.o.d"
+  "libcoal_parcel.a"
+  "libcoal_parcel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coal/perf/counter_path.cpp" "src/coal/perf/CMakeFiles/coal_perf.dir/counter_path.cpp.o" "gcc" "src/coal/perf/CMakeFiles/coal_perf.dir/counter_path.cpp.o.d"
+  "/root/repo/src/coal/perf/registry.cpp" "src/coal/perf/CMakeFiles/coal_perf.dir/registry.cpp.o" "gcc" "src/coal/perf/CMakeFiles/coal_perf.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coal/common/CMakeFiles/coal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_perf.dir/counter_path.cpp.o"
+  "CMakeFiles/coal_perf.dir/counter_path.cpp.o.d"
+  "CMakeFiles/coal_perf.dir/registry.cpp.o"
+  "CMakeFiles/coal_perf.dir/registry.cpp.o.d"
+  "libcoal_perf.a"
+  "libcoal_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_runtime.dir/counters_setup.cpp.o"
+  "CMakeFiles/coal_runtime.dir/counters_setup.cpp.o.d"
+  "CMakeFiles/coal_runtime.dir/locality.cpp.o"
+  "CMakeFiles/coal_runtime.dir/locality.cpp.o.d"
+  "CMakeFiles/coal_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/coal_runtime.dir/runtime.cpp.o.d"
+  "libcoal_runtime.a"
+  "libcoal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

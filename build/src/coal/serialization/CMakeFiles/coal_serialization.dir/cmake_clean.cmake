@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_serialization.dir/archive.cpp.o"
+  "CMakeFiles/coal_serialization.dir/archive.cpp.o.d"
+  "libcoal_serialization.a"
+  "libcoal_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_threading.dir/instrumentation.cpp.o"
+  "CMakeFiles/coal_threading.dir/instrumentation.cpp.o.d"
+  "CMakeFiles/coal_threading.dir/scheduler.cpp.o"
+  "CMakeFiles/coal_threading.dir/scheduler.cpp.o.d"
+  "libcoal_threading.a"
+  "libcoal_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coal/timing/busy_work.cpp" "src/coal/timing/CMakeFiles/coal_timing.dir/busy_work.cpp.o" "gcc" "src/coal/timing/CMakeFiles/coal_timing.dir/busy_work.cpp.o.d"
+  "/root/repo/src/coal/timing/deadline_timer.cpp" "src/coal/timing/CMakeFiles/coal_timing.dir/deadline_timer.cpp.o" "gcc" "src/coal/timing/CMakeFiles/coal_timing.dir/deadline_timer.cpp.o.d"
+  "/root/repo/src/coal/timing/timer_accuracy.cpp" "src/coal/timing/CMakeFiles/coal_timing.dir/timer_accuracy.cpp.o" "gcc" "src/coal/timing/CMakeFiles/coal_timing.dir/timer_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coal/common/CMakeFiles/coal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_timing.dir/busy_work.cpp.o"
+  "CMakeFiles/coal_timing.dir/busy_work.cpp.o.d"
+  "CMakeFiles/coal_timing.dir/deadline_timer.cpp.o"
+  "CMakeFiles/coal_timing.dir/deadline_timer.cpp.o.d"
+  "CMakeFiles/coal_timing.dir/timer_accuracy.cpp.o"
+  "CMakeFiles/coal_timing.dir/timer_accuracy.cpp.o.d"
+  "libcoal_timing.a"
+  "libcoal_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

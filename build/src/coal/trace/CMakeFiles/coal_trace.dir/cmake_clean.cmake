@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coal_trace.dir/tracer.cpp.o"
+  "CMakeFiles/coal_trace.dir/tracer.cpp.o.d"
+  "libcoal_trace.a"
+  "libcoal_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

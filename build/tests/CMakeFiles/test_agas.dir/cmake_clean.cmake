@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agas.dir/agas/test_address_space.cpp.o"
+  "CMakeFiles/test_agas.dir/agas/test_address_space.cpp.o.d"
+  "CMakeFiles/test_agas.dir/agas/test_gid.cpp.o"
+  "CMakeFiles/test_agas.dir/agas/test_gid.cpp.o.d"
+  "test_agas"
+  "test_agas.pdb"
+  "test_agas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

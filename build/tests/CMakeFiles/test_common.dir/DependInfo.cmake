@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_mpmc_queue.cpp" "tests/CMakeFiles/test_common.dir/common/test_mpmc_queue.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_mpmc_queue.cpp.o.d"
+  "/root/repo/tests/common/test_spinlock.cpp" "tests/CMakeFiles/test_common.dir/common/test_spinlock.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_spinlock.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_stopwatch.cpp" "tests/CMakeFiles/test_common.dir/common/test_stopwatch.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stopwatch.cpp.o.d"
+  "/root/repo/tests/common/test_unique_function.cpp" "tests/CMakeFiles/test_common.dir/common/test_unique_function.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_unique_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coal/collectives/CMakeFiles/coal_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/apps/CMakeFiles/coal_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/adaptive/CMakeFiles/coal_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/runtime/CMakeFiles/coal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/perf/CMakeFiles/coal_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/core/CMakeFiles/coal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/parcel/CMakeFiles/coal_parcel.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/threading/CMakeFiles/coal_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/agas/CMakeFiles/coal_agas.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/net/CMakeFiles/coal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/timing/CMakeFiles/coal_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/serialization/CMakeFiles/coal_serialization.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/trace/CMakeFiles/coal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/coal/common/CMakeFiles/coal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_config.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_mpmc_queue.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_mpmc_queue.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_spinlock.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_spinlock.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stopwatch.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stopwatch.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_unique_function.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_unique_function.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_algorithm1_property.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_algorithm1_property.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_coalescing_counters.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_coalescing_counters.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_coalescing_handler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_coalescing_handler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_coalescing_registry.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_coalescing_registry.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parcel.dir/parcel/test_action.cpp.o"
+  "CMakeFiles/test_parcel.dir/parcel/test_action.cpp.o.d"
+  "CMakeFiles/test_parcel.dir/parcel/test_parcel.cpp.o"
+  "CMakeFiles/test_parcel.dir/parcel/test_parcel.cpp.o.d"
+  "CMakeFiles/test_parcel.dir/parcel/test_parcelhandler.cpp.o"
+  "CMakeFiles/test_parcel.dir/parcel/test_parcelhandler.cpp.o.d"
+  "test_parcel"
+  "test_parcel.pdb"
+  "test_parcel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threading.dir/threading/test_future.cpp.o"
+  "CMakeFiles/test_threading.dir/threading/test_future.cpp.o.d"
+  "CMakeFiles/test_threading.dir/threading/test_instrumentation.cpp.o"
+  "CMakeFiles/test_threading.dir/threading/test_instrumentation.cpp.o.d"
+  "CMakeFiles/test_threading.dir/threading/test_scheduler.cpp.o"
+  "CMakeFiles/test_threading.dir/threading/test_scheduler.cpp.o.d"
+  "test_threading"
+  "test_threading.pdb"
+  "test_threading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

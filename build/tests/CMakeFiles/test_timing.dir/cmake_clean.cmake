@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing.dir/timing/test_busy_work.cpp.o"
+  "CMakeFiles/test_timing.dir/timing/test_busy_work.cpp.o.d"
+  "CMakeFiles/test_timing.dir/timing/test_deadline_timer.cpp.o"
+  "CMakeFiles/test_timing.dir/timing/test_deadline_timer.cpp.o.d"
+  "test_timing"
+  "test_timing.pdb"
+  "test_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

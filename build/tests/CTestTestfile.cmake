@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_threading[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_agas[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_parcel[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
