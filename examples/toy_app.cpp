@@ -6,9 +6,15 @@
 ///
 ///     ./build/examples/toy_app parcels=20000 nparcels=128 interval=4000
 ///     ./build/examples/toy_app parcels=20000 coalescing=off
+///
+/// The interconnect can be made lossy (reliable delivery turns on
+/// automatically):
+///
+///     ./build/examples/toy_app parcels=5000 fault.drop=0.01
 
 #include <coal/apps/toy_app.hpp>
 #include <coal/common/config.hpp>
+#include <coal/net/faulty_transport.hpp>
 
 #include <cstdio>
 
@@ -22,6 +28,7 @@ int main(int argc, char** argv)
     rt_cfg.num_localities = 2;
     rt_cfg.workers_per_locality =
         static_cast<unsigned>(cfg.get_int("workers", 1));
+    rt_cfg.faults = coal::net::fault_plan::from_config(cfg);
     coal::runtime rt(rt_cfg);
 
     coal::apps::toy_params params;

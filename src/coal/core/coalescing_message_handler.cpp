@@ -67,6 +67,26 @@ void coalescing_message_handler::enqueue(parcel::parcel&& p)
     }
 
     std::uint32_t const dst = p.dest;
+
+    // Per-link circuit breaker: while the reliability layer reports this
+    // destination as degraded, batching only stacks coalescing delay on
+    // top of retransmission timeouts.  Flush whatever is queued for the
+    // link and send this parcel along immediately (effectively
+    // nparcels = 1 until the link heals).
+    if (parcels_.link_degraded(dst))
+    {
+        breaker_bypasses_.fetch_add(1, std::memory_order_relaxed);
+        trace::tracer::global().record(parcels_.here(),
+            trace::event_kind::coalescing_bypass, p.action);
+        std::lock_guard lock(mutex_);
+        std::vector<parcel::parcel> batch;
+        if (auto it = queues_.find(dst); it != queues_.end())
+            batch = detach_batch(it->second);
+        batch.push_back(std::move(p));
+        send_batch(dst, std::move(batch));
+        return;
+    }
+
     std::unique_lock lock(mutex_);
 
     if (stopped_)

@@ -89,6 +89,13 @@ public:
         return size_flushes_.load(std::memory_order_relaxed);
     }
 
+    /// Parcels that skipped batching because the destination link's
+    /// circuit breaker was open (reliability layer degradation).
+    [[nodiscard]] std::uint64_t breaker_bypasses() const noexcept
+    {
+        return breaker_bypasses_.load(std::memory_order_relaxed);
+    }
+
 private:
     struct destination_queue
     {
@@ -119,6 +126,7 @@ private:
 
     std::atomic<std::uint64_t> timer_flushes_{0};
     std::atomic<std::uint64_t> size_flushes_{0};
+    std::atomic<std::uint64_t> breaker_bypasses_{0};
 };
 
 }    // namespace coal::coalescing

@@ -1,0 +1,335 @@
+#include <coal/net/faulty_transport.hpp>
+
+#include <coal/common/assert.hpp>
+#include <coal/common/config.hpp>
+#include <coal/common/logging.hpp>
+#include <coal/common/stopwatch.hpp>
+
+#include <utility>
+#include <vector>
+
+namespace coal::net {
+
+namespace {
+
+    /// splitmix64 finalizer — the per-message fault decisions hash
+    /// (seed, link, ordinal, salt) instead of consuming a shared RNG
+    /// stream, so each link's fault pattern is reproducible regardless
+    /// of how sends on *other* links interleave.
+    std::uint64_t mix64(std::uint64_t x) noexcept
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    double roll(std::uint64_t seed, std::uint64_t link, std::uint64_t ordinal,
+        std::uint64_t salt) noexcept
+    {
+        std::uint64_t const h = mix64(seed ^ mix64(link ^ salt) ^ ordinal);
+        return static_cast<double>(h >> 11) * 0x1.0p-53;
+    }
+
+    constexpr std::uint64_t salt_drop = 0xd409u;
+    constexpr std::uint64_t salt_duplicate = 0xd7b1u;
+    constexpr std::uint64_t salt_reorder = 0x4e04u;
+
+}    // namespace
+
+bool fault_plan::active() const noexcept
+{
+    if (drop_probability > 0.0 || duplicate_probability > 0.0 ||
+        reorder_probability > 0.0 || !blackouts.empty())
+        return true;
+    for (auto const& lf : link_overrides)
+        if (lf.drop_probability > 0.0)
+            return true;
+    return false;
+}
+
+double fault_plan::drop_for(
+    std::uint32_t src, std::uint32_t dst) const noexcept
+{
+    for (auto const& lf : link_overrides)
+        if (lf.src == src && lf.dst == dst)
+            return lf.drop_probability;
+    return drop_probability;
+}
+
+fault_plan fault_plan::from_config(config const& cfg)
+{
+    fault_plan plan;
+    plan.seed = static_cast<std::uint64_t>(
+        cfg.get_int("fault.seed", static_cast<std::int64_t>(plan.seed)));
+    plan.drop_probability = cfg.get_double("fault.drop", 0.0);
+    plan.duplicate_probability = cfg.get_double("fault.duplicate", 0.0);
+    plan.reorder_probability = cfg.get_double("fault.reorder", 0.0);
+
+    if (cfg.contains("fault.blackout.end_us"))
+    {
+        blackout_window w;
+        w.start_us = cfg.get_int("fault.blackout.start_us", 0);
+        w.end_us = cfg.get_int("fault.blackout.end_us", 0);
+        auto const src = cfg.get_int("fault.blackout.src", -1);
+        auto const dst = cfg.get_int("fault.blackout.dst", -1);
+        if (src >= 0)
+            w.src = static_cast<std::uint32_t>(src);
+        if (dst >= 0)
+            w.dst = static_cast<std::uint32_t>(dst);
+        if (w.end_us > w.start_us)
+            plan.blackouts.push_back(w);
+    }
+    return plan;
+}
+
+faulty_transport::faulty_transport(
+    std::unique_ptr<transport> inner, fault_plan plan)
+  : owned_(std::move(inner))
+  , inner_(owned_.get())
+  , plan_(plan)
+  , epoch_ns_(now_ns())
+{
+    COAL_ASSERT(inner_ != nullptr);
+}
+
+faulty_transport::faulty_transport(transport& inner, fault_plan plan)
+  : inner_(&inner)
+  , plan_(plan)
+  , epoch_ns_(now_ns())
+{
+}
+
+faulty_transport::~faulty_transport()
+{
+    shutdown();
+}
+
+void faulty_transport::set_delivery_handler(
+    std::uint32_t dst, delivery_handler handler)
+{
+    {
+        std::lock_guard lock(mutex_);
+        handlers_[dst] = std::move(handler);
+    }
+    inner_->set_delivery_handler(
+        dst, [this, dst](std::uint32_t src, serialization::byte_buffer&& buf) {
+            on_deliver(src, dst, std::move(buf));
+        });
+}
+
+void faulty_transport::send(std::uint32_t src, std::uint32_t dst,
+    serialization::byte_buffer&& buffer)
+{
+    std::size_t const bytes = buffer.size();
+    std::uint64_t const key = link_key(src, dst);
+
+    bool drop = false;
+    bool duplicate = false;
+    {
+        std::lock_guard lock(mutex_);
+        if (stopped_)
+        {
+            messages_sent_.fetch_add(1, std::memory_order_relaxed);
+            bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+
+        std::int64_t const t_us = (now_ns() - epoch_ns_) / 1000;
+        for (auto const& w : plan_.blackouts)
+        {
+            if (w.matches(src, dst, t_us))
+            {
+                drop = true;
+                break;
+            }
+        }
+
+        std::uint64_t const ordinal = send_ordinal_[key]++;
+        if (!drop)
+        {
+            double const p = plan_.drop_for(src, dst);
+            if (p > 0.0 && roll(plan_.seed, key, ordinal, salt_drop) < p)
+                drop = true;
+            else if (plan_.duplicate_probability > 0.0 &&
+                roll(plan_.seed, key, ordinal, salt_duplicate) <
+                    plan_.duplicate_probability)
+                duplicate = true;
+        }
+    }
+
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+
+    if (drop)
+    {
+        // Lost "on the wire": the sender already paid its CPU cost at the
+        // parcel layer; the inner transport never sees the message.
+        messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+        drops_injected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    if (duplicate)
+    {
+        // The forged copy counts as an extra sent message so that
+        // sent == delivered + dropped still balances.
+        messages_sent_.fetch_add(1, std::memory_order_relaxed);
+        bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+        duplicates_injected_.fetch_add(1, std::memory_order_relaxed);
+        inner_->send(src, dst, serialization::byte_buffer(buffer));
+    }
+
+    inner_->send(src, dst, std::move(buffer));
+}
+
+void faulty_transport::on_deliver(std::uint32_t src, std::uint32_t dst,
+    serialization::byte_buffer&& buffer)
+{
+    std::uint64_t const key = link_key(src, dst);
+
+    delivery_handler handler;
+    bool have_released = false;
+    held_message released;
+    {
+        std::lock_guard lock(mutex_);
+        if (stopped_)
+        {
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+
+        auto const hit = handlers_.find(dst);
+        if (hit == handlers_.end() || !hit->second)
+        {
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        handler = hit->second;
+
+        auto const slot = held_.find(key);
+        if (slot != held_.end())
+        {
+            // A message is parked on this link: deliver the newcomer
+            // first, then release the parked one — a pairwise swap.
+            released = std::move(slot->second);
+            held_.erase(slot);
+            held_count_.fetch_sub(1, std::memory_order_acq_rel);
+            have_released = true;
+        }
+        else if (plan_.reorder_probability > 0.0)
+        {
+            std::uint64_t const ordinal = recv_ordinal_[key]++;
+            if (roll(plan_.seed, key, ordinal, salt_reorder) <
+                plan_.reorder_probability)
+            {
+                held_.emplace(key, held_message{src, std::move(buffer)});
+                held_count_.fetch_add(1, std::memory_order_acq_rel);
+                return;
+            }
+        }
+    }
+
+    std::size_t const bytes = buffer.size();
+    handler(src, std::move(buffer));
+    messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+    bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
+
+    if (have_released)
+    {
+        std::size_t const rbytes = released.payload.size();
+        handler(released.src, std::move(released.payload));
+        messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+        bytes_delivered_.fetch_add(rbytes, std::memory_order_relaxed);
+    }
+}
+
+std::size_t faulty_transport::release_held()
+{
+    std::vector<std::pair<std::uint32_t, held_message>> out;
+    {
+        std::lock_guard lock(mutex_);
+        for (auto& [key, msg] : held_)
+        {
+            auto const dst = static_cast<std::uint32_t>(key & 0xffffffffu);
+            out.emplace_back(dst, std::move(msg));
+        }
+        held_.clear();
+        held_count_.fetch_sub(out.size(), std::memory_order_acq_rel);
+    }
+
+    for (auto& [dst, msg] : out)
+    {
+        delivery_handler handler;
+        {
+            std::lock_guard lock(mutex_);
+            auto const hit = handlers_.find(dst);
+            if (hit != handlers_.end())
+                handler = hit->second;
+        }
+        std::size_t const bytes = msg.payload.size();
+        if (handler)
+        {
+            handler(msg.src, std::move(msg.payload));
+            messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+            bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
+        }
+        else
+        {
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return out.size();
+}
+
+void faulty_transport::drain()
+{
+    for (;;)
+    {
+        inner_->drain();
+        if (release_held() == 0 && inner_->in_flight() == 0)
+            return;
+    }
+}
+
+transport_stats faulty_transport::stats() const
+{
+    transport_stats s;
+    s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.messages_delivered =
+        messages_delivered_.load(std::memory_order_relaxed);
+    s.bytes_delivered = bytes_delivered_.load(std::memory_order_relaxed);
+    // Inner drops (shutdown races inside the wrapped transport) roll up so
+    // the conservation invariant holds across the whole stack.
+    s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed) +
+        inner_->stats().messages_dropped;
+    s.drops_injected = drops_injected_.load(std::memory_order_relaxed);
+    s.duplicates_injected =
+        duplicates_injected_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void faulty_transport::shutdown()
+{
+    std::size_t dropped_held = 0;
+    {
+        std::lock_guard lock(mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        dropped_held = held_.size();
+        held_.clear();
+        held_count_.fetch_sub(dropped_held, std::memory_order_acq_rel);
+    }
+    if (dropped_held != 0)
+    {
+        COAL_LOG_WARN("net", "shutdown drops %zu reorder-parked message(s)",
+            dropped_held);
+        messages_dropped_.fetch_add(dropped_held, std::memory_order_relaxed);
+    }
+    inner_->shutdown();
+}
+
+}    // namespace coal::net

@@ -24,19 +24,33 @@ void loopback_transport::send(std::uint32_t src, std::uint32_t dst,
 {
     COAL_ASSERT(src < num_localities_ && dst < num_localities_);
 
+    std::size_t const bytes = buffer.size();
+
     delivery_handler handler;
+    bool dropped = false;
     {
         std::lock_guard lock(mutex_);
         if (stopped_)
-            return;
-        handler = handlers_[dst];
+            dropped = true;
+        else
+            handler = handlers_[dst];
     }
 
     messages_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(buffer.size(), std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
-    if (handler)
+    if (!dropped && handler)
+    {
         handler(src, std::move(buffer));
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    else
+    {
+        // Post-shutdown sends and unregistered handlers count as drops so
+        // that sent == delivered + dropped always holds.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 transport_stats loopback_transport::stats() const
@@ -44,8 +58,9 @@ transport_stats loopback_transport::stats() const
     transport_stats s;
     s.messages_sent = messages_.load(std::memory_order_relaxed);
     s.bytes_sent = bytes_.load(std::memory_order_relaxed);
-    s.messages_delivered = s.messages_sent;
-    s.bytes_delivered = s.bytes_sent;
+    s.messages_delivered = delivered_.load(std::memory_order_relaxed);
+    s.bytes_delivered = bytes_delivered_.load(std::memory_order_relaxed);
+    s.messages_dropped = dropped_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -51,6 +51,9 @@ private:
 
     std::atomic<std::uint64_t> messages_{0};
     std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> delivered_{0};
+    std::atomic<std::uint64_t> bytes_delivered_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 }    // namespace coal::net

@@ -55,7 +55,14 @@ void sim_network::send(std::uint32_t src, std::uint32_t dst,
     {
         std::lock_guard lock(mutex_);
         if (stopping_)
-            return;    // shutdown races drop the message by design
+        {
+            // Shutdown races drop the message by design — but the drop
+            // must be visible: sent == delivered + dropped at quiescence.
+            messages_sent_.fetch_add(1, std::memory_order_relaxed);
+            bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
 
         // Serialize the directed link: transmission begins when the
         // previous message's tail has left the wire.
@@ -117,15 +124,16 @@ void sim_network::delivery_loop()
         if (handler)
         {
             handler(msg.src, std::move(msg.payload));
+            messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+            bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
         }
         else
         {
             COAL_LOG_WARN("net", "dropping message to locality %u "
                                  "(no delivery handler)",
                 msg.dst);
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
         }
-        messages_delivered_.fetch_add(1, std::memory_order_relaxed);
-        bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
 
         if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1)
             drain_cv_.notify_all();
@@ -149,6 +157,7 @@ transport_stats sim_network::stats() const
     s.messages_delivered =
         messages_delivered_.load(std::memory_order_relaxed);
     s.bytes_delivered = bytes_delivered_.load(std::memory_order_relaxed);
+    s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -168,6 +177,24 @@ void sim_network::shutdown()
     cv_.notify_all();
     if (delivery_thread_.joinable())
         delivery_thread_.join();
+
+    // Messages still queued at shutdown are dropped, not lost silently:
+    // the conservation invariant (sent == delivered + dropped) must hold
+    // even across a racy teardown, and drain() must not hang on them.
+    std::size_t remaining = 0;
+    {
+        std::lock_guard lock(mutex_);
+        remaining = heap_.size();
+        while (!heap_.empty())
+            heap_.pop();
+    }
+    if (remaining != 0)
+    {
+        COAL_LOG_WARN("net", "shutdown dropped %zu undelivered messages",
+            remaining);
+        messages_dropped_.fetch_add(remaining, std::memory_order_relaxed);
+        in_flight_.fetch_sub(remaining, std::memory_order_acq_rel);
+    }
     drain_cv_.notify_all();
 }
 

@@ -157,6 +157,7 @@ private:
     std::atomic<std::uint64_t> bytes_sent_{0};
     std::atomic<std::uint64_t> messages_delivered_{0};
     std::atomic<std::uint64_t> bytes_delivered_{0};
+    std::atomic<std::uint64_t> messages_dropped_{0};
 
     std::mutex drain_mutex_;
     std::condition_variable drain_cv_;

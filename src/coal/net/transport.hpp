@@ -16,13 +16,22 @@
 
 namespace coal::net {
 
-/// Statistics every transport keeps (feeds /messages and /data counters).
+/// Statistics every transport keeps (feeds /messages, /data and /net
+/// counters).  Conservation invariant at quiescence:
+/// `messages_sent == messages_delivered + messages_dropped`.
 struct transport_stats
 {
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t messages_delivered = 0;
     std::uint64_t bytes_delivered = 0;
+    /// Messages accepted by send() that will never reach a handler:
+    /// shutdown races, unregistered handlers, and injected faults.
+    std::uint64_t messages_dropped = 0;
+    /// Subset of messages_dropped caused by a faulty_transport fault plan.
+    std::uint64_t drops_injected = 0;
+    /// Extra copies forged by a faulty_transport fault plan.
+    std::uint64_t duplicates_injected = 0;
 };
 
 class transport

@@ -1,5 +1,7 @@
 #include <coal/parcel/parcel.hpp>
 
+#include <cstring>
+
 namespace coal::parcel {
 
 using serialization::byte_buffer;
@@ -33,25 +35,28 @@ parcel decode_parcel(input_archive& ar)
 
 std::size_t message_wire_size(std::vector<parcel> const& parcels) noexcept
 {
-    std::size_t size = sizeof(std::uint32_t) * 2;    // magic + count
+    std::size_t size = frame_prefix_bytes;
     for (auto const& p : parcels)
         size += p.wire_size() + sizeof(std::uint64_t);    // + length field
     return size;
 }
 
-byte_buffer encode_message(std::vector<parcel> const& parcels)
+byte_buffer encode_message(
+    std::vector<parcel> const& parcels, frame_header const& header)
 {
     byte_buffer buffer;
     buffer.reserve(message_wire_size(parcels));
     output_archive ar(buffer);
     ar & message_magic;
     ar & static_cast<std::uint32_t>(parcels.size());
+    ar & header.seq & header.ack & header.sack;
     for (auto const& p : parcels)
         encode_parcel(ar, p);
     return buffer;
 }
 
-std::vector<parcel> decode_message(byte_buffer const& buffer)
+std::vector<parcel> decode_message(
+    byte_buffer const& buffer, frame_header* header)
 {
     input_archive ar(buffer);
     std::uint32_t magic = 0;
@@ -61,6 +66,12 @@ std::vector<parcel> decode_message(byte_buffer const& buffer)
 
     std::uint32_t count = 0;
     ar & count;
+
+    frame_header hdr;
+    ar & hdr.seq & hdr.ack & hdr.sack;
+    if (header != nullptr)
+        *header = hdr;
+
     if (count > ar.remaining())    // each parcel needs >= 1 byte of header
         throw serialization_error("parcel count exceeds message size");
 
@@ -72,6 +83,15 @@ std::vector<parcel> decode_message(byte_buffer const& buffer)
     if (ar.remaining() != 0)
         throw serialization_error("trailing bytes after last parcel");
     return parcels;
+}
+
+void patch_frame_acks(
+    byte_buffer& wire, std::uint64_t ack, std::uint64_t sack) noexcept
+{
+    if (wire.size() < frame_prefix_bytes)
+        return;
+    std::memcpy(wire.data() + frame_ack_offset, &ack, sizeof(ack));
+    std::memcpy(wire.data() + frame_sack_offset, &sack, sizeof(sack));
 }
 
 }    // namespace coal::parcel

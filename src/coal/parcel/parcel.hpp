@@ -16,8 +16,15 @@
 ///     u64 nbytes | nbytes of serialized arguments
 ///
 /// A *message* is what travels the transport: a frame of one or more
-/// parcel images (message coalescing packs several):
-///     u32 magic | u32 count | count * parcel image
+/// parcel images (message coalescing packs several), prefixed by the
+/// reliability header (see DESIGN.md "Reliability & fault injection"):
+///     u32 magic | u32 count | u64 seq | u64 ack | u64 sack |
+///     count * parcel image
+///
+/// `seq` is the per-(peer, direction) sequence number (0 = unsequenced,
+/// used when the reliability layer is off).  `ack` is the cumulative
+/// sequence received from the peer; `sack` is a bitmap of seq ack+1+i
+/// received out of order.  A frame with count == 0 is a standalone ack.
 
 #include <coal/serialization/archive.hpp>
 #include <coal/serialization/buffer.hpp>
@@ -56,17 +63,40 @@ struct parcel
 /// Frame magic guarding against mis-routed or corrupt buffers.
 inline constexpr std::uint32_t message_magic = 0x434f414cu;    // "COAL"
 
+/// Reliability fields carried by every frame.  All zero when the
+/// reliability layer is off — the frame is then fire-and-forget.
+struct frame_header
+{
+    std::uint64_t seq = 0;     ///< link sequence number; 0 = unsequenced
+    std::uint64_t ack = 0;     ///< cumulative ack for the reverse direction
+    std::uint64_t sack = 0;    ///< bitmap: seq ack+1+i received out of order
+};
+
+/// Frame prefix: magic + count + the three reliability fields.
+inline constexpr std::size_t frame_prefix_bytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 3;
+
+/// Byte offsets of the patchable reliability fields inside a frame.
+inline constexpr std::size_t frame_ack_offset = 16;
+inline constexpr std::size_t frame_sack_offset = 24;
+
 /// Total wire size of a frame containing the given parcels.
 [[nodiscard]] std::size_t message_wire_size(
     std::vector<parcel> const& parcels) noexcept;
 
 /// Encode parcels into one wire message.
 [[nodiscard]] serialization::byte_buffer encode_message(
-    std::vector<parcel> const& parcels);
+    std::vector<parcel> const& parcels, frame_header const& header = {});
 
-/// Decode a wire message back into parcels.
+/// Decode a wire message back into parcels; optionally extract the
+/// reliability header.
 /// \throws serialization::serialization_error on malformed input.
 [[nodiscard]] std::vector<parcel> decode_message(
-    serialization::byte_buffer const& buffer);
+    serialization::byte_buffer const& buffer, frame_header* header = nullptr);
+
+/// Refresh the ack/sack fields of an already-encoded frame in place —
+/// retransmitted frames carry current acks, not stale ones.
+void patch_frame_acks(serialization::byte_buffer& wire, std::uint64_t ack,
+    std::uint64_t sack) noexcept;
 
 }    // namespace coal::parcel

@@ -2,18 +2,60 @@
 
 #include <coal/common/assert.hpp>
 #include <coal/common/logging.hpp>
+#include <coal/common/stopwatch.hpp>
 #include <coal/timing/busy_work.hpp>
 #include <coal/trace/tracer.hpp>
 
+#include <algorithm>
 #include <utility>
 
 namespace coal::parcel {
 
+namespace {
+
+    /// Cheap deterministic jitter in [0, 1): retransmit deadlines of
+    /// different frames must not re-synchronize after a blackout.
+    double jitter_unit(std::uint64_t seq, unsigned attempts) noexcept
+    {
+        std::uint64_t x = seq * 0x9e3779b97f4a7c15ull + attempts;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return static_cast<double>(x >> 11) * 0x1.0p-53;
+    }
+
+    /// Marks a message as in-progress for the duration of a progress_*
+    /// body.  Incremented before the queue pop and released only after
+    /// the downstream handoff (transport send / task post), so pending
+    /// counts never transiently read zero while work is in flight.
+    struct in_progress_guard
+    {
+        explicit in_progress_guard(std::atomic<std::size_t>& count)
+          : count_(count)
+        {
+            count_.fetch_add(1, std::memory_order_acq_rel);
+        }
+
+        ~in_progress_guard()
+        {
+            count_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+
+        in_progress_guard(in_progress_guard const&) = delete;
+        in_progress_guard& operator=(in_progress_guard const&) = delete;
+
+    private:
+        std::atomic<std::size_t>& count_;
+    };
+
+}    // namespace
+
 parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
-    threading::scheduler& scheduler)
+    threading::scheduler& scheduler, reliability_params reliability)
   : here_(here)
   , transport_(transport)
   , scheduler_(scheduler)
+  , reliability_(reliability)
 {
     transport_.set_delivery_handler(
         here, [this](std::uint32_t src, serialization::byte_buffer&& buffer) {
@@ -187,13 +229,45 @@ void parcelhandler::execute_parcel(parcel&& p)
 
 bool parcelhandler::progress_send()
 {
+    in_progress_guard guard(sends_in_progress_);
     auto job = outbound_.try_pop();
     if (!job)
         return false;
 
     // Framing + transmission: this runs in background-work context, and
     // transport_.send burns the modeled per-message sender CPU here.
-    serialization::byte_buffer wire = encode_message(job->parcels);
+    serialization::byte_buffer wire;
+    if (reliability_.enabled)
+    {
+        frame_header hdr;
+        std::int64_t const now = now_ns();
+        {
+            std::lock_guard lock(peers_lock_);
+            auto& peer = peers_[job->dst];
+            hdr.seq = peer.next_seq++;
+            hdr.ack = peer.cum_received;
+            hdr.sack = sack_bits_locked(peer);
+            peer.ack_pending = false;    // this frame carries the ack
+        }
+        wire = encode_message(job->parcels, hdr);
+        {
+            // Register the frame before handing it to the transport so a
+            // synchronous loopback ack always finds its entry.
+            std::lock_guard lock(peers_lock_);
+            auto& peer = peers_[job->dst];
+            unacked_frame u;
+            u.wire = wire;    // retained copy for retransmission
+            u.first_send_ns = now;
+            u.rto_ns = initial_rto_ns_locked(peer);
+            u.deadline_ns = now + u.rto_ns;
+            peer.unacked.emplace(hdr.seq, std::move(u));
+            maybe_trip_breaker_locked(job->dst, peer);
+        }
+    }
+    else
+    {
+        wire = encode_message(job->parcels);
+    }
 
     trace::tracer::global().record(here_, trace::event_kind::message_sent,
         job->parcels.size(), wire.size());
@@ -206,6 +280,7 @@ bool parcelhandler::progress_send()
 
 bool parcelhandler::progress_receive()
 {
+    in_progress_guard guard(receives_in_progress_);
     auto msg = inbox_.try_pop();
     if (!msg)
         return false;
@@ -217,20 +292,266 @@ bool parcelhandler::progress_receive()
     counters_.bytes_received.fetch_add(
         msg->payload.size(), std::memory_order_relaxed);
 
-    std::vector<parcel> parcels = decode_message(msg->payload);
+    frame_header hdr;
+    std::vector<parcel> parcels = decode_message(msg->payload, &hdr);
     trace::tracer::global().record(here_,
         trace::event_kind::message_received, parcels.size(),
         msg->payload.size());
-    counters_.parcels_received.fetch_add(
-        parcels.size(), std::memory_order_relaxed);
 
-    for (auto& p : parcels)
+    if (!reliability_.enabled || hdr.seq == 0)
     {
-        scheduler_.post([this, parcel = std::move(p)]() mutable {
-            execute_parcel(std::move(parcel));
-        });
+        // Unsequenced frame: standalone ack (count == 0) or plain traffic
+        // with the reliability layer off.
+        if (reliability_.enabled)
+            handle_acks(msg->src, hdr);
+        counters_.parcels_received.fetch_add(
+            parcels.size(), std::memory_order_relaxed);
+        for (auto& p : parcels)
+        {
+            scheduler_.post([this, parcel = std::move(p)]() mutable {
+                execute_parcel(std::move(parcel));
+            });
+        }
+        return true;
+    }
+
+    handle_acks(msg->src, hdr);
+
+    // Sequenced data frame: suppress duplicates, hold out-of-order frames
+    // back, and release the in-order prefix.
+    std::vector<std::vector<parcel>> ready;
+    {
+        std::int64_t const now = now_ns();
+        std::lock_guard lock(peers_lock_);
+        auto& peer = peers_[msg->src];
+        if (hdr.seq <= peer.cum_received || peer.held.count(hdr.seq) != 0)
+        {
+            counters_.duplicates_suppressed.fetch_add(
+                1, std::memory_order_relaxed);
+            // Re-ack immediately-ish so the sender stops retransmitting.
+            schedule_ack_locked(peer, now);
+        }
+        else
+        {
+            peer.held.emplace(hdr.seq, std::move(parcels));
+            for (;;)
+            {
+                auto it = peer.held.find(peer.cum_received + 1);
+                if (it == peer.held.end())
+                    break;
+                ++peer.cum_received;
+                ready.push_back(std::move(it->second));
+                peer.held.erase(it);
+            }
+            schedule_ack_locked(peer, now);
+        }
+    }
+
+    for (auto& batch : ready)
+    {
+        counters_.parcels_received.fetch_add(
+            batch.size(), std::memory_order_relaxed);
+        for (auto& p : batch)
+        {
+            scheduler_.post([this, parcel = std::move(p)]() mutable {
+                execute_parcel(std::move(parcel));
+            });
+        }
     }
     return true;
+}
+
+void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
+{
+    std::int64_t const now = now_ns();
+    std::lock_guard lock(peers_lock_);
+    auto& peer = peers_[src];
+
+    auto release = [&](std::map<std::uint64_t, unacked_frame>::iterator it) {
+        unacked_frame const& u = it->second;
+        counters_.ack_latency_ns.fetch_add(
+            static_cast<std::uint64_t>(now - u.first_send_ns),
+            std::memory_order_relaxed);
+        counters_.acked_messages.fetch_add(1, std::memory_order_relaxed);
+        if (u.attempts == 1)
+        {
+            // Karn's rule: only never-retransmitted frames give an
+            // unambiguous RTT sample.
+            double const sample_us =
+                static_cast<double>(now - u.first_send_ns) / 1000.0;
+            peer.srtt_us = peer.srtt_us <= 0.0 ?
+                sample_us :
+                (1.0 - reliability_.rtt_gain) * peer.srtt_us +
+                    reliability_.rtt_gain * sample_us;
+        }
+        peer.unacked.erase(it);
+    };
+
+    while (!peer.unacked.empty() && peer.unacked.begin()->first <= hdr.ack)
+        release(peer.unacked.begin());
+    for (unsigned i = 0; i != 64; ++i)
+    {
+        if ((hdr.sack & (1ull << i)) == 0)
+            continue;
+        if (auto it = peer.unacked.find(hdr.ack + 1 + i);
+            it != peer.unacked.end())
+            release(it);
+    }
+
+    if (peer.breaker_open &&
+        peer.unacked.size() <= reliability_.breaker_close_backlog)
+    {
+        peer.breaker_open = false;
+        COAL_LOG_INFO("parcel",
+            "link %u->%u healed: circuit breaker closed", here_, src);
+    }
+}
+
+void parcelhandler::schedule_ack_locked(peer_state& peer, std::int64_t now)
+{
+    if (peer.ack_pending)
+        return;
+    peer.ack_pending = true;
+    peer.ack_deadline_ns = now + reliability_.ack_delay_us * 1000;
+}
+
+std::uint64_t parcelhandler::sack_bits_locked(peer_state const& peer) const
+{
+    std::uint64_t bits = 0;
+    for (auto const& [seq, batch] : peer.held)
+    {
+        std::uint64_t const off = seq - peer.cum_received - 1;
+        if (off >= 64)
+            break;    // map is ordered: later entries are further out
+        bits |= 1ull << off;
+    }
+    return bits;
+}
+
+std::int64_t parcelhandler::initial_rto_ns_locked(peer_state const& peer) const
+{
+    double rto_us = static_cast<double>(reliability_.min_rto_us);
+    if (peer.srtt_us > 0.0)
+        rto_us = std::clamp(reliability_.rto_rtt_multiplier * peer.srtt_us,
+            static_cast<double>(reliability_.min_rto_us),
+            static_cast<double>(reliability_.max_rto_us));
+    return static_cast<std::int64_t>(rto_us * 1000.0);
+}
+
+void parcelhandler::maybe_trip_breaker_locked(
+    std::uint32_t dst, peer_state& peer)
+{
+    if (peer.breaker_open)
+        return;
+    bool trip = peer.unacked.size() >= reliability_.breaker_trip_backlog;
+    if (!trip && !peer.unacked.empty())
+        trip = peer.unacked.begin()->second.attempts >
+            reliability_.breaker_trip_attempts;
+    if (!trip)
+        return;
+    peer.breaker_open = true;
+    counters_.circuit_breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    COAL_LOG_WARN("parcel",
+        "link %u->%u degraded (%zu unacked): circuit breaker open, "
+        "coalescing bypassed",
+        here_, dst, peer.unacked.size());
+}
+
+bool parcelhandler::progress_reliability()
+{
+    if (!reliability_.enabled)
+        return false;
+
+    std::int64_t const now = now_ns();
+    struct ack_job
+    {
+        std::uint32_t dst;
+        frame_header hdr;
+    };
+    std::vector<ack_job> acks;
+    std::vector<std::pair<std::uint32_t, serialization::byte_buffer>> resends;
+    {
+        std::lock_guard lock(peers_lock_);
+        for (auto& [dst, peer] : peers_)
+        {
+            if (peer.ack_pending && now >= peer.ack_deadline_ns)
+            {
+                peer.ack_pending = false;
+                frame_header hdr;
+                hdr.ack = peer.cum_received;
+                hdr.sack = sack_bits_locked(peer);
+                acks.push_back(ack_job{dst, hdr});
+            }
+
+            // Selective repeat bounded by the wire format's 64-bit sack
+            // horizon: the receiver can only report frames in
+            // [cum+1, cum+64], so retransmitting beyond the left edge
+            // + 64 is blind — those frames are usually already held on
+            // the receiver, and resending them turns one early drop in
+            // a large burst into a storm of spurious retransmits.
+            // Their timers stay paused until the window slides.
+            std::uint64_t const window_end = peer.unacked.empty() ?
+                0 :
+                peer.unacked.begin()->first + 64;
+            for (auto& [seq, u] : peer.unacked)
+            {
+                if (seq > window_end)
+                    break;
+                if (now < u.deadline_ns)
+                    continue;
+                u.attempts += 1;
+                double backed =
+                    static_cast<double>(u.rto_ns) * reliability_.rto_backoff;
+                backed = std::min(backed,
+                    static_cast<double>(reliability_.max_rto_us) * 1000.0);
+                backed *=
+                    1.0 + reliability_.rto_jitter * jitter_unit(seq, u.attempts);
+                u.rto_ns = static_cast<std::int64_t>(backed);
+                u.deadline_ns = now + u.rto_ns;
+                // Refresh piggybacked acks — the stored image has stale ones.
+                patch_frame_acks(
+                    u.wire, peer.cum_received, sack_bits_locked(peer));
+                peer.ack_pending = false;    // the retransmit carries the ack
+                resends.emplace_back(
+                    dst, serialization::byte_buffer(u.wire));
+                counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+            }
+            maybe_trip_breaker_locked(dst, peer);
+        }
+    }
+
+    for (auto& job : acks)
+    {
+        counters_.acks_sent.fetch_add(1, std::memory_order_relaxed);
+        transport_.send(here_, job.dst, encode_message({}, job.hdr));
+    }
+    for (auto& [dst, wire] : resends)
+        transport_.send(here_, dst, std::move(wire));
+    return !acks.empty() || !resends.empty();
+}
+
+std::size_t parcelhandler::pending_reliability() const
+{
+    if (!reliability_.enabled)
+        return 0;
+    std::lock_guard lock(peers_lock_);
+    std::size_t pending = 0;
+    for (auto const& [dst, peer] : peers_)
+    {
+        pending += peer.unacked.size() + peer.held.size();
+        if (peer.ack_pending)
+            pending += 1;
+    }
+    return pending;
+}
+
+bool parcelhandler::link_degraded(std::uint32_t dst) const
+{
+    if (!reliability_.enabled)
+        return false;
+    std::lock_guard lock(peers_lock_);
+    auto const it = peers_.find(dst);
+    return it != peers_.end() && it->second.breaker_open;
 }
 
 bool parcelhandler::progress()
@@ -239,7 +560,8 @@ bool parcelhandler::progress()
         return false;
     bool const sent = progress_send();
     bool const received = progress_receive();
-    return sent || received;
+    bool const pumped = progress_reliability();
+    return sent || received || pumped;
 }
 
 void parcelhandler::stop()

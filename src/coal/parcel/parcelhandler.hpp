@@ -31,13 +31,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 namespace coal::parcel {
 
-/// Monotonic counters the /parcels, /messages and /data performance
+/// Monotonic counters the /parcels, /messages, /data and /net performance
 /// counters read.
 struct parcelhandler_counters
 {
@@ -49,13 +50,61 @@ struct parcelhandler_counters
     std::atomic<std::uint64_t> bytes_sent{0};
     std::atomic<std::uint64_t> bytes_received{0};
     std::atomic<std::uint64_t> parcels_executed{0};
+    // Reliability layer (all zero while it is disabled):
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> duplicates_suppressed{0};
+    std::atomic<std::uint64_t> acks_sent{0};    ///< standalone ack frames
+    std::atomic<std::uint64_t> ack_latency_ns{0};
+    std::atomic<std::uint64_t> acked_messages{0};
+    std::atomic<std::uint64_t> circuit_breaker_trips{0};
+};
+
+/// Tunables of the ack/retransmit protocol.  Disabled by default: every
+/// frame then goes out unsequenced (seq 0) exactly as before, so the
+/// zero-loss fast path pays only the 24 unused header bytes.
+struct reliability_params
+{
+    bool enabled = false;
+
+    /// How long a received frame may wait for a piggyback opportunity
+    /// before a standalone ack frame is emitted.
+    std::int64_t ack_delay_us = 200;
+
+    /// Retransmission timeout bounds and backoff.  The floor is
+    /// deliberately conservative: the protocol has no flow control, so
+    /// until the smoothed RTT converges a burst of outstanding frames
+    /// must not outrun the timer — an aggressive floor turns every
+    /// burst into a spurious retransmit storm (and Karn's rule then
+    /// keeps srtt from ever converging).  Latency-sensitive callers
+    /// with small windows can lower it.
+    std::int64_t min_rto_us = 50000;
+    std::int64_t max_rto_us = 200000;
+    double rto_backoff = 2.0;
+    double rto_jitter = 0.25;    ///< uniform fraction added on each backoff
+
+    /// RTO = rto_rtt_multiplier × smoothed RTT (clamped to the bounds);
+    /// the EWMA gain follows RFC 6298's alpha.
+    double rtt_gain = 0.125;
+    double rto_rtt_multiplier = 4.0;
+
+    /// Per-link circuit breaker: opens when the retransmit backlog or the
+    /// oldest frame's attempt count crosses a threshold, closes once the
+    /// backlog drains to the low-water mark.  An open breaker makes the
+    /// coalescer flush immediately for that destination.
+    /// A healthy burst parks hundreds of unacked frames for one RTT, so
+    /// the backlog threshold must sit well above any sane window, and a
+    /// frame must survive several backoff doublings before its attempt
+    /// count signals a dark link rather than a slow ack.
+    std::size_t breaker_trip_backlog = 4096;
+    unsigned breaker_trip_attempts = 5;
+    std::size_t breaker_close_backlog = 2;
 };
 
 class parcelhandler
 {
 public:
     parcelhandler(std::uint32_t here, net::transport& transport,
-        threading::scheduler& scheduler);
+        threading::scheduler& scheduler, reliability_params reliability = {});
     ~parcelhandler();
 
     parcelhandler(parcelhandler const&) = delete;
@@ -114,17 +163,37 @@ public:
     }
 
     /// Outbound messages accepted by send_message but not yet handed to
-    /// the transport.
+    /// the transport.  Includes frames mid-encode inside progress_send so
+    /// quiescence checks never observe zero while a message is between
+    /// the queue and the wire.
     [[nodiscard]] std::size_t pending_sends() const
     {
-        return outbound_.size();
+        return outbound_.size() +
+            sends_in_progress_.load(std::memory_order_acquire);
     }
 
-    /// Received wire messages not yet decoded/executed.
+    /// Received wire messages not yet decoded/executed.  Includes frames
+    /// mid-decode inside progress_receive (tasks are posted before the
+    /// in-progress count drops, so the work is always visible somewhere).
     [[nodiscard]] std::size_t pending_receives() const
     {
-        return inbox_.size();
+        return inbox_.size() +
+            receives_in_progress_.load(std::memory_order_acquire);
     }
+
+    [[nodiscard]] reliability_params const& reliability() const noexcept
+    {
+        return reliability_;
+    }
+
+    /// Unfinished reliability state: unacked outbound frames, parcels held
+    /// for reordering, and acks not yet emitted.  Zero when disabled.
+    /// quiesce() waits on this so retransmits cannot outlive shutdown.
+    [[nodiscard]] std::size_t pending_reliability() const;
+
+    /// True while the circuit breaker for the link to `dst` is open.  The
+    /// coalescing handler bypasses batching for degraded links.
+    [[nodiscard]] bool link_degraded(std::uint32_t dst) const;
 
     /// Stop accepting traffic (queues close; progress drains nothing new).
     void stop();
@@ -142,10 +211,44 @@ private:
         serialization::byte_buffer payload;
     };
 
+    /// An outbound frame awaiting acknowledgement; the encoded wire image
+    /// is retained so retransmission needs no re-framing.
+    struct unacked_frame
+    {
+        serialization::byte_buffer wire;
+        std::int64_t first_send_ns = 0;
+        std::int64_t deadline_ns = 0;
+        std::int64_t rto_ns = 0;
+        unsigned attempts = 1;
+    };
+
+    /// Per-(peer, direction) reliability state, guarded by peers_lock_.
+    struct peer_state
+    {
+        // Sender side.
+        std::uint64_t next_seq = 1;
+        std::map<std::uint64_t, unacked_frame> unacked;
+        double srtt_us = 0.0;
+        // Receiver side.
+        std::uint64_t cum_received = 0;
+        std::map<std::uint64_t, std::vector<parcel>> held;    // out of order
+        bool ack_pending = false;
+        std::int64_t ack_deadline_ns = 0;
+        // Per-link circuit breaker.
+        bool breaker_open = false;
+    };
+
     void deliver_local(parcel&& p);
     void execute_parcel(parcel&& p);
     bool progress_send();
     bool progress_receive();
+    bool progress_reliability();
+    void handle_acks(std::uint32_t src, frame_header const& hdr);
+    void schedule_ack_locked(peer_state& peer, std::int64_t now);
+    [[nodiscard]] std::uint64_t sack_bits_locked(peer_state const& peer) const;
+    [[nodiscard]] std::int64_t initial_rto_ns_locked(
+        peer_state const& peer) const;
+    void maybe_trip_breaker_locked(std::uint32_t dst, peer_state& peer);
     void complete_promise(
         continuation_id id, serialization::byte_buffer&& payload);
 
@@ -168,7 +271,16 @@ private:
     std::function<std::shared_ptr<void>(agas::gid, std::type_index)>
         component_resolver_;
 
+    reliability_params reliability_;
+    mutable spinlock peers_lock_;
+    std::unordered_map<std::uint32_t, peer_state> peers_;
+
     parcelhandler_counters counters_;
+    // Messages popped from outbound_/inbox_ but still being processed.
+    // Incremented before the pop so pending_sends()/pending_receives()
+    // never transiently read zero while a message is in flight.
+    std::atomic<std::size_t> sends_in_progress_{0};
+    std::atomic<std::size_t> receives_in_progress_{0};
     std::atomic<bool> stopped_{false};
 };
 

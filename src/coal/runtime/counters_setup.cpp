@@ -270,6 +270,84 @@ void runtime::register_counters()
             return static_cast<double>(c.bytes_received.load());
         }));
 
+    // ---- reliability & fault injection (/net) --------------------------
+
+    counters_.register_counter_type("/net/count/drops",
+        "messages lost by the transport (shutdown races, missing handlers, "
+        "injected faults)",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this] {
+                return static_cast<double>(
+                    transport_->stats().messages_dropped);
+            });
+        });
+    counters_.register_counter_type("/net/count/drops-injected",
+        "messages dropped by the fault plan",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this] {
+                return static_cast<double>(transport_->stats().drops_injected);
+            });
+        });
+    counters_.register_counter_type("/net/count/duplicates-injected",
+        "duplicate messages forged by the fault plan",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this] {
+                return static_cast<double>(
+                    transport_->stats().duplicates_injected);
+            });
+        });
+    counters_.register_counter_type("/net/count/retransmits",
+        "frames retransmitted by the reliability layer",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.retransmits.load());
+        }));
+    counters_.register_counter_type("/net/count/duplicates-suppressed",
+        "received frames discarded as duplicates by the reliability layer",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.duplicates_suppressed.load());
+        }));
+    counters_.register_counter_type("/net/count/acks",
+        "standalone ack frames emitted",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.acks_sent.load());
+        }));
+    counters_.register_counter_type("/net/count/circuit-breaker-trips",
+        "times a per-link circuit breaker opened (coalescing bypassed)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.circuit_breaker_trips.load());
+        }));
+    counters_.register_counter_type("/net/time/average-ack-latency",
+        "mean time from first transmission to acknowledgement, µs",
+        [this](counter_path const& path) -> counter_ptr {
+            std::vector<locality*> selected;
+            if (auto loc = path.locality())
+            {
+                if (*loc >= num_localities())
+                    return nullptr;
+                selected.push_back(localities_[*loc].get());
+            }
+            else
+            {
+                for (auto const& l : localities_)
+                    selected.push_back(l.get());
+            }
+            return std::make_shared<ratio_counter>(
+                [selected] {
+                    double ns = 0.0;
+                    for (auto* l : selected)
+                        ns += static_cast<double>(
+                            l->parcels().counters().ack_latency_ns.load());
+                    return ns / 1000.0;    // report µs
+                },
+                [selected] {
+                    double n = 0.0;
+                    for (auto* l : selected)
+                        n += static_cast<double>(
+                            l->parcels().counters().acked_messages.load());
+                    return n;
+                });
+        });
+
     // ---- coalescing counters (the paper's §II-B additions) -------------
 
     // Collect the per-action counter blocks selected by a path: one

@@ -36,7 +36,8 @@ public:
     locality(runtime& rt, agas::locality_id id,
         threading::scheduler_config scheduler_config,
         net::transport& transport,
-        timing::deadline_timer_service& timers);
+        timing::deadline_timer_service& timers,
+        parcel::reliability_params reliability = {});
 
     locality(locality const&) = delete;
     locality& operator=(locality const&) = delete;

@@ -20,12 +20,26 @@ runtime::runtime(runtime_config config)
 
     agas_ = std::make_unique<agas::address_space>(config_.num_localities);
 
+    std::unique_ptr<net::transport> base;
     if (config_.use_loopback)
-        transport_ =
+        base =
             std::make_unique<net::loopback_transport>(config_.num_localities);
     else
-        transport_ = std::make_unique<net::sim_network>(
+        base = std::make_unique<net::sim_network>(
             config_.num_localities, config_.network);
+
+    if (config_.faults.active())
+    {
+        // Lossy mode: wrap the transport in the fault injector, and force
+        // the reliability layer on — delivery must stay exactly-once.
+        transport_ = std::make_unique<net::faulty_transport>(
+            std::move(base), config_.faults);
+        config_.reliability.enabled = true;
+    }
+    else
+    {
+        transport_ = std::move(base);
+    }
 
     timers_ = std::make_unique<timing::deadline_timer_service>();
     barrier_ = std::make_unique<help_barrier>(config_.num_localities);
@@ -38,7 +52,8 @@ runtime::runtime(runtime_config config)
         sched.idle_sleep_us = config_.idle_sleep_us;
         sched.name = "locality#" + std::to_string(i);
         localities_.push_back(std::make_unique<locality>(*this,
-            agas::locality_id{i}, sched, *transport_, *timers_));
+            agas::locality_id{i}, sched, *transport_, *timers_,
+            config_.reliability));
     }
 
     // Component actions resolve their target objects through AGAS.
@@ -206,11 +221,21 @@ void runtime::quiesce()
             if (loc->scheduler().pending_tasks() != 0 ||
                 loc->parcels().pending_sends() != 0 ||
                 loc->parcels().pending_receives() != 0 ||
+                loc->parcels().pending_reliability() != 0 ||
                 loc->coalescing().queued_parcels() != 0)
             {
                 busy = true;
                 break;
             }
+        }
+        if (!busy && transport_->in_flight() != 0)
+        {
+            // Handlers are quiet but the transport still holds messages.
+            // Some will move on their own (sim wire latency), but a
+            // reorder-parked frame has no follow-up traffic left to swap
+            // it out — flush instead of waiting forever.
+            transport_->drain();
+            continue;
         }
         if (!busy && transport_->in_flight() == 0)
         {
@@ -224,6 +249,7 @@ void runtime::quiesce()
                     loc->scheduler().pending_tasks() != 0 ||
                     loc->parcels().pending_sends() != 0 ||
                     loc->parcels().pending_receives() != 0 ||
+                    loc->parcels().pending_reliability() != 0 ||
                     loc->coalescing().queued_parcels() != 0;
             }
             if (!still_busy)

@@ -13,6 +13,7 @@
 ///     rt.stop();
 
 #include <coal/agas/address_space.hpp>
+#include <coal/net/faulty_transport.hpp>
 #include <coal/net/sim_network.hpp>
 #include <coal/net/transport.hpp>
 #include <coal/perf/registry.hpp>
@@ -47,6 +48,15 @@ struct runtime_config
 
     /// Idle worker sleep between background polls (µs).
     std::int64_t idle_sleep_us = 100;
+
+    /// Fault injection: when the plan is active the transport is wrapped
+    /// in a faulty_transport and the reliability layer is forced on.
+    net::fault_plan faults{};
+
+    /// Ack/retransmit protocol tunables.  `enabled` is implied by an
+    /// active fault plan but can also be set on its own (e.g. to measure
+    /// the reliability overhead on a lossless link).
+    parcel::reliability_params reliability{};
 };
 
 class runtime

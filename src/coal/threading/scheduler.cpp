@@ -106,18 +106,21 @@ void scheduler::execute(task_type task, worker_counters& counters)
     task();
     std::int64_t const t_exec_end = now_ns();
 
-    // Bookkeeping below (counter updates, pending decrement, idle
-    // notification) is the task-management overhead of Eq. 2.
+    // Bookkeeping below (counter updates) is the task-management overhead
+    // of Eq. 2.
     counters.exec_time_ns.fetch_add(
         t_exec_end - t_start, std::memory_order_relaxed);
     counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
 
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        idle_cv_.notify_all();
-
     std::int64_t const t_end = now_ns();
     counters.func_time_ns.fetch_add(
         t_end - t_start, std::memory_order_relaxed);
+
+    // Decrement pending_ only after all accounting: a wait_idle() caller
+    // woken by this notification must observe a consistent snapshot
+    // (func >= exec, all 100 of 100 tasks counted).
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        idle_cv_.notify_all();
 }
 
 bool scheduler::do_background_work(worker_counters* counters)

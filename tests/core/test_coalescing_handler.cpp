@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace {
@@ -75,7 +76,11 @@ struct handler_harness
 
     void settle()
     {
-        for (int i = 0; i != 4000; ++i)
+        // Wall-clock deadline, not an iteration count: under parallel
+        // test load each sleep can stretch far past its nominal duration.
+        auto const deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(15);
+        while (std::chrono::steady_clock::now() < deadline)
         {
             if (ph0.pending_sends() == 0 && ph1.pending_receives() == 0 &&
                 sched1.pending_tasks() == 0)

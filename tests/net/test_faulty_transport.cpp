@@ -1,0 +1,304 @@
+// Fault-injecting transport decorator: deterministic seeded drops,
+// duplication, pairwise reordering, blackout windows, config parsing and
+// the conservation invariant (sent == delivered + dropped) under all of
+// them.  The loopback inner transport keeps everything synchronous.
+
+#include <coal/net/faulty_transport.hpp>
+
+#include <coal/common/config.hpp>
+#include <coal/net/loopback.hpp>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::net::blackout_window;
+using coal::net::fault_plan;
+using coal::net::faulty_transport;
+using coal::net::link_fault;
+using coal::net::loopback_transport;
+using coal::serialization::byte_buffer;
+
+// Send `n` one-byte messages 0 -> 1 (payload = message index) and return
+// the indices that actually arrived, in delivery order.
+std::vector<int> run_indexed_sends(fault_plan const& plan, int n)
+{
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    std::vector<int> arrived;
+    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&& buf) {
+        ASSERT_EQ(buf.size(), 1u);
+        arrived.push_back(static_cast<int>(buf[0]));
+    });
+    for (int i = 0; i != n; ++i)
+        net.send(0, 1, byte_buffer{static_cast<std::uint8_t>(i)});
+    net.drain();
+    return arrived;
+}
+
+void expect_conservation(coal::net::transport_stats const& s)
+{
+    EXPECT_EQ(s.messages_sent, s.messages_delivered + s.messages_dropped);
+}
+
+TEST(FaultyTransport, DropsAreDeterministicPerSeed)
+{
+    fault_plan plan;
+    plan.seed = 42;
+    plan.drop_probability = 0.3;
+
+    auto const first = run_indexed_sends(plan, 200);
+    auto const second = run_indexed_sends(plan, 200);
+    // Some but not all messages survive, and the pattern is reproducible.
+    EXPECT_GT(first.size(), 0u);
+    EXPECT_LT(first.size(), 200u);
+    EXPECT_EQ(first, second);
+
+    plan.seed = 43;
+    auto const other_seed = run_indexed_sends(plan, 200);
+    EXPECT_NE(first, other_seed);
+}
+
+TEST(FaultyTransport, DropAccountingConserves)
+{
+    fault_plan plan;
+    plan.drop_probability = 0.5;
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    std::uint64_t delivered = 0;
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+    for (int i = 0; i != 1000; ++i)
+        net.send(0, 1, byte_buffer{1});
+    net.drain();
+
+    auto const s = net.stats();
+    EXPECT_EQ(s.messages_sent, 1000u);
+    EXPECT_GT(s.drops_injected, 0u);
+    EXPECT_EQ(s.messages_dropped, s.drops_injected);
+    EXPECT_EQ(s.messages_delivered, delivered);
+    expect_conservation(s);
+}
+
+TEST(FaultyTransport, LinkOverrideReplacesGlobalRate)
+{
+    fault_plan plan;
+    plan.drop_probability = 1.0;
+    plan.link_overrides.push_back(link_fault{0, 1, 0.0});
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    int to1 = 0, to0 = 0;
+    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&&) { ++to1; });
+    net.set_delivery_handler(0, [&](std::uint32_t, byte_buffer&&) { ++to0; });
+
+    for (int i = 0; i != 10; ++i)
+    {
+        net.send(0, 1, byte_buffer{1});    // exempted link: all pass
+        net.send(1, 0, byte_buffer{1});    // global rate: all dropped
+    }
+    net.drain();
+    EXPECT_EQ(to1, 10);
+    EXPECT_EQ(to0, 0);
+    EXPECT_EQ(net.stats().drops_injected, 10u);
+    expect_conservation(net.stats());
+}
+
+TEST(FaultyTransport, DuplicationForgesCountedExtraCopies)
+{
+    fault_plan plan;
+    plan.duplicate_probability = 1.0;
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    std::uint64_t delivered = 0;
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+    for (int i = 0; i != 100; ++i)
+        net.send(0, 1, byte_buffer{1, 2});
+    net.drain();
+
+    auto const s = net.stats();
+    EXPECT_EQ(delivered, 200u);
+    EXPECT_EQ(s.duplicates_injected, 100u);
+    // The forged copy is an extra sent message: conservation still holds.
+    EXPECT_EQ(s.messages_sent, 200u);
+    expect_conservation(s);
+}
+
+TEST(FaultyTransport, ReorderSwapsAdjacentDeliveries)
+{
+    fault_plan plan;
+    plan.reorder_probability = 1.0;
+
+    // Every first delivery on the link is parked and released after the
+    // next one: 0,1,2,3,4,5 arrives as 1,0,3,2,5,4.
+    auto const arrived = run_indexed_sends(plan, 6);
+    EXPECT_EQ(arrived, (std::vector<int>{1, 0, 3, 2, 5, 4}));
+}
+
+TEST(FaultyTransport, DrainReleasesParkedMessages)
+{
+    fault_plan plan;
+    plan.reorder_probability = 1.0;
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    int delivered = 0;
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+
+    net.send(0, 1, byte_buffer{7});
+    // The lone message sits in the reorder slot with no follower.
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(net.in_flight(), 1u);
+
+    net.drain();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(net.in_flight(), 0u);
+    expect_conservation(net.stats());
+}
+
+TEST(FaultyTransport, ShutdownDropsParkedMessages)
+{
+    fault_plan plan;
+    plan.reorder_probability = 1.0;
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+    net.send(0, 1, byte_buffer{7});    // parked
+    net.shutdown();
+
+    auto s = net.stats();
+    EXPECT_EQ(s.messages_dropped, 1u);
+    expect_conservation(s);
+
+    // Post-shutdown sends stay visible as drops too.
+    net.send(0, 1, byte_buffer{8});
+    s = net.stats();
+    EXPECT_EQ(s.messages_sent, 2u);
+    EXPECT_EQ(s.messages_dropped, 2u);
+    expect_conservation(s);
+}
+
+TEST(FaultyTransport, BlackoutWindowDropsMatchingLinkOnly)
+{
+    fault_plan plan;
+    blackout_window w;
+    w.src = 0;
+    w.dst = 1;
+    w.start_us = 0;
+    w.end_us = 60'000'000;    // effectively "for the whole test"
+    plan.blackouts.push_back(w);
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    int to1 = 0, to0 = 0;
+    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&&) { ++to1; });
+    net.set_delivery_handler(0, [&](std::uint32_t, byte_buffer&&) { ++to0; });
+
+    net.send(0, 1, byte_buffer{1});    // inside the partition
+    net.send(1, 0, byte_buffer{1});    // reverse direction unaffected
+    net.drain();
+
+    EXPECT_EQ(to1, 0);
+    EXPECT_EQ(to0, 1);
+    EXPECT_EQ(net.stats().drops_injected, 1u);
+    expect_conservation(net.stats());
+}
+
+TEST(FaultyTransport, BlackoutWindowEnds)
+{
+    fault_plan plan;
+    blackout_window w;
+    w.start_us = 0;
+    w.end_us = 30'000;    // 30 ms, wildcard links
+    plan.blackouts.push_back(w);
+
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    int delivered = 0;
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+
+    net.send(0, 1, byte_buffer{1});
+    EXPECT_EQ(delivered, 0);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    net.send(0, 1, byte_buffer{2});
+    net.drain();
+    EXPECT_EQ(delivered, 1);
+    expect_conservation(net.stats());
+}
+
+TEST(FaultyTransport, StatsRollUpInnerDrops)
+{
+    // No handler registered on the inner loopback for locality 1: the
+    // wrapper's interposed handler exists, but the wrapper itself has no
+    // user handler, so the drop lands at the decorator level; either way
+    // the rolled-up stats must balance.
+    faulty_transport net(std::make_unique<loopback_transport>(2), fault_plan{});
+    net.send(0, 1, byte_buffer{1});
+    net.drain();
+    auto const s = net.stats();
+    EXPECT_EQ(s.messages_sent, 1u);
+    EXPECT_EQ(s.messages_delivered, 0u);
+    EXPECT_EQ(s.messages_dropped, 1u);
+    expect_conservation(s);
+}
+
+TEST(FaultyTransport, NonOwningConstructorSharesInner)
+{
+    loopback_transport inner(2);
+    fault_plan plan;
+    plan.drop_probability = 1.0;
+    faulty_transport net(inner, plan);
+    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+
+    net.send(0, 1, byte_buffer{1});
+    EXPECT_EQ(net.stats().drops_injected, 1u);
+    // The inner transport never saw the dropped message.
+    EXPECT_EQ(inner.stats().messages_sent, 0u);
+}
+
+TEST(FaultyTransport, DefaultPlanIsInactive)
+{
+    fault_plan plan;
+    EXPECT_FALSE(plan.active());
+    plan.duplicate_probability = 0.1;
+    EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultyTransport, FromConfigParsesFaultKeys)
+{
+    coal::config cfg;
+    cfg.set("fault.seed", "7");
+    cfg.set("fault.drop", "0.25");
+    cfg.set("fault.duplicate", "0.5");
+    cfg.set("fault.reorder", "0.125");
+    cfg.set("fault.blackout.start_us", "10");
+    cfg.set("fault.blackout.end_us", "20");
+    cfg.set("fault.blackout.src", "1");
+
+    auto const plan = fault_plan::from_config(cfg);
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_DOUBLE_EQ(plan.drop_probability, 0.25);
+    EXPECT_DOUBLE_EQ(plan.duplicate_probability, 0.5);
+    EXPECT_DOUBLE_EQ(plan.reorder_probability, 0.125);
+    ASSERT_EQ(plan.blackouts.size(), 1u);
+    EXPECT_EQ(plan.blackouts[0].start_us, 10);
+    EXPECT_EQ(plan.blackouts[0].end_us, 20);
+    EXPECT_EQ(plan.blackouts[0].src, 1u);
+    EXPECT_EQ(plan.blackouts[0].dst, blackout_window::any_locality);
+    EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultyTransport, FromConfigRejectsEmptyBlackout)
+{
+    coal::config cfg;
+    cfg.set("fault.blackout.end_us", "0");    // end <= start: ignored
+    auto const plan = fault_plan::from_config(cfg);
+    EXPECT_TRUE(plan.blackouts.empty());
+    EXPECT_FALSE(plan.active());
+}
+
+}    // namespace

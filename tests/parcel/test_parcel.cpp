@@ -111,7 +111,7 @@ TEST(Message, ByteConservationProperty)
         }
 
         auto const wire = encode_message(in);
-        std::size_t const expected_frame = 8 +
+        std::size_t const expected_frame = coal::parcel::frame_prefix_bytes +
             static_cast<std::size_t>(n) * (parcel::header_bytes + 8) +
             payload_in;
         EXPECT_EQ(wire.size(), expected_frame);
@@ -122,6 +122,58 @@ TEST(Message, ByteConservationProperty)
             payload_out += p.arguments.size();
         EXPECT_EQ(payload_out, payload_in);
     }
+}
+
+TEST(Message, ReliabilityHeaderRoundTrip)
+{
+    coal::parcel::frame_header in_hdr;
+    in_hdr.seq = 42;
+    in_hdr.ack = 41;
+    in_hdr.sack = 0b1010;
+
+    auto const wire =
+        encode_message({make_parcel(0, 1, 7, 4, 0x11)}, in_hdr);
+    coal::parcel::frame_header out_hdr;
+    auto const out = decode_message(wire, &out_hdr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out_hdr.seq, 42u);
+    EXPECT_EQ(out_hdr.ack, 41u);
+    EXPECT_EQ(out_hdr.sack, 0b1010u);
+}
+
+TEST(Message, DefaultHeaderIsUnsequenced)
+{
+    auto const wire = encode_message({make_parcel(0, 1, 7, 4, 0)});
+    coal::parcel::frame_header hdr;
+    (void) decode_message(wire, &hdr);
+    EXPECT_EQ(hdr.seq, 0u);
+    EXPECT_EQ(hdr.ack, 0u);
+    EXPECT_EQ(hdr.sack, 0u);
+}
+
+TEST(Message, PatchFrameAcksRewritesInPlace)
+{
+    coal::parcel::frame_header hdr;
+    hdr.seq = 9;
+    auto wire = encode_message({make_parcel(0, 1, 7, 4, 0)}, hdr);
+    coal::parcel::patch_frame_acks(wire, 123, 0xf0);
+
+    coal::parcel::frame_header out;
+    (void) decode_message(wire, &out);
+    EXPECT_EQ(out.seq, 9u);    // seq untouched
+    EXPECT_EQ(out.ack, 123u);
+    EXPECT_EQ(out.sack, 0xf0u);
+}
+
+TEST(Message, AckOnlyFrameHasNoParcels)
+{
+    coal::parcel::frame_header hdr;
+    hdr.ack = 17;
+    auto const wire = encode_message({}, hdr);
+    EXPECT_EQ(wire.size(), coal::parcel::frame_prefix_bytes);
+    coal::parcel::frame_header out;
+    EXPECT_TRUE(decode_message(wire, &out).empty());
+    EXPECT_EQ(out.ack, 17u);
 }
 
 TEST(Message, BadMagicRejected)
@@ -157,8 +209,10 @@ TEST(Message, LyingParcelCountRejected)
 TEST(Message, LyingPayloadLengthRejected)
 {
     auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
-    // The payload-length field sits after magic+count+header; set it huge.
-    std::size_t const offset = 8 + parcel::header_bytes;
+    // The payload-length field sits after the frame prefix + parcel header;
+    // set it huge.
+    std::size_t const offset =
+        coal::parcel::frame_prefix_bytes + parcel::header_bytes;
     wire[offset] = 0xff;
     wire[offset + 1] = 0xff;
     wire[offset + 2] = 0xff;

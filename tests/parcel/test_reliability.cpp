@@ -1,0 +1,294 @@
+// Reliability layer (ack/retransmit/dedup) driven through a fault-
+// injecting loopback: exactly-once in-order delivery under drops,
+// duplicates and reordering, standalone acks, and the per-link circuit
+// breaker.
+
+#include <coal/parcel/parcelhandler.hpp>
+
+#include <coal/common/stopwatch.hpp>
+#include <coal/net/faulty_transport.hpp>
+#include <coal/net/loopback.hpp>
+#include <coal/parcel/action.hpp>
+#include <coal/threading/scheduler.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::atomic<int> g_rel_sum{0};
+std::mutex g_rel_order_lock;
+std::vector<int> g_rel_order;
+
+int rel_record(int x)
+{
+    g_rel_sum += x;
+    {
+        std::lock_guard lock(g_rel_order_lock);
+        g_rel_order.push_back(x);
+    }
+    return x;
+}
+
+}    // namespace
+
+COAL_PLAIN_ACTION(rel_record, rel_record_action);
+
+namespace {
+
+using coal::net::blackout_window;
+using coal::net::fault_plan;
+using coal::net::faulty_transport;
+using coal::net::loopback_transport;
+using coal::parcel::parcel;
+using coal::parcel::parcelhandler;
+using coal::parcel::reliability_params;
+using coal::threading::scheduler;
+using coal::threading::scheduler_config;
+
+reliability_params fast_reliability()
+{
+    reliability_params rel;
+    rel.enabled = true;
+    rel.ack_delay_us = 100;
+    rel.min_rto_us = 500;
+    rel.max_rto_us = 20000;
+    return rel;
+}
+
+// Two-locality harness: loopback wrapped in the fault injector, with the
+// ack/retransmit layer switched on.
+struct lossy_harness
+{
+    explicit lossy_harness(
+        fault_plan plan, reliability_params rel = fast_reliability())
+      : inner(2)
+      , faulty(inner, plan)
+      , sched0(make_cfg())
+      , sched1(make_cfg())
+      , ph0(0, faulty, sched0, rel)
+      , ph1(1, faulty, sched1, rel)
+    {
+        g_rel_sum = 0;
+        {
+            std::lock_guard lock(g_rel_order_lock);
+            g_rel_order.clear();
+        }
+    }
+
+    ~lossy_harness()
+    {
+        settle();
+        ph0.stop();
+        ph1.stop();
+        sched0.stop();
+        sched1.stop();
+    }
+
+    static scheduler_config make_cfg()
+    {
+        scheduler_config cfg;
+        cfg.num_workers = 1;
+        cfg.idle_sleep_us = 50;
+        return cfg;
+    }
+
+    [[nodiscard]] bool handlers_quiet()
+    {
+        return ph0.pending_sends() == 0 && ph1.pending_sends() == 0 &&
+            ph0.pending_receives() == 0 && ph1.pending_receives() == 0 &&
+            ph0.pending_reliability() == 0 && ph1.pending_reliability() == 0 &&
+            sched0.pending_tasks() == 0 && sched1.pending_tasks() == 0;
+    }
+
+    [[nodiscard]] bool quiet()
+    {
+        return handlers_quiet() && faulty.in_flight() == 0;
+    }
+
+    // Retransmission chains need real time (RTO backoff), so the settle
+    // deadline is generous; a healthy run finishes in milliseconds.
+    void settle()
+    {
+        coal::stopwatch deadline;
+        while (deadline.elapsed_ms() < 15000.0)
+        {
+            if (quiet())
+            {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                if (quiet())
+                    return;
+            }
+            // Handlers quiet but a frame is still inside the transport:
+            // a reorder-parked message with no follow-up traffic on its
+            // link never moves on its own — flush it (mirrors quiesce).
+            if (handlers_quiet() && faulty.in_flight() != 0)
+                faulty.drain();
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        FAIL() << "lossy harness did not settle";
+    }
+
+    loopback_transport inner;
+    faulty_transport faulty;
+    scheduler sched0, sched1;
+    parcelhandler ph0, ph1;
+};
+
+parcel make_request(std::uint32_t dst, int arg, std::uint64_t continuation = 0)
+{
+    parcel p;
+    p.dest = dst;
+    p.action = rel_record_action::id();
+    p.continuation = continuation;
+    p.arguments = rel_record_action::make_arguments(arg);
+    return p;
+}
+
+TEST(Reliability, ExactlyOnceUnderDrops)
+{
+    fault_plan plan;
+    plan.drop_probability = 0.2;
+    lossy_harness h(plan);
+
+    constexpr int n = 200;
+    for (int i = 0; i != n; ++i)
+        h.ph0.put_parcel(make_request(1, 1));
+    h.settle();
+
+    EXPECT_EQ(g_rel_sum.load(), n);
+    EXPECT_EQ(h.ph1.counters().parcels_executed.load(), static_cast<unsigned>(n));
+    // A 20% drop rate over hundreds of frames must force retransmission.
+    EXPECT_GT(h.ph0.counters().retransmits.load(), 0u);
+    EXPECT_GT(h.faulty.stats().drops_injected, 0u);
+}
+
+TEST(Reliability, DuplicatedFramesAreSuppressed)
+{
+    fault_plan plan;
+    plan.duplicate_probability = 1.0;
+    lossy_harness h(plan);
+
+    constexpr int n = 50;
+    for (int i = 0; i != n; ++i)
+        h.ph0.put_parcel(make_request(1, 1));
+    h.settle();
+
+    // Every data frame arrived twice; the second copy must be invisible.
+    EXPECT_EQ(g_rel_sum.load(), n);
+    EXPECT_EQ(h.ph1.counters().parcels_executed.load(), static_cast<unsigned>(n));
+    EXPECT_GT(h.ph1.counters().duplicates_suppressed.load(), 0u);
+}
+
+TEST(Reliability, ReorderedFramesAreDeliveredInOrder)
+{
+    fault_plan plan;
+    plan.reorder_probability = 1.0;
+    lossy_harness h(plan);
+
+    constexpr int n = 60;
+    for (int i = 0; i != n; ++i)
+        h.ph0.put_parcel(make_request(1, i));
+    h.settle();
+
+    std::vector<int> expected(n);
+    for (int i = 0; i != n; ++i)
+        expected[i] = i;
+    std::lock_guard lock(g_rel_order_lock);
+    EXPECT_EQ(g_rel_order, expected);
+}
+
+TEST(Reliability, StandaloneAckDrainsUnackedWithoutRetransmit)
+{
+    // No reverse traffic to piggyback on, and an RTO far beyond the ack
+    // delay: the receiver's standalone ack must drain the sender.
+    reliability_params rel = fast_reliability();
+    rel.ack_delay_us = 100;
+    rel.min_rto_us = 100000;
+    lossy_harness h(fault_plan{}, rel);
+
+    h.ph0.put_parcel(make_request(1, 5));
+    h.settle();
+
+    EXPECT_EQ(g_rel_sum.load(), 5);
+    EXPECT_EQ(h.ph0.pending_reliability(), 0u);
+    EXPECT_GE(h.ph1.counters().acks_sent.load(), 1u);
+    EXPECT_GE(h.ph0.counters().acked_messages.load(), 1u);
+    EXPECT_GT(h.ph0.counters().ack_latency_ns.load(), 0u);
+    EXPECT_EQ(h.ph0.counters().retransmits.load(), 0u);
+}
+
+TEST(Reliability, ResponsesRoundTripUnderLoss)
+{
+    fault_plan plan;
+    plan.drop_probability = 0.15;
+    lossy_harness h(plan);
+
+    constexpr int n = 100;
+    std::atomic<int> completed{0};
+    for (int i = 0; i != n; ++i)
+    {
+        auto const id = h.ph0.register_response_callback(
+            [&completed](coal::serialization::byte_buffer&&) { ++completed; });
+        h.ph0.put_parcel(make_request(1, 1, id));
+    }
+    h.settle();
+
+    EXPECT_EQ(completed.load(), n);
+    EXPECT_EQ(h.ph0.pending_responses(), 0u);
+    EXPECT_EQ(g_rel_sum.load(), n);
+}
+
+TEST(Reliability, CircuitBreakerTripsDuringBlackoutAndHeals)
+{
+    fault_plan plan;
+    blackout_window w;
+    w.src = 0;
+    w.dst = 1;
+    w.start_us = 0;
+    w.end_us = 80'000;    // 80 ms outage on the forward link
+    plan.blackouts.push_back(w);
+    auto rel = fast_reliability();
+    rel.breaker_trip_backlog = 32;    // trip on backlog, not attempts
+    lossy_harness h(plan, rel);
+
+    constexpr int n = 40;    // backlog above breaker_trip_backlog
+    for (int i = 0; i != n; ++i)
+        h.ph0.put_parcel(make_request(1, 1));
+
+    // The breaker must open while the link is dark.
+    coal::stopwatch trip_deadline;
+    while (!h.ph0.link_degraded(1) && trip_deadline.elapsed_ms() < 5000.0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(h.ph0.link_degraded(1));
+    EXPECT_GE(h.ph0.counters().circuit_breaker_trips.load(), 1u);
+
+    // After the window passes, retransmission delivers everything and
+    // the acks close the breaker again.
+    h.settle();
+    EXPECT_EQ(g_rel_sum.load(), n);
+    EXPECT_EQ(h.ph1.counters().parcels_executed.load(), static_cast<unsigned>(n));
+    EXPECT_FALSE(h.ph0.link_degraded(1));
+    EXPECT_GT(h.ph0.counters().retransmits.load(), 0u);
+}
+
+TEST(Reliability, DisabledLayerSendsUnsequencedFrames)
+{
+    // Reliability off: no acks, no retransmits, nothing pending.
+    reliability_params rel;
+    rel.enabled = false;
+    lossy_harness h(fault_plan{}, rel);
+
+    h.ph0.put_parcel(make_request(1, 3));
+    h.settle();
+    EXPECT_EQ(g_rel_sum.load(), 3);
+    EXPECT_EQ(h.ph0.counters().retransmits.load(), 0u);
+    EXPECT_EQ(h.ph1.counters().acks_sent.load(), 0u);
+    EXPECT_EQ(h.ph0.pending_reliability(), 0u);
+}
+
+}    // namespace
