@@ -13,6 +13,8 @@
 
 #include "bench_common.hpp"
 
+#include <coal/serialization/buffer_pool.hpp>
+
 #include <cinttypes>
 
 namespace {
@@ -25,6 +27,8 @@ struct lossy_measurement
     std::uint64_t drops_injected = 0;
     std::uint64_t messages_sent = 0;
     std::uint64_t breaker_trips = 0;
+    double pool_hit_rate = 0.0;
+    double copied_per_message = 0.0;
 };
 
 lossy_measurement measure(coal::apps::toy_params params, double drop,
@@ -74,6 +78,19 @@ lossy_measurement measure(coal::apps::toy_params params, double drop,
         rt.stop();
     }
 
+    // Pool behaviour over the whole sweep cell (the pool is
+    // process-global, so per-repeat deltas would race with nothing —
+    // every repeat in this cell contributes).
+    auto const pool = coal::serialization::buffer_pool::global().stats();
+    out.pool_hit_rate = pool.hits + pool.misses > 0
+        ? static_cast<double>(pool.hits) /
+            static_cast<double>(pool.hits + pool.misses)
+        : 0.0;
+    out.copied_per_message = out.messages_sent > 0
+        ? static_cast<double>(pool.bytes_copied + pool.bytes_flattened) /
+            static_cast<double>(out.messages_sent)
+        : 0.0;
+
     out.mean_phase_s = phase_times.mean();
     out.mean_overhead = overheads.mean();
     return out;
@@ -119,10 +136,13 @@ int main(int argc, char** argv)
                         "\"coalescing\":%d,\"phase_ms\":%.3f,"
                         "\"overhead\":%.4f,\"retransmits\":%" PRIu64
                         ",\"drops_injected\":%" PRIu64 ",\"messages\":%" PRIu64
-                        ",\"breaker_trips\":%" PRIu64 "}\n",
+                        ",\"breaker_trips\":%" PRIu64
+                        ",\"pool_hit_rate\":%.4f"
+                        ",\"copied_per_message\":%.1f}\n",
                 drop, coalescing ? 1 : 0, m.mean_phase_s * 1e3,
                 m.mean_overhead, m.retransmits, m.drops_injected,
-                m.messages_sent, m.breaker_trips);
+                m.messages_sent, m.breaker_trips, m.pool_hit_rate,
+                m.copied_per_message);
             csv.row("%.4f,%d,%.3f,%" PRIu64 ",%" PRIu64 ",%" PRIu64, drop,
                 coalescing ? 1 : 0, m.mean_phase_s * 1e3, m.retransmits,
                 m.drops_injected, m.messages_sent);

@@ -49,6 +49,13 @@ int main()
              "/coalescing/time/average-parcel-arrival@" + action,
              "/timers/count/fired",
              "/timers/time/average-lateness",
+             "/coal/pool/count/hits",
+             "/coal/pool/count/misses",
+             "/coal/pool/count/heap-fallbacks",
+             "/coal/pool/count/flattens",
+             "/coal/pool/count/outstanding",
+             "/coal/pool/data/copied",
+             "/coal/pool/data/referenced",
          })
     {
         auto const v = counters.query(name);

@@ -30,7 +30,7 @@ public:
     }
 
     void deposit(std::uint32_t dest, std::uint64_t tag, std::uint32_t src,
-        serialization::byte_buffer&& bytes)
+        serialization::shared_buffer&& bytes)
     {
         {
             std::lock_guard lock(mutex_);
@@ -39,7 +39,7 @@ public:
         cv_.notify_all();
     }
 
-    std::optional<serialization::byte_buffer> try_take(
+    std::optional<serialization::shared_buffer> try_take(
         std::uint32_t dest, std::uint64_t tag, std::uint32_t src)
     {
         std::lock_guard lock(mutex_);
@@ -62,13 +62,13 @@ private:
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::map<key_type, serialization::byte_buffer> slots_;
+    std::map<key_type, serialization::shared_buffer> slots_;
 };
 
 }    // namespace
 
 void deposit(std::uint32_t dest, std::uint64_t tag, std::uint32_t src,
-    std::vector<std::uint8_t> bytes)
+    serialization::shared_buffer bytes)
 {
     mailbox_store::instance().deposit(dest, tag, src, std::move(bytes));
 }
@@ -90,7 +90,7 @@ char const* deposit_action_name()
 
 namespace detail {
 
-serialization::byte_buffer retrieve(
+serialization::shared_buffer retrieve(
     std::uint32_t dest, std::uint64_t tag, std::uint32_t src)
 {
     auto& store = mailbox_store::instance();
@@ -119,7 +119,7 @@ serialization::byte_buffer retrieve(
 }
 
 void send_to(locality& here, agas::locality_id dest, std::uint64_t tag,
-    serialization::byte_buffer&& bytes)
+    serialization::shared_buffer&& bytes)
 {
     here.apply<coal_collectives_deposit_action>(
         dest, dest.value(), tag, here.id().value(), std::move(bytes));

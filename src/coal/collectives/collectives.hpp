@@ -39,17 +39,19 @@ namespace coal::collectives {
 namespace detail {
 
 /// Deposit `bytes` into (dest, tag, src)'s mailbox slot.  Exposed only
-/// for the action registration below.
+/// for the action registration below.  The payload is a shared_buffer so
+/// the deposit rides the pipeline without per-hop copies: decoding
+/// borrows a view into the inbound frame slab.
 void deposit(std::uint32_t dest, std::uint64_t tag, std::uint32_t src,
-    std::vector<std::uint8_t> bytes);
+    serialization::shared_buffer bytes);
 
 /// Blocking (help-while-wait) retrieval; consumes the slot.
-serialization::byte_buffer retrieve(
+serialization::shared_buffer retrieve(
     std::uint32_t dest, std::uint64_t tag, std::uint32_t src);
 
 /// Send one serialized value to (dest, tag) from `here`.
 void send_to(locality& here, agas::locality_id dest, std::uint64_t tag,
-    serialization::byte_buffer&& bytes);
+    serialization::shared_buffer&& bytes);
 
 /// Number of mailbox slots currently occupied (tests/leak checks).
 std::size_t pending_slots();
@@ -70,12 +72,16 @@ T broadcast(runtime& rt, locality& here, agas::locality_id root,
     if (here.id() == root)
     {
         COAL_ASSERT_MSG(value.has_value(), "broadcast root needs a value");
+        // Serialize once; every destination shares the same sealed slab
+        // by refcount instead of re-serializing per fan-out edge.
+        serialization::shared_buffer const bytes =
+            serialization::to_bytes(*value);
         for (std::uint32_t i = 0; i != rt.num_localities(); ++i)
         {
             if (i == here.id().value())
                 continue;
             detail::send_to(here, agas::locality_id{i}, tag,
-                serialization::to_bytes(*value));
+                serialization::shared_buffer(bytes));
         }
         return std::move(*value);
     }

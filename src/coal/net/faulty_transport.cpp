@@ -112,16 +112,16 @@ void faulty_transport::set_delivery_handler(
         std::lock_guard lock(mutex_);
         handlers_[dst] = std::move(handler);
     }
-    inner_->set_delivery_handler(
-        dst, [this, dst](std::uint32_t src, serialization::byte_buffer&& buf) {
+    inner_->set_delivery_handler(dst,
+        [this, dst](std::uint32_t src, serialization::shared_buffer&& buf) {
             on_deliver(src, dst, std::move(buf));
         });
 }
 
 void faulty_transport::send(std::uint32_t src, std::uint32_t dst,
-    serialization::byte_buffer&& buffer)
+    serialization::wire_message&& message)
 {
-    std::size_t const bytes = buffer.size();
+    std::size_t const bytes = message.size();
     std::uint64_t const key = link_key(src, dst);
 
     bool drop = false;
@@ -174,18 +174,20 @@ void faulty_transport::send(std::uint32_t src, std::uint32_t dst,
     if (duplicate)
     {
         // The forged copy counts as an extra sent message so that
-        // sent == delivered + dropped still balances.
+        // sent == delivered + dropped still balances.  Copying a
+        // wire_message shares its fragments by refcount — the duplicate
+        // costs no byte copies until the wire-boundary flatten.
         messages_sent_.fetch_add(1, std::memory_order_relaxed);
         bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
         duplicates_injected_.fetch_add(1, std::memory_order_relaxed);
-        inner_->send(src, dst, serialization::byte_buffer(buffer));
+        inner_->send(src, dst, serialization::wire_message(message));
     }
 
-    inner_->send(src, dst, std::move(buffer));
+    inner_->send(src, dst, std::move(message));
 }
 
 void faulty_transport::on_deliver(std::uint32_t src, std::uint32_t dst,
-    serialization::byte_buffer&& buffer)
+    serialization::shared_buffer&& buffer)
 {
     std::uint64_t const key = link_key(src, dst);
 

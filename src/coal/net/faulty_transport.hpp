@@ -106,7 +106,7 @@ public:
         std::uint32_t dst, delivery_handler handler) override;
 
     void send(std::uint32_t src, std::uint32_t dst,
-        serialization::byte_buffer&& buffer) override;
+        serialization::wire_message&& message) override;
 
     [[nodiscard]] double recv_overhead_us() const noexcept override
     {
@@ -132,7 +132,7 @@ public:
 
 private:
     void on_deliver(std::uint32_t src, std::uint32_t dst,
-        serialization::byte_buffer&& buffer);
+        serialization::shared_buffer&& buffer);
 
     /// Release every parked message to its handler.  Returns how many.
     std::size_t release_held();
@@ -146,7 +146,7 @@ private:
     struct held_message
     {
         std::uint32_t src;
-        serialization::byte_buffer payload;
+        serialization::shared_buffer payload;
     };
 
     std::unique_ptr<transport> owned_;

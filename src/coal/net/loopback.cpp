@@ -20,11 +20,12 @@ void loopback_transport::set_delivery_handler(
 }
 
 void loopback_transport::send(std::uint32_t src, std::uint32_t dst,
-    serialization::byte_buffer&& buffer)
+    serialization::wire_message&& message)
 {
     COAL_ASSERT(src < num_localities_ && dst < num_localities_);
 
-    std::size_t const bytes = buffer.size();
+    std::size_t const bytes = message.size();
+    serialization::shared_buffer buffer = std::move(message).flatten();
 
     delivery_handler handler;
     bool dropped = false;

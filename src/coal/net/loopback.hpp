@@ -23,7 +23,7 @@ public:
         std::uint32_t dst, delivery_handler handler) override;
 
     void send(std::uint32_t src, std::uint32_t dst,
-        serialization::byte_buffer&& buffer) override;
+        serialization::wire_message&& message) override;
 
     [[nodiscard]] double recv_overhead_us() const noexcept override
     {

@@ -35,11 +35,16 @@ void sim_network::set_delivery_handler(
 }
 
 void sim_network::send(std::uint32_t src, std::uint32_t dst,
-    serialization::byte_buffer&& buffer)
+    serialization::wire_message&& message)
 {
     COAL_ASSERT(src < num_localities_ && dst < num_localities_);
 
-    std::size_t const bytes = buffer.size();
+    std::size_t const bytes = message.size();
+
+    // The wire is contiguous: flatten the fragment chain exactly here, at
+    // the transport boundary.  Single-fragment messages move their buffer
+    // out (zero copy); real gathers are counted by the buffer pool.
+    serialization::shared_buffer buffer = std::move(message).flatten();
 
     // Sender-side CPU cost: burned *here*, on the caller's thread, which
     // is the background-work context of the sending locality.  This is

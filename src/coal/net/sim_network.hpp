@@ -83,7 +83,7 @@ public:
         std::uint32_t dst, delivery_handler handler) override;
 
     void send(std::uint32_t src, std::uint32_t dst,
-        serialization::byte_buffer&& buffer) override;
+        serialization::wire_message&& message) override;
 
     [[nodiscard]] double recv_overhead_us() const noexcept override
     {
@@ -116,7 +116,7 @@ private:
         std::uint64_t seq;      // tie-break: FIFO for equal due times
         std::uint32_t src;
         std::uint32_t dst;
-        serialization::byte_buffer payload;
+        serialization::shared_buffer payload;
     };
 
     struct due_order

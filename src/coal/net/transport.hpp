@@ -2,14 +2,19 @@
 
 /// \file transport.hpp
 /// Abstract byte transport between localities — the seam where HPX would
-/// plug a TCP or MPI parcelport.  Implementations deliver whole wire
-/// buffers (framed messages), never fragments.
+/// plug a TCP or MPI parcelport.  send() accepts a scatter-gather
+/// `wire_message` (fragment chain); a transport that needs contiguity
+/// flattens exactly once at this boundary — for a single-fragment message
+/// that is a zero-copy move-out, and any real gather is counted by the
+/// buffer pool.  Delivery hands the receiver one contiguous refcounted
+/// `shared_buffer` (whole framed messages, never partial fragments).
 ///
 /// Delivery handlers are invoked on a transport-owned thread (or inline
 /// for the loopback); they must be cheap — the parcel layer's handler
 /// only moves the buffer into the destination's inbox queue.
 
 #include <coal/serialization/buffer.hpp>
+#include <coal/serialization/wire_message.hpp>
 
 #include <cstdint>
 #include <functional>
@@ -39,7 +44,7 @@ class transport
 public:
     /// Called with (source locality, wire buffer) when a message arrives.
     using delivery_handler =
-        std::function<void(std::uint32_t, serialization::byte_buffer&&)>;
+        std::function<void(std::uint32_t, serialization::shared_buffer&&)>;
 
     virtual ~transport() = default;
 
@@ -48,11 +53,11 @@ public:
     virtual void set_delivery_handler(
         std::uint32_t dst, delivery_handler handler) = 0;
 
-    /// Transmit a wire buffer.  Charges the modeled per-message sender
-    /// CPU cost on the calling thread (real busy work), then schedules
-    /// delivery.  Thread-safe.
+    /// Transmit a wire message (fragment chain).  Charges the modeled
+    /// per-message sender CPU cost on the calling thread (real busy
+    /// work), then schedules delivery.  Thread-safe.
     virtual void send(std::uint32_t src, std::uint32_t dst,
-        serialization::byte_buffer&& buffer) = 0;
+        serialization::wire_message&& message) = 0;
 
     /// Per-message CPU cost the *receiver* should charge when it picks a
     /// message out of its inbox (µs).  The transport cannot spin on the

@@ -71,9 +71,10 @@ struct plain_action
         return registered;
     }
 
-    /// Marshal call arguments into a parcel payload.
+    /// Marshal call arguments into a parcel payload (a sealed pooled
+    /// slab the wire frame will reference without copying).
     template <typename... CallArgs>
-    [[nodiscard]] static serialization::byte_buffer make_arguments(
+    [[nodiscard]] static serialization::shared_buffer make_arguments(
         CallArgs&&... args)
     {
         args_tuple tuple(std::forward<CallArgs>(args)...);
@@ -94,7 +95,7 @@ struct plain_action
             if (p.continuation != 0)
             {
                 // Empty-payload response: satisfies a future<void>.
-                send_response(ctx, p, serialization::byte_buffer{});
+                send_response(ctx, p, serialization::shared_buffer{});
             }
         }
         else
@@ -109,7 +110,7 @@ struct plain_action
 
 private:
     static void send_response(invocation_context& ctx, parcel const& request,
-        serialization::byte_buffer&& payload)
+        serialization::shared_buffer&& payload)
     {
         parcel response;
         response.source = ctx.this_locality;

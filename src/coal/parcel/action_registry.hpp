@@ -41,7 +41,7 @@ struct invocation_context
     std::function<void(parcel&&)> put_parcel;
 
     /// Satisfy a local promise with a serialized result.
-    std::function<void(continuation_id, serialization::byte_buffer&&)>
+    std::function<void(continuation_id, serialization::shared_buffer&&)>
         complete_promise;
 
     /// Resolve a locally hosted component instance (type-checked);

@@ -88,14 +88,13 @@ struct component_action
 
     /// Marshal the target gid plus call arguments.
     template <typename... CallArgs>
-    [[nodiscard]] static serialization::byte_buffer make_arguments(
+    [[nodiscard]] static serialization::shared_buffer make_arguments(
         agas::gid target, CallArgs&&... args)
     {
-        serialization::byte_buffer buffer;
-        serialization::output_archive ar(buffer);
+        serialization::output_archive ar;
         args_tuple tuple(std::forward<CallArgs>(args)...);
         ar & target & tuple;
-        return buffer;
+        return ar.detach();
     }
 
     static void invoke(invocation_context& ctx, parcel&& p)
@@ -134,7 +133,7 @@ struct component_action
         {
             std::apply(call, std::move(args));
             if (p.continuation != 0)
-                send_response(ctx, p, serialization::byte_buffer{});
+                send_response(ctx, p, serialization::shared_buffer{});
         }
         else
         {
@@ -146,7 +145,7 @@ struct component_action
 
 private:
     static void send_response(invocation_context& ctx, parcel const& request,
-        serialization::byte_buffer&& payload)
+        serialization::shared_buffer&& payload)
     {
         parcel response;
         response.source = ctx.this_locality;

@@ -4,19 +4,12 @@
 
 namespace coal::parcel {
 
-using serialization::byte_buffer;
 using serialization::input_archive;
-using serialization::output_archive;
 using serialization::serialization_error;
+using serialization::shared_buffer;
+using serialization::wire_message;
 
 namespace {
-
-void encode_parcel(output_archive& ar, parcel const& p)
-{
-    ar & p.source & p.dest & p.action & p.continuation;
-    ar & static_cast<std::uint64_t>(p.arguments.size());
-    ar.write_bytes(p.arguments.data(), p.arguments.size());
-}
 
 parcel decode_parcel(input_archive& ar)
 {
@@ -26,8 +19,9 @@ parcel decode_parcel(input_archive& ar)
     ar & nbytes;
     if (nbytes > ar.remaining())
         throw serialization_error("parcel payload exceeds message size");
-    auto const* data = ar.borrow_bytes(static_cast<std::size_t>(nbytes));
-    p.arguments.assign(data, data + nbytes);
+    // Zero-copy: the arguments alias the frame slab (a refcounted
+    // sub-view) instead of being copied out.
+    p.arguments = ar.borrow_view(static_cast<std::size_t>(nbytes));
     return p;
 }
 
@@ -41,22 +35,32 @@ std::size_t message_wire_size(std::vector<parcel> const& parcels) noexcept
     return size;
 }
 
-byte_buffer encode_message(
+wire_message encode_message(
     std::vector<parcel> const& parcels, frame_header const& header)
 {
-    byte_buffer buffer;
-    buffer.reserve(message_wire_size(parcels));
-    output_archive ar(buffer);
-    ar & message_magic;
-    ar & static_cast<std::uint32_t>(parcels.size());
-    ar & header.seq & header.ack & header.sack;
+    wire_message msg;
+    msg.write_value(message_magic);
+    msg.write_value(static_cast<std::uint32_t>(parcels.size()));
+    msg.write_value(header.seq);
+    msg.write_value(header.ack);
+    msg.write_value(header.sack);
     for (auto const& p : parcels)
-        encode_parcel(ar, p);
-    return buffer;
+    {
+        msg.write_value(p.source);
+        msg.write_value(p.dest);
+        msg.write_value(p.action);
+        msg.write_value(p.continuation);
+        msg.write_value(static_cast<std::uint64_t>(p.arguments.size()));
+        // Gather the already-serialized argument image by reference
+        // (or inline it when it is small enough that a memcpy beats
+        // carrying a fragment).
+        msg.append(p.arguments);
+    }
+    return msg;
 }
 
 std::vector<parcel> decode_message(
-    byte_buffer const& buffer, frame_header* header)
+    shared_buffer const& buffer, frame_header* header)
 {
     input_archive ar(buffer);
     std::uint32_t magic = 0;
@@ -85,13 +89,19 @@ std::vector<parcel> decode_message(
     return parcels;
 }
 
+std::vector<parcel> decode_message(
+    wire_message const& message, frame_header* header)
+{
+    return decode_message(message.flatten_copy(), header);
+}
+
 void patch_frame_acks(
-    byte_buffer& wire, std::uint64_t ack, std::uint64_t sack) noexcept
+    wire_message& wire, std::uint64_t ack, std::uint64_t sack) noexcept
 {
     if (wire.size() < frame_prefix_bytes)
         return;
-    std::memcpy(wire.data() + frame_ack_offset, &ack, sizeof(ack));
-    std::memcpy(wire.data() + frame_sack_offset, &sack, sizeof(sack));
+    wire.patch(frame_ack_offset, &ack, sizeof(ack));
+    wire.patch(frame_sack_offset, &sack, sizeof(sack));
 }
 
 }    // namespace coal::parcel

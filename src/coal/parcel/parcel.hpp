@@ -28,6 +28,7 @@
 
 #include <coal/serialization/archive.hpp>
 #include <coal/serialization/buffer.hpp>
+#include <coal/serialization/wire_message.hpp>
 
 #include <cstdint>
 #include <vector>
@@ -46,7 +47,11 @@ struct parcel
     std::uint32_t dest = 0;
     action_id action = 0;
     continuation_id continuation = 0;    ///< 0 = fire-and-forget
-    serialization::byte_buffer arguments;
+
+    /// Serialized argument image.  A refcounted view: on the send side it
+    /// is the sealed slab the output_archive produced; on the receive
+    /// side it aliases the inbound frame slab (zero-copy decode).
+    serialization::shared_buffer arguments;
 
     /// Bytes this parcel occupies inside a message frame.
     [[nodiscard]] std::size_t wire_size() const noexcept
@@ -84,19 +89,31 @@ inline constexpr std::size_t frame_sack_offset = 24;
 [[nodiscard]] std::size_t message_wire_size(
     std::vector<parcel> const& parcels) noexcept;
 
-/// Encode parcels into one wire message.
-[[nodiscard]] serialization::byte_buffer encode_message(
+/// Encode parcels into one wire message.  The frame prefix and per-parcel
+/// headers are written fresh into the message's head slab; argument
+/// images at or below `wire_message::inline_copy_threshold` are inlined,
+/// larger ones ride as reference fragments (no memcpy).
+[[nodiscard]] serialization::wire_message encode_message(
     std::vector<parcel> const& parcels, frame_header const& header = {});
 
 /// Decode a wire message back into parcels; optionally extract the
-/// reliability header.
+/// reliability header.  Parcel arguments are zero-copy views into
+/// `buffer`'s slab — they keep the frame alive by refcount.
 /// \throws serialization::serialization_error on malformed input.
 [[nodiscard]] std::vector<parcel> decode_message(
-    serialization::byte_buffer const& buffer, frame_header* header = nullptr);
+    serialization::shared_buffer const& buffer,
+    frame_header* header = nullptr);
+
+/// Convenience for tests/diagnostics: flattens (counted) then decodes.
+[[nodiscard]] std::vector<parcel> decode_message(
+    serialization::wire_message const& message,
+    frame_header* header = nullptr);
 
 /// Refresh the ack/sack fields of an already-encoded frame in place —
-/// retransmitted frames carry current acks, not stale ones.
-void patch_frame_acks(serialization::byte_buffer& wire, std::uint64_t ack,
+/// retransmitted frames carry current acks, not stale ones.  The caller
+/// must serialize this against readers of the frame (the parcelhandler
+/// patches retained frames only under its peers lock).
+void patch_frame_acks(serialization::wire_message& wire, std::uint64_t ack,
     std::uint64_t sack) noexcept;
 
 }    // namespace coal::parcel

@@ -58,7 +58,7 @@ parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
   , reliability_(reliability)
 {
     transport_.set_delivery_handler(
-        here, [this](std::uint32_t src, serialization::byte_buffer&& buffer) {
+        here, [this](std::uint32_t src, serialization::shared_buffer&& buffer) {
             inbox_.push(inbound_message{src, std::move(buffer)});
         });
 
@@ -140,7 +140,7 @@ void parcelhandler::flush_message_handlers()
 }
 
 continuation_id parcelhandler::register_response_callback(
-    unique_function<void(serialization::byte_buffer&&)> callback)
+    unique_function<void(serialization::shared_buffer&&)> callback)
 {
     continuation_id const id =
         next_continuation_.fetch_add(1, std::memory_order_relaxed);
@@ -156,9 +156,9 @@ std::size_t parcelhandler::pending_responses() const
 }
 
 void parcelhandler::complete_promise(
-    continuation_id id, serialization::byte_buffer&& payload)
+    continuation_id id, serialization::shared_buffer&& payload)
 {
-    unique_function<void(serialization::byte_buffer&&)> callback;
+    unique_function<void(serialization::shared_buffer&&)> callback;
     {
         std::lock_guard lock(responses_lock_);
         auto it = responses_.find(id);
@@ -198,7 +198,7 @@ void parcelhandler::execute_parcel(parcel&& p)
     ctx.this_locality = here_;
     ctx.put_parcel = [this](parcel&& out) { put_parcel(std::move(out)); };
     ctx.complete_promise = [this](continuation_id id,
-                               serialization::byte_buffer&& payload) {
+                               serialization::shared_buffer&& payload) {
         complete_promise(id, std::move(payload));
     };
     ctx.find_component = component_resolver_;
@@ -236,7 +236,7 @@ bool parcelhandler::progress_send()
 
     // Framing + transmission: this runs in background-work context, and
     // transport_.send burns the modeled per-message sender CPU here.
-    serialization::byte_buffer wire;
+    serialization::wire_message wire;
     if (reliability_.enabled)
     {
         frame_header hdr;
@@ -249,30 +249,43 @@ bool parcelhandler::progress_send()
             hdr.sack = sack_bits_locked(peer);
             peer.ack_pending = false;    // this frame carries the ack
         }
-        wire = encode_message(job->parcels, hdr);
+        serialization::wire_message frame = encode_message(job->parcels, hdr);
+        serialization::shared_buffer flat;
         {
             // Register the frame before handing it to the transport so a
             // synchronous loopback ack always finds its entry.
             std::lock_guard lock(peers_lock_);
             auto& peer = peers_[job->dst];
             unacked_frame u;
-            u.wire = wire;    // retained copy for retransmission
+            // Retained by reference: the retransmission table shares the
+            // frame's fragments instead of deep-copying the wire image.
+            u.frame = std::move(frame);
             u.first_send_ns = now;
             u.rto_ns = initial_rto_ns_locked(peer);
             u.deadline_ns = now + u.rto_ns;
-            peer.unacked.emplace(hdr.seq, std::move(u));
+            auto const it = peer.unacked.emplace(hdr.seq, std::move(u)).first;
+            // The transport must not alias the retained fragments —
+            // progress_reliability patches the ack/sack prefix in place
+            // under this lock before every retransmit.  Take the one
+            // gather copy per transmission here, while the frame is
+            // guaranteed stable.
+            flat = it->second.frame.flatten_copy();
             maybe_trip_breaker_locked(job->dst, peer);
         }
+        wire = serialization::wire_message(std::move(flat));
     }
     else
     {
+        // Fire-and-forget: the fragment chain goes straight to the
+        // transport, which flattens (or moves out) at the wire boundary.
         wire = encode_message(job->parcels);
     }
 
+    std::size_t const wire_bytes = wire.size();
     trace::tracer::global().record(here_, trace::event_kind::message_sent,
-        job->parcels.size(), wire.size());
+        job->parcels.size(), wire_bytes);
     counters_.messages_sent.fetch_add(1, std::memory_order_relaxed);
-    counters_.bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+    counters_.bytes_sent.fetch_add(wire_bytes, std::memory_order_relaxed);
 
     transport_.send(here_, job->dst, std::move(wire));
     return true;
@@ -469,7 +482,7 @@ bool parcelhandler::progress_reliability()
         frame_header hdr;
     };
     std::vector<ack_job> acks;
-    std::vector<std::pair<std::uint32_t, serialization::byte_buffer>> resends;
+    std::vector<std::pair<std::uint32_t, serialization::shared_buffer>> resends;
     {
         std::lock_guard lock(peers_lock_);
         for (auto& [dst, peer] : peers_)
@@ -508,12 +521,14 @@ bool parcelhandler::progress_reliability()
                     1.0 + reliability_.rto_jitter * jitter_unit(seq, u.attempts);
                 u.rto_ns = static_cast<std::int64_t>(backed);
                 u.deadline_ns = now + u.rto_ns;
-                // Refresh piggybacked acks — the stored image has stale ones.
+                // Refresh piggybacked acks — the stored image has stale
+                // ones.  Patch + snapshot both happen under peers_lock_,
+                // so no transport thread ever reads a half-patched prefix;
+                // the retained frame itself is reused, not deep-copied.
                 patch_frame_acks(
-                    u.wire, peer.cum_received, sack_bits_locked(peer));
+                    u.frame, peer.cum_received, sack_bits_locked(peer));
                 peer.ack_pending = false;    // the retransmit carries the ack
-                resends.emplace_back(
-                    dst, serialization::byte_buffer(u.wire));
+                resends.emplace_back(dst, u.frame.flatten_copy());
                 counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
             }
             maybe_trip_breaker_locked(dst, peer);
@@ -526,7 +541,7 @@ bool parcelhandler::progress_reliability()
         transport_.send(here_, job.dst, encode_message({}, job.hdr));
     }
     for (auto& [dst, wire] : resends)
-        transport_.send(here_, dst, std::move(wire));
+        transport_.send(here_, dst, serialization::wire_message(std::move(wire)));
     return !acks.empty() || !resends.empty();
 }
 

@@ -148,7 +148,7 @@ public:
     /// Register a callback completing a local promise; returns the
     /// continuation id to embed in the outgoing parcel.
     continuation_id register_response_callback(
-        unique_function<void(serialization::byte_buffer&&)> callback);
+        unique_function<void(serialization::shared_buffer&&)> callback);
 
     /// Number of response callbacks still outstanding.
     [[nodiscard]] std::size_t pending_responses() const;
@@ -208,14 +208,18 @@ private:
     struct inbound_message
     {
         std::uint32_t src;
-        serialization::byte_buffer payload;
+        serialization::shared_buffer payload;
     };
 
-    /// An outbound frame awaiting acknowledgement; the encoded wire image
-    /// is retained so retransmission needs no re-framing.
+    /// An outbound frame awaiting acknowledgement; the encoded frame is
+    /// retained *by reference* (its fragments are refcount-shared with
+    /// nothing else that mutates them), so registering it for
+    /// retransmission copies no payload bytes.  Each transmission takes a
+    /// flattened snapshot under peers_lock_ — the only point where the
+    /// patchable ack/sack prefix is both stable and current.
     struct unacked_frame
     {
-        serialization::byte_buffer wire;
+        serialization::wire_message frame;
         std::int64_t first_send_ns = 0;
         std::int64_t deadline_ns = 0;
         std::int64_t rto_ns = 0;
@@ -250,7 +254,7 @@ private:
         peer_state const& peer) const;
     void maybe_trip_breaker_locked(std::uint32_t dst, peer_state& peer);
     void complete_promise(
-        continuation_id id, serialization::byte_buffer&& payload);
+        continuation_id id, serialization::shared_buffer&& payload);
 
     std::uint32_t here_;
     net::transport& transport_;
@@ -264,7 +268,7 @@ private:
 
     mutable spinlock responses_lock_;
     std::unordered_map<continuation_id,
-        unique_function<void(serialization::byte_buffer&&)>>
+        unique_function<void(serialization::shared_buffer&&)>>
         responses_;
     std::atomic<std::uint64_t> next_continuation_{1};
 

@@ -21,6 +21,7 @@
 #include <coal/core/coalescing_counters.hpp>
 #include <coal/perf/counter.hpp>
 #include <coal/perf/counter_path.hpp>
+#include <coal/serialization/buffer_pool.hpp>
 
 #include <functional>
 #include <memory>
@@ -478,6 +479,62 @@ void runtime::register_counters()
                         b->reset_arrival_histogram();
                 });
         });
+
+    // ---- buffer pool (zero-copy pipeline) ------------------------------
+
+    // The slab pool is process-global (archives and wire messages on every
+    // locality share it), so these counters ignore instance selection.
+    auto pool_scalar =
+        [](double (*extract)(serialization::buffer_pool_stats const&)) {
+            return [extract](counter_path const&) -> counter_ptr {
+                return std::make_shared<baseline_counter>([extract] {
+                    return extract(
+                        serialization::buffer_pool::global().stats());
+                });
+            };
+        };
+
+    counters_.register_counter_type("/coal/pool/count/hits",
+        "slab acquires served from a pool free list",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.hits);
+        }));
+    counters_.register_counter_type("/coal/pool/count/misses",
+        "slab acquires that had to allocate",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.misses);
+        }));
+    counters_.register_counter_type("/coal/pool/count/heap-fallbacks",
+        "slab acquires above the top size class (plain heap, still "
+        "refcounted)",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.heap_fallbacks);
+        }));
+    counters_.register_counter_type("/coal/pool/count/flattens",
+        "wire-boundary gather copies (scatter-gather frames flattened "
+        "for a contiguous transport)",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.flattens);
+        }));
+    counters_.register_counter_type("/coal/pool/count/outstanding",
+        "pooled slabs currently alive (gauge; free-listed slabs excluded)",
+        [](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>([] {
+                return static_cast<double>(
+                    serialization::buffer_pool::global().stats().outstanding);
+            });
+        });
+    counters_.register_counter_type("/coal/pool/data/copied",
+        "payload bytes moved by memcpy anywhere in the pipeline "
+        "(inlined small payloads, archive growth, gathers)",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.bytes_copied + s.bytes_flattened);
+        }));
+    counters_.register_counter_type("/coal/pool/data/referenced",
+        "payload bytes moved by bumping a slab refcount instead of copying",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.bytes_referenced);
+        }));
 
     // ---- flush-timer service -------------------------------------------
 

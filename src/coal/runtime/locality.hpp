@@ -88,7 +88,7 @@ public:
         p.arguments = Action::make_arguments(std::forward<Args>(args)...);
         p.continuation = parcels_->register_response_callback(
             [pr = std::move(promise)](
-                serialization::byte_buffer&& payload) mutable {
+                serialization::shared_buffer&& payload) mutable {
                 if constexpr (std::is_void_v<R>)
                 {
                     (void) payload;
@@ -137,7 +137,7 @@ public:
             Action::make_arguments(target, std::forward<Args>(args)...);
         p.continuation = parcels_->register_response_callback(
             [pr = std::move(promise)](
-                serialization::byte_buffer&& payload) mutable {
+                serialization::shared_buffer&& payload) mutable {
                 if constexpr (std::is_void_v<R>)
                 {
                     (void) payload;

@@ -72,15 +72,23 @@ concept trivially_serializable =
 
 }    // namespace detail
 
+/// Serializes directly into a pooled slab: no intermediate vector, no
+/// final copy — `detach()` seals the slab into a `shared_buffer` that the
+/// parcel keeps as its argument image and the wire frame references.
 class output_archive
 {
 public:
     static constexpr bool is_saving = true;
     static constexpr bool is_loading = false;
 
-    explicit output_archive(byte_buffer& buffer) noexcept
-      : buffer_(&buffer)
+    output_archive() = default;
+
+    output_archive(output_archive const&) = delete;
+    output_archive& operator=(output_archive const&) = delete;
+
+    ~output_archive()
     {
+        detail::slab_release(slab_);
     }
 
     void write_bytes(void const* data, std::size_t size)
@@ -93,19 +101,27 @@ public:
         // under deep inlining).
         COAL_ASSERT_MSG(size < (std::size_t{1} << 48),
             "implausible serialization size");
-        std::size_t const old_size = buffer_->size();
-        buffer_->resize(old_size + size);
-        std::memcpy(buffer_->data() + old_size, data, size);
+        if (slab_ == nullptr || size_ + size > slab_->capacity)
+            grow(size);
+        std::memcpy(slab_->data() + size_, data, size);
+        size_ += size;
     }
 
     [[nodiscard]] std::size_t bytes_written() const noexcept
     {
-        return buffer_->size();
+        return size_;
     }
 
-    [[nodiscard]] byte_buffer& buffer() noexcept
+    /// Seal the slab and hand it over; the archive resets to empty.
+    [[nodiscard]] shared_buffer detach() noexcept
     {
-        return *buffer_;
+        if (slab_ == nullptr)
+            return {};
+        shared_buffer out =
+            shared_buffer::adopt(slab_, slab_->data(), size_, false);
+        slab_ = nullptr;
+        size_ = 0;
+        return out;
     }
 
     template <typename T>
@@ -122,7 +138,27 @@ public:
     }
 
 private:
-    byte_buffer* buffer_;
+    void grow(std::size_t need)
+    {
+        std::size_t const want =
+            size_ + need > 2 * capacity() ? size_ + need : 2 * capacity();
+        detail::slab* bigger = buffer_pool::global().acquire(want);
+        if (size_ != 0)
+        {
+            std::memcpy(bigger->data(), slab_->data(), size_);
+            buffer_pool::global().count_copied(size_);
+        }
+        detail::slab_release(slab_);
+        slab_ = bigger;
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept
+    {
+        return slab_ != nullptr ? slab_->capacity : 128;
+    }
+
+    detail::slab* slab_ = nullptr;
+    std::size_t size_ = 0;
 };
 
 class input_archive
@@ -139,6 +175,15 @@ public:
 
     explicit input_archive(byte_buffer const& buffer) noexcept
       : input_archive(buffer.data(), buffer.size())
+    {
+    }
+
+    /// Slab-backed archive: `borrow_view` then yields zero-copy sub-views
+    /// into the underlying frame slab (the receive path's fast path).
+    explicit input_archive(shared_buffer const& buffer) noexcept
+      : data_(buffer.data())
+      , size_(buffer.size())
+      , slab_(buffer.slab())
     {
     }
 
@@ -160,6 +205,22 @@ public:
         std::uint8_t const* p = data_ + pos_;
         pos_ += size;
         return p;
+    }
+
+    /// Take `size` bytes as a shared_buffer.  Zero copy for slab-backed
+    /// archives (the view keeps the frame slab alive by refcount); other
+    /// archives fall back to a pooled copy.  Both paths are accounted.
+    [[nodiscard]] shared_buffer borrow_view(std::size_t size)
+    {
+        std::uint8_t const* p = borrow_bytes(size);
+        if (slab_ != nullptr)
+        {
+            buffer_pool::global().count_referenced(size);
+            return shared_buffer::adopt(
+                slab_, const_cast<std::uint8_t*>(p), size, true);
+        }
+        buffer_pool::global().count_copied(size);
+        return shared_buffer(p, size);
     }
 
     [[nodiscard]] std::size_t remaining() const noexcept
@@ -189,6 +250,7 @@ private:
     std::uint8_t const* data_;
     std::size_t size_;
     std::size_t pos_ = 0;
+    detail::slab* slab_ = nullptr;    // non-owning; set for slab archives
 };
 
 // --- scalar overloads ------------------------------------------------------
@@ -296,9 +358,11 @@ void load_value(input_archive& ar, std::vector<T>& value)
     ar & size;
     if constexpr (detail::trivially_serializable<T>)
     {
-        auto const bytes = static_cast<std::size_t>(size) * sizeof(T);
-        if (bytes > ar.remaining())
+        // Divide instead of multiplying: size * sizeof(T) can overflow
+        // for an adversarial length and sneak past the bound.
+        if (size > ar.remaining() / sizeof(T))
             throw serialization_error("vector length exceeds archive size");
+        auto const bytes = static_cast<std::size_t>(size) * sizeof(T);
         value.resize(static_cast<std::size_t>(size));
         std::memcpy(value.data(), ar.borrow_bytes(bytes), bytes);
     }
@@ -445,6 +509,28 @@ void load_value(input_archive& ar, std::unordered_set<T, H, E, A>& value)
     detail::load_into_set<std::unordered_set<T, H, E, A>, T>(ar, value);
 }
 
+// --- shared buffers ----------------------------------------------------------
+
+/// A shared_buffer serializes as (u64 size, bytes); loading borrows a
+/// zero-copy view into the enclosing frame slab when possible.  This is
+/// what lets byte payloads (e.g. collective deposits) ride through the
+/// pipeline without per-hop copies.
+inline void save_value(output_archive& ar, shared_buffer const& value)
+{
+    auto const size = static_cast<std::uint64_t>(value.size());
+    ar & size;
+    ar.write_bytes(value.data(), value.size());
+}
+
+inline void load_value(input_archive& ar, shared_buffer& value)
+{
+    std::uint64_t size{};
+    ar & size;
+    if (size > ar.remaining())
+        throw serialization_error("buffer length exceeds archive size");
+    value = ar.borrow_view(static_cast<std::size_t>(size));
+}
+
 // --- product types ----------------------------------------------------------
 
 template <typename A, typename B>
@@ -530,17 +616,25 @@ void load_value(input_archive& ar, T& value)
 
 // --- convenience entry points ------------------------------------------------
 
-/// Serialize a value into a fresh buffer.
+/// Serialize a value into a fresh pooled buffer.
 template <typename T>
-[[nodiscard]] byte_buffer to_bytes(T const& value)
+[[nodiscard]] shared_buffer to_bytes(T const& value)
 {
-    byte_buffer buffer;
-    output_archive ar(buffer);
+    output_archive ar;
     ar & value;
-    return buffer;
+    return ar.detach();
 }
 
 /// Deserialize a value of type T from a buffer (whole-buffer convenience).
+template <typename T>
+[[nodiscard]] T from_bytes(shared_buffer const& buffer)
+{
+    input_archive ar(buffer);
+    T value{};
+    ar & value;
+    return value;
+}
+
 template <typename T>
 [[nodiscard]] T from_bytes(byte_buffer const& buffer)
 {

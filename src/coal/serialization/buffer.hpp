@@ -1,19 +1,225 @@
 #pragma once
 
 /// \file buffer.hpp
-/// Wire buffer type shared by serialization, parcels and the network.
+/// Wire buffer types shared by serialization, parcels and the network.
 ///
-/// A plain contiguous byte vector: parcels serialize into it, messages
-/// frame several parcel images inside one, and the simulated network
-/// moves it between localities by value (move).  Endianness is native —
-/// all localities live in one process, and the parcelport interface is
-/// the seam where a real transport would add conversion.
+/// `byte_buffer` remains the plain contiguous vector used for scratch
+/// storage and test fixtures.  The pipeline itself carries bytes in a
+/// `shared_buffer`: a reference-counted view over a slab from the global
+/// `buffer_pool`.  Copying a shared_buffer bumps a refcount; sub-views
+/// (`view()`) share the same slab, which is how received parcel arguments
+/// alias the inbound frame without a copy.
+///
+/// Ownership contract: a slab is *mutable while uniquely owned* (the
+/// archive building it, or `wire_message` extending its head fragment) and
+/// *immutable after seal* — the moment a second reference exists (retained
+/// retransmit frame, parcel argument view, pool-bypassing duplicate) no
+/// byte may change, with one audited exception: `patch_frame_acks`
+/// rewrites the ack/sack words of a retained frame under the sender's
+/// peers lock before the flattened copy is taken (see wire_message::patch).
+///
+/// Endianness is native — all localities live in one process, and the
+/// transport interface is the seam where a real wire would add conversion.
+
+#include <coal/serialization/buffer_pool.hpp>
 
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 namespace coal::serialization {
 
 using byte_buffer = std::vector<std::uint8_t>;
+
+class shared_buffer
+{
+public:
+    shared_buffer() noexcept = default;
+
+    /// Pooled slab of `size` zero-initialized bytes.
+    explicit shared_buffer(std::size_t size)
+      : shared_buffer(size, std::uint8_t(0))
+    {
+    }
+
+    shared_buffer(std::size_t size, std::uint8_t fill)
+    {
+        if (size == 0)
+            return;
+        slab_ = buffer_pool::global().acquire(size);
+        data_ = slab_->data();
+        size_ = size;
+        std::memset(data_, fill, size);
+    }
+
+    shared_buffer(void const* bytes, std::size_t size)
+    {
+        if (size == 0)
+            return;
+        slab_ = buffer_pool::global().acquire(size);
+        data_ = slab_->data();
+        size_ = size;
+        std::memcpy(data_, bytes, size);
+    }
+
+    shared_buffer(std::initializer_list<std::uint8_t> init)
+      : shared_buffer(init.size() == 0 ? nullptr : init.begin(), init.size())
+    {
+    }
+
+    /// Implicit on purpose: the tests and examples build payloads as
+    /// byte_buffer literals and hand them straight to the pipeline.
+    shared_buffer(byte_buffer const& bytes)
+      : shared_buffer(bytes.empty() ? nullptr : bytes.data(), bytes.size())
+    {
+    }
+
+    shared_buffer(shared_buffer const& other) noexcept
+      : slab_(other.slab_)
+      , data_(other.data_)
+      , size_(other.size_)
+    {
+        detail::slab_add_ref(slab_);
+    }
+
+    shared_buffer(shared_buffer&& other) noexcept
+      : slab_(std::exchange(other.slab_, nullptr))
+      , data_(std::exchange(other.data_, nullptr))
+      , size_(std::exchange(other.size_, 0))
+    {
+    }
+
+    shared_buffer& operator=(shared_buffer const& other) noexcept
+    {
+        if (this != &other)
+        {
+            detail::slab_add_ref(other.slab_);
+            detail::slab_release(slab_);
+            slab_ = other.slab_;
+            data_ = other.data_;
+            size_ = other.size_;
+        }
+        return *this;
+    }
+
+    shared_buffer& operator=(shared_buffer&& other) noexcept
+    {
+        if (this != &other)
+        {
+            detail::slab_release(slab_);
+            slab_ = std::exchange(other.slab_, nullptr);
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ~shared_buffer()
+    {
+        detail::slab_release(slab_);
+    }
+
+    /// Adopt a slab reference (internal: archives / wire_message).  Takes
+    /// ownership of one reference when add_ref is false.
+    static shared_buffer adopt(detail::slab* slab, std::uint8_t* data,
+        std::size_t size, bool add_ref) noexcept
+    {
+        if (add_ref)
+            detail::slab_add_ref(slab);
+        shared_buffer out;
+        out.slab_ = slab;
+        out.data_ = data;
+        out.size_ = size;
+        return out;
+    }
+
+    [[nodiscard]] std::uint8_t const* data() const noexcept
+    {
+        return data_;
+    }
+
+    /// Mutation seam: legal only while this view is the unique owner (a
+    /// builder filling a fresh slab) or under the audited ack-patch path.
+    [[nodiscard]] std::uint8_t* mutable_data() noexcept
+    {
+        return data_;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept
+    {
+        return size_;
+    }
+
+    [[nodiscard]] bool empty() const noexcept
+    {
+        return size_ == 0;
+    }
+
+    [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept
+    {
+        return data_[i];
+    }
+
+    [[nodiscard]] std::uint8_t const* begin() const noexcept
+    {
+        return data_;
+    }
+
+    [[nodiscard]] std::uint8_t const* end() const noexcept
+    {
+        return data_ + size_;
+    }
+
+    /// True when this is the only reference to the slab (or empty).
+    [[nodiscard]] bool unique() const noexcept
+    {
+        return slab_ == nullptr ||
+            slab_->refs.load(std::memory_order_acquire) == 1;
+    }
+
+    [[nodiscard]] detail::slab* slab() const noexcept
+    {
+        return slab_;
+    }
+
+    /// Zero-copy sub-view sharing the same slab.
+    [[nodiscard]] shared_buffer view(
+        std::size_t offset, std::size_t count) const noexcept
+    {
+        return adopt(slab_, data_ + offset, count, true);
+    }
+
+    [[nodiscard]] byte_buffer to_vector() const
+    {
+        return byte_buffer(data_, data_ + size_);
+    }
+
+    friend bool operator==(
+        shared_buffer const& a, shared_buffer const& b) noexcept
+    {
+        return a.size_ == b.size_ &&
+            (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+    }
+
+    friend bool operator==(shared_buffer const& a, byte_buffer const& b)
+    {
+        return a.size_ == b.size() &&
+            (b.empty() || std::memcmp(a.data_, b.data(), b.size()) == 0);
+    }
+
+    friend bool operator==(byte_buffer const& a, shared_buffer const& b)
+    {
+        return b == a;
+    }
+
+private:
+    friend class wire_message;    // extends its unique head fragment in place
+
+    detail::slab* slab_ = nullptr;
+    std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+};
 
 }    // namespace coal::serialization

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file buffer_pool.hpp
+/// Thread-safe size-classed slab pool backing `shared_buffer`.
+///
+/// Every byte that travels through the parcel pipeline lives in a *slab*:
+/// a single heap block holding an intrusive atomic reference count followed
+/// by the payload storage.  Slabs are acquired from a small set of size
+/// classes (256 B .. 1 MiB, geometric); when the last reference to a slab
+/// drops, the slab returns to its class's capped free list instead of the
+/// heap, so steady-state communication performs no allocations at all.
+/// Requests larger than the top class fall back to plain heap slabs (the
+/// pool never fails); the fallback is counted so benchmarks can see it.
+///
+/// The pool also owns the pipeline-wide copy accounting: layers report
+/// payload bytes *copied* (memcpy into a frame or out of the wire) versus
+/// *referenced* (moved by bumping a refcount), and the one permitted
+/// gather-copy at the wire boundary (`wire_message::flatten`) is counted
+/// separately.  The `/coal/pool/*` performance counters read these stats.
+
+#include <coal/common/spinlock.hpp>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coal::serialization {
+
+class buffer_pool;
+
+namespace detail {
+
+/// Header of a pooled (or heap-fallback) allocation.  The payload bytes
+/// live immediately after the header in the same allocation.
+struct alignas(alignof(std::max_align_t)) slab
+{
+    std::atomic<std::uint64_t> refs{1};
+    std::uint32_t size_class = 0;    ///< index into the pool's classes,
+                                     ///< or buffer_pool::heap_class
+    std::size_t capacity = 0;        ///< usable payload bytes
+    buffer_pool* pool = nullptr;     ///< owner; null for heap fallback
+
+    [[nodiscard]] std::uint8_t* data() noexcept
+    {
+        return reinterpret_cast<std::uint8_t*>(this) + sizeof(slab);
+    }
+
+    [[nodiscard]] std::uint8_t const* data() const noexcept
+    {
+        return reinterpret_cast<std::uint8_t const*>(this) + sizeof(slab);
+    }
+};
+
+void slab_add_ref(slab* s) noexcept;
+
+/// Drops one reference; at zero the slab is recycled into its pool's free
+/// list (or freed, for heap-fallback slabs / full free lists).
+void slab_release(slab* s) noexcept;
+
+}    // namespace detail
+
+/// Snapshot of the pool's monotonic counters plus the outstanding gauge.
+struct buffer_pool_stats
+{
+    std::uint64_t hits = 0;              ///< acquires served from a free list
+    std::uint64_t misses = 0;            ///< acquires that had to allocate
+    std::uint64_t heap_fallbacks = 0;    ///< acquires above the top class
+    std::uint64_t outstanding = 0;       ///< slabs currently alive (gauge)
+    std::uint64_t bytes_copied = 0;      ///< payload bytes memcpy'd
+    std::uint64_t bytes_referenced = 0;  ///< payload bytes shared by refcount
+    std::uint64_t flattens = 0;          ///< wire-boundary gather copies
+    std::uint64_t bytes_flattened = 0;   ///< bytes moved by those gathers
+};
+
+class buffer_pool
+{
+public:
+    /// Size classes: 256 B, 1 KiB, 4 KiB, ... 1 MiB (×4 geometric).
+    static constexpr std::size_t num_classes = 7;
+    static constexpr std::uint32_t heap_class = 0xffffffffu;
+
+    explicit buffer_pool(std::size_t max_free_per_class = 64);
+    ~buffer_pool();
+
+    buffer_pool(buffer_pool const&) = delete;
+    buffer_pool& operator=(buffer_pool const&) = delete;
+
+    /// The process-wide pool used by archives and wire messages.  Leaked
+    /// on purpose: slabs may outlive every static destructor.
+    static buffer_pool& global();
+
+    [[nodiscard]] static constexpr std::size_t class_capacity(
+        std::size_t cls) noexcept
+    {
+        return std::size_t(256) << (2 * cls);
+    }
+
+    /// A slab with capacity >= min_bytes and refcount 1.  Never fails:
+    /// oversized requests come from the heap (counted as a fallback).
+    [[nodiscard]] detail::slab* acquire(std::size_t min_bytes);
+
+    [[nodiscard]] buffer_pool_stats stats() const;
+
+    /// Slabs currently parked on free lists (test/introspection aid).
+    [[nodiscard]] std::size_t cached() const;
+
+    // -- pipeline copy accounting (layers call these at their seams) ------
+    void count_copied(std::size_t bytes) noexcept
+    {
+        bytes_copied_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+
+    void count_referenced(std::size_t bytes) noexcept
+    {
+        bytes_referenced_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+
+    void count_flatten(std::size_t bytes) noexcept
+    {
+        flattens_.fetch_add(1, std::memory_order_relaxed);
+        bytes_flattened_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+
+private:
+    friend void detail::slab_release(detail::slab*) noexcept;
+
+    /// Called by slab_release when the refcount hits zero.
+    void recycle(detail::slab* s) noexcept;
+
+    struct size_class_state
+    {
+        mutable spinlock lock;
+        std::vector<detail::slab*> free;
+    };
+
+    std::size_t max_free_per_class_;
+    size_class_state classes_[num_classes];
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> heap_fallbacks_{0};
+    std::atomic<std::int64_t> outstanding_{0};
+    std::atomic<std::uint64_t> bytes_copied_{0};
+    std::atomic<std::uint64_t> bytes_referenced_{0};
+    std::atomic<std::uint64_t> flattens_{0};
+    std::atomic<std::uint64_t> bytes_flattened_{0};
+};
+
+}    // namespace coal::serialization

@@ -1,0 +1,138 @@
+#include <coal/serialization/wire_message.hpp>
+
+#include <cassert>
+#include <cstring>
+
+namespace coal::serialization {
+
+wire_message::wire_message(shared_buffer buffer)
+{
+    if (!buffer.empty())
+    {
+        size_ = buffer.size();
+        frags_.push_back(std::move(buffer));
+    }
+}
+
+wire_message::wire_message(byte_buffer const& bytes)
+  : wire_message(shared_buffer(bytes))
+{
+}
+
+void wire_message::open_head(std::size_t at_least)
+{
+    // Fresh slab, sized for a typical coalesced frame so header writes
+    // and small inlined payloads rarely spill into a second fragment.
+    std::size_t const want = at_least < 4096 ? 4096 : at_least;
+    detail::slab* s = buffer_pool::global().acquire(want);
+    frags_.push_back(shared_buffer::adopt(s, s->data(), 0, false));
+    head_slab_ = s;
+}
+
+void wire_message::write(void const* bytes, std::size_t count)
+{
+    if (count == 0)
+        return;
+
+    if (head_slab_ == nullptr ||
+        frags_.back().size() + count > head_slab_->capacity)
+    {
+        // Close the current head (if any) and open a new one; existing
+        // fragments are never copied to grow the frame.
+        open_head(count);
+    }
+
+    shared_buffer& head = frags_.back();
+    std::memcpy(head.data_ + head.size_, bytes, count);
+    head.size_ += count;
+    size_ += count;
+}
+
+void wire_message::append(shared_buffer fragment)
+{
+    if (fragment.empty())
+        return;
+
+    if (fragment.size() <= inline_copy_threshold)
+    {
+        buffer_pool::global().count_copied(fragment.size());
+        std::size_t const n = fragment.size();
+        // write() below must not double-count; the copy is accounted here.
+        write(fragment.data(), n);
+        return;
+    }
+
+    append_fragment(std::move(fragment));
+}
+
+void wire_message::append_fragment(shared_buffer fragment)
+{
+    if (fragment.empty())
+        return;
+
+    buffer_pool::global().count_referenced(fragment.size());
+    size_ += fragment.size();
+    frags_.push_back(std::move(fragment));
+    head_slab_ = nullptr;    // the head is closed; later writes reopen
+}
+
+void wire_message::patch(
+    std::size_t offset, void const* bytes, std::size_t count)
+{
+    assert(!frags_.empty() && offset + count <= frags_[0].size());
+    std::memcpy(frags_[0].mutable_data() + offset, bytes, count);
+}
+
+shared_buffer wire_message::gather() const
+{
+    if (size_ == 0)
+        return {};
+
+    detail::slab* s = buffer_pool::global().acquire(size_);
+    std::uint8_t* out = s->data();
+    for (shared_buffer const& frag : frags_)
+    {
+        std::memcpy(out, frag.data(), frag.size());
+        out += frag.size();
+    }
+    buffer_pool::global().count_flatten(size_);
+    return shared_buffer::adopt(s, s->data(), size_, false);
+}
+
+shared_buffer wire_message::flatten() &&
+{
+    if (frags_.size() == 1)
+    {
+        // The whole frame already lives in one buffer: hand it over by
+        // reference.  Zero bytes move — this is the common case (either a
+        // coalesced frame whose small parcels all inlined into the head
+        // slab, or a standalone buffer wrapped by the implicit ctor).
+        shared_buffer out = std::move(frags_[0]);
+        frags_.clear();
+        size_ = 0;
+        head_slab_ = nullptr;
+        return out;
+    }
+
+    shared_buffer out = gather();
+    frags_.clear();
+    size_ = 0;
+    head_slab_ = nullptr;
+    return out;
+}
+
+shared_buffer wire_message::flatten_copy() const
+{
+    return gather();
+}
+
+byte_buffer wire_message::to_vector() const
+{
+    byte_buffer out;
+    out.reserve(size_);
+    for (shared_buffer const& frag : frags_)
+        out.insert(out.end(), frag.begin(), frag.end());
+    return out;
+}
+
+}    // namespace coal::serialization

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file wire_message.hpp
+/// Iovec-style scatter-gather frame: an ordered chain of `shared_buffer`
+/// fragments that together form one wire frame.
+///
+/// `encode_message` builds frames with it: the 32-byte reliability prefix
+/// and the per-parcel headers are *written fresh* into a pooled head slab,
+/// while already-serialized parcel argument images are *appended by
+/// reference* (refcount bump, no memcpy) — small payloads below
+/// `inline_copy_threshold` are inlined into the head slab instead, since
+/// for tiny arguments a memcpy is cheaper than carrying a fragment.
+///
+/// Contiguity is produced exactly once, at the true wire boundary:
+///   - `flatten() &&` — destructive; a single-fragment message moves its
+///     buffer out with zero copies (the common case: coalesced small
+///     parcels all inline into one fragment), a multi-fragment message
+///     gather-copies into one pooled slab (counted by the pool);
+///   - `flatten_copy()` — non-destructive; always gathers, used for
+///     retained retransmit frames whose prefix may be patched again later
+///     (the retained fragments must never be shared with the transport).
+///
+/// Copying a wire_message shares its fragments by refcount (cheap); it is
+/// how the retransmission table retains frames and how fault injection
+/// duplicates them.  Building (write/append) must finish before a message
+/// is copied or sent — fragments are immutable once shared, except for
+/// `patch()`, which rewrites bytes inside fragment 0 (the ack/sack seam)
+/// and must be externally serialized with any reader (the parcelhandler
+/// patches only under its peers lock, before taking the flattened copy).
+
+#include <coal/serialization/buffer.hpp>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coal::serialization {
+
+class wire_message
+{
+public:
+    /// Payloads at or below this many bytes are memcpy'd into the head
+    /// slab by append(); larger ones are carried as fragments.
+    static constexpr std::size_t inline_copy_threshold = 512;
+
+    wire_message() = default;
+
+    /// Implicit: a single-fragment message around an existing buffer.
+    wire_message(shared_buffer buffer);
+
+    /// Implicit: copies the bytes into one pooled fragment.  Convenience
+    /// for tests and examples handing byte_buffer literals to send().
+    wire_message(byte_buffer const& bytes);
+
+    wire_message(wire_message const&) = default;
+    wire_message(wire_message&&) noexcept = default;
+    wire_message& operator=(wire_message const&) = default;
+    wire_message& operator=(wire_message&&) noexcept = default;
+
+    /// Append fresh bytes (headers) into the writable head slab.  Opens a
+    /// new fragment when the current head is full — never copies existing
+    /// fragments.
+    void write(void const* bytes, std::size_t count);
+
+    template <typename T>
+    void write_value(T const& value)
+    {
+        write(&value, sizeof(T));
+    }
+
+    /// Append an already-serialized image.  Small images are inlined into
+    /// the head slab (counted as copied); larger ones become reference
+    /// fragments (counted as referenced, zero copy).
+    void append(shared_buffer fragment);
+
+    /// Force-append by reference regardless of size (no inlining).
+    void append_fragment(shared_buffer fragment);
+
+    [[nodiscard]] std::size_t size() const noexcept
+    {
+        return size_;
+    }
+
+    [[nodiscard]] bool empty() const noexcept
+    {
+        return size_ == 0;
+    }
+
+    [[nodiscard]] std::size_t fragment_count() const noexcept
+    {
+        return frags_.size();
+    }
+
+    [[nodiscard]] shared_buffer const& fragment(std::size_t i) const noexcept
+    {
+        return frags_[i];
+    }
+
+    /// Rewrite bytes at `offset`; the span must lie inside fragment 0
+    /// (the frame prefix seam used by patch_frame_acks).  Callers must
+    /// serialize patches against concurrent readers of the fragment.
+    void patch(std::size_t offset, void const* bytes, std::size_t count);
+
+    /// Contiguous wire image, destructively.  Single-fragment messages
+    /// move the buffer out (zero copy); multi-fragment messages gather
+    /// into one pooled slab (counted as a flatten by the pool).
+    [[nodiscard]] shared_buffer flatten() &&;
+
+    /// Contiguous wire image, non-destructively: always gathers into a
+    /// fresh pooled slab (counted), so the result never aliases retained
+    /// fragments that may later be patched.
+    [[nodiscard]] shared_buffer flatten_copy() const;
+
+    /// Plain gather for tests/diagnostics; bypasses the pool accounting.
+    [[nodiscard]] byte_buffer to_vector() const;
+
+private:
+    [[nodiscard]] shared_buffer gather() const;
+    void open_head(std::size_t at_least);
+
+    std::vector<shared_buffer> frags_;
+    std::size_t size_ = 0;
+    // Writable head: the slab backing frags_.back() while this message is
+    // still being built by write()/inline append().  Null once an append
+    // closed it or nothing was written yet.
+    detail::slab* head_slab_ = nullptr;
+};
+
+}    // namespace coal::serialization

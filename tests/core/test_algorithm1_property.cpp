@@ -73,7 +73,8 @@ public:
     {
     }
 
-    void send(std::uint32_t, std::uint32_t dst, byte_buffer&& buf) override
+    void send(std::uint32_t, std::uint32_t dst,
+        coal::serialization::wire_message&& buf) override
     {
         auto const parcels = decode_message(buf);
         std::lock_guard lock(sink_.m);

@@ -98,7 +98,11 @@ struct handler_harness
         p.continuation = 0;
         p.arguments = cmh_target_action::make_arguments(1);
         if (payload > p.arguments.size())
-            p.arguments.resize(payload);
+        {
+            auto padded = p.arguments.to_vector();
+            padded.resize(payload);
+            p.arguments = padded;
+        }
         return p;
     }
 

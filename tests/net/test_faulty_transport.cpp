@@ -23,6 +23,7 @@ using coal::net::faulty_transport;
 using coal::net::link_fault;
 using coal::net::loopback_transport;
 using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
 
 // Send `n` one-byte messages 0 -> 1 (payload = message index) and return
 // the indices that actually arrived, in delivery order.
@@ -30,7 +31,7 @@ std::vector<int> run_indexed_sends(fault_plan const& plan, int n)
 {
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     std::vector<int> arrived;
-    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&& buf) {
+    net.set_delivery_handler(1, [&](std::uint32_t, shared_buffer&& buf) {
         ASSERT_EQ(buf.size(), 1u);
         arrived.push_back(static_cast<int>(buf[0]));
     });
@@ -71,7 +72,7 @@ TEST(FaultyTransport, DropAccountingConserves)
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     std::uint64_t delivered = 0;
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
     for (int i = 0; i != 1000; ++i)
         net.send(0, 1, byte_buffer{1});
     net.drain();
@@ -92,8 +93,8 @@ TEST(FaultyTransport, LinkOverrideReplacesGlobalRate)
 
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     int to1 = 0, to0 = 0;
-    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&&) { ++to1; });
-    net.set_delivery_handler(0, [&](std::uint32_t, byte_buffer&&) { ++to0; });
+    net.set_delivery_handler(1, [&](std::uint32_t, shared_buffer&&) { ++to1; });
+    net.set_delivery_handler(0, [&](std::uint32_t, shared_buffer&&) { ++to0; });
 
     for (int i = 0; i != 10; ++i)
     {
@@ -115,7 +116,7 @@ TEST(FaultyTransport, DuplicationForgesCountedExtraCopies)
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     std::uint64_t delivered = 0;
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
     for (int i = 0; i != 100; ++i)
         net.send(0, 1, byte_buffer{1, 2});
     net.drain();
@@ -147,7 +148,7 @@ TEST(FaultyTransport, DrainReleasesParkedMessages)
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     int delivered = 0;
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
 
     net.send(0, 1, byte_buffer{7});
     // The lone message sits in the reorder slot with no follower.
@@ -166,7 +167,7 @@ TEST(FaultyTransport, ShutdownDropsParkedMessages)
     plan.reorder_probability = 1.0;
 
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
-    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(1, [](std::uint32_t, shared_buffer&&) {});
     net.send(0, 1, byte_buffer{7});    // parked
     net.shutdown();
 
@@ -194,8 +195,8 @@ TEST(FaultyTransport, BlackoutWindowDropsMatchingLinkOnly)
 
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     int to1 = 0, to0 = 0;
-    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&&) { ++to1; });
-    net.set_delivery_handler(0, [&](std::uint32_t, byte_buffer&&) { ++to0; });
+    net.set_delivery_handler(1, [&](std::uint32_t, shared_buffer&&) { ++to1; });
+    net.set_delivery_handler(0, [&](std::uint32_t, shared_buffer&&) { ++to0; });
 
     net.send(0, 1, byte_buffer{1});    // inside the partition
     net.send(1, 0, byte_buffer{1});    // reverse direction unaffected
@@ -218,7 +219,7 @@ TEST(FaultyTransport, BlackoutWindowEnds)
     faulty_transport net(std::make_unique<loopback_transport>(2), plan);
     int delivered = 0;
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
 
     net.send(0, 1, byte_buffer{1});
     EXPECT_EQ(delivered, 0);
@@ -252,7 +253,7 @@ TEST(FaultyTransport, NonOwningConstructorSharesInner)
     fault_plan plan;
     plan.drop_probability = 1.0;
     faulty_transport net(inner, plan);
-    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(1, [](std::uint32_t, shared_buffer&&) {});
 
     net.send(0, 1, byte_buffer{1});
     EXPECT_EQ(net.stats().drops_injected, 1u);

@@ -6,12 +6,13 @@ namespace {
 
 using coal::net::loopback_transport;
 using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
 
 TEST(Loopback, SynchronousDelivery)
 {
     loopback_transport net(2);
     int delivered = 0;
-    net.set_delivery_handler(1, [&](std::uint32_t src, byte_buffer&& buf) {
+    net.set_delivery_handler(1, [&](std::uint32_t src, shared_buffer&& buf) {
         EXPECT_EQ(src, 0u);
         EXPECT_EQ(buf.size(), 3u);
         ++delivered;
@@ -32,7 +33,7 @@ TEST(Loopback, ZeroModeledCosts)
 TEST(Loopback, StatsMirrorTraffic)
 {
     loopback_transport net(2);
-    net.set_delivery_handler(0, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(0, [](std::uint32_t, shared_buffer&&) {});
     net.send(1, 0, byte_buffer(10, 0));
     net.send(1, 0, byte_buffer(20, 0));
     auto const s = net.stats();
@@ -46,7 +47,7 @@ TEST(Loopback, ShutdownStopsDelivery)
     loopback_transport net(2);
     int delivered = 0;
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
     net.shutdown();
     net.send(0, 1, byte_buffer{1});
     EXPECT_EQ(delivered, 0);

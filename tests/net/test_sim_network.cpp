@@ -17,6 +17,7 @@ namespace {
 using coal::net::cost_model;
 using coal::net::sim_network;
 using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
 
 cost_model cheap_model()
 {
@@ -40,13 +41,13 @@ TEST(SimNetwork, DeliversToCorrectHandlerWithSource)
     std::atomic<int> delivered{0};
     std::atomic<std::uint32_t> seen_src{99};
 
-    net.set_delivery_handler(2, [&](std::uint32_t src, byte_buffer&& buf) {
+    net.set_delivery_handler(2, [&](std::uint32_t src, shared_buffer&& buf) {
         seen_src = src;
         EXPECT_EQ(buf.size(), 10u);
         ++delivered;
     });
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ADD_FAILURE(); });
+        1, [&](std::uint32_t, shared_buffer&&) { ADD_FAILURE(); });
 
     net.send(0, 2, make_payload(10, 0xab));
     net.drain();
@@ -57,10 +58,10 @@ TEST(SimNetwork, DeliversToCorrectHandlerWithSource)
 TEST(SimNetwork, PayloadContentSurvives)
 {
     sim_network net(2, cheap_model());
-    byte_buffer received;
+    shared_buffer received;
     std::mutex m;
 
-    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&& buf) {
+    net.set_delivery_handler(1, [&](std::uint32_t, shared_buffer&& buf) {
         std::lock_guard lock(m);
         received = std::move(buf);
     });
@@ -78,7 +79,7 @@ TEST(SimNetwork, PerLinkFifoOrder)
     std::vector<std::uint8_t> order;
     std::mutex m;
 
-    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&& buf) {
+    net.set_delivery_handler(1, [&](std::uint32_t, shared_buffer&& buf) {
         std::lock_guard lock(m);
         order.push_back(buf[0]);
     });
@@ -100,7 +101,7 @@ TEST(SimNetwork, LatencyDelaysDelivery)
     sim_network net(2, m);
 
     std::atomic<std::int64_t> delivered_at{0};
-    net.set_delivery_handler(1, [&](std::uint32_t, byte_buffer&&) {
+    net.set_delivery_handler(1, [&](std::uint32_t, shared_buffer&&) {
         delivered_at = coal::now_us();
     });
 
@@ -118,7 +119,7 @@ TEST(SimNetwork, BandwidthSerializesLink)
 
     std::atomic<int> delivered{0};
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
 
     coal::stopwatch sw;
     for (int i = 0; i != 10; ++i)
@@ -134,7 +135,7 @@ TEST(SimNetwork, SenderCpuCostBurnsOnCallingThread)
     cost_model m = cheap_model();
     m.send_overhead_us = 500.0;
     sim_network net(2, m);
-    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(1, [](std::uint32_t, shared_buffer&&) {});
 
     coal::stopwatch sw;
     net.send(0, 1, make_payload(4, 0));
@@ -146,8 +147,8 @@ TEST(SimNetwork, SenderCpuCostBurnsOnCallingThread)
 TEST(SimNetwork, StatsCountMessagesAndBytes)
 {
     sim_network net(2, cheap_model());
-    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
-    net.set_delivery_handler(0, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(1, [](std::uint32_t, shared_buffer&&) {});
+    net.set_delivery_handler(0, [](std::uint32_t, shared_buffer&&) {});
 
     net.send(0, 1, make_payload(100, 0));
     net.send(0, 1, make_payload(50, 0));
@@ -171,7 +172,7 @@ TEST(SimNetwork, InFlightAndDrain)
     cost_model m = cheap_model();
     m.wire_latency_us = 30000;
     sim_network net(2, m);
-    net.set_delivery_handler(1, [](std::uint32_t, byte_buffer&&) {});
+    net.set_delivery_handler(1, [](std::uint32_t, shared_buffer&&) {});
 
     net.send(0, 1, make_payload(4, 0));
     EXPECT_EQ(net.in_flight(), 1u);
@@ -192,7 +193,7 @@ TEST(SimNetwork, SendAfterShutdownIsIgnored)
     sim_network net(2, cheap_model());
     std::atomic<int> delivered{0};
     net.set_delivery_handler(
-        1, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+        1, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
     net.shutdown();
     net.send(0, 1, make_payload(4, 0));
     EXPECT_EQ(delivered.load(), 0);
@@ -204,7 +205,7 @@ TEST(SimNetwork, ConcurrentSendersConserveMessages)
     std::atomic<int> delivered{0};
     for (std::uint32_t d = 0; d != 4; ++d)
         net.set_delivery_handler(
-            d, [&](std::uint32_t, byte_buffer&&) { ++delivered; });
+            d, [&](std::uint32_t, shared_buffer&&) { ++delivered; });
 
     constexpr int per_thread = 2000;
     std::vector<std::thread> senders;

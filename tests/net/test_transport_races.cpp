@@ -24,6 +24,7 @@ using coal::net::loopback_transport;
 using coal::net::sim_network;
 using coal::net::transport;
 using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
 
 constexpr int senders = 4;
 constexpr int sends_per_thread = 2000;
@@ -71,7 +72,7 @@ TEST(TransportRaces, LoopbackShutdownConservesAccounting)
     for (std::uint32_t d = 0; d != 2; ++d)
     {
         net.set_delivery_handler(
-            d, [&delivered](std::uint32_t, byte_buffer&&) { ++delivered; });
+            d, [&delivered](std::uint32_t, shared_buffer&&) { ++delivered; });
     }
     hammer_and_shutdown(net, 2, delivered);
 }
@@ -92,7 +93,7 @@ TEST(TransportRaces, SimNetworkShutdownConservesAccounting)
     for (std::uint32_t d = 0; d != 4; ++d)
     {
         net.set_delivery_handler(
-            d, [&delivered](std::uint32_t, byte_buffer&&) { ++delivered; });
+            d, [&delivered](std::uint32_t, shared_buffer&&) { ++delivered; });
     }
     hammer_and_shutdown(net, 4, delivered);
     // Messages still queued at shutdown were dropped, so a late drain()
@@ -119,7 +120,7 @@ TEST(TransportRaces, FaultySimShutdownConservesAccounting)
     for (std::uint32_t d = 0; d != 4; ++d)
     {
         net.set_delivery_handler(
-            d, [&delivered](std::uint32_t, byte_buffer&&) { ++delivered; });
+            d, [&delivered](std::uint32_t, shared_buffer&&) { ++delivered; });
     }
 
     std::atomic<bool> go{false};
@@ -160,7 +161,7 @@ TEST(TransportRaces, ConcurrentDrainAndSendsConserve)
     for (std::uint32_t d = 0; d != 2; ++d)
     {
         net.set_delivery_handler(
-            d, [&delivered](std::uint32_t, byte_buffer&&) { ++delivered; });
+            d, [&delivered](std::uint32_t, shared_buffer&&) { ++delivered; });
     }
 
     std::atomic<bool> done{false};

@@ -42,6 +42,7 @@ using coal::parcel::invocation_context;
 using coal::parcel::make_response_id;
 using coal::parcel::parcel;
 using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
 using coal::serialization::from_bytes;
 using coal::serialization::input_archive;
 
@@ -168,7 +169,7 @@ TEST(Action, ResponseInvokerCompletesPromise)
 
     invocation_context ctx;
     ctx.this_locality = 3;
-    ctx.complete_promise = [&](std::uint64_t id, byte_buffer&& payload) {
+    ctx.complete_promise = [&](std::uint64_t id, shared_buffer&& payload) {
         completed_id = id;
         completed_value = from_bytes<int>(payload);
     };

@@ -178,37 +178,45 @@ TEST(Message, AckOnlyFrameHasNoParcels)
 
 TEST(Message, BadMagicRejected)
 {
-    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)}).flatten_copy().to_vector();
     wire[0] ^= 0xff;
-    EXPECT_THROW(decode_message(wire), serialization_error);
+    EXPECT_THROW(
+        decode_message(coal::serialization::shared_buffer(wire)),
+        serialization_error);
 }
 
 TEST(Message, TruncatedFrameRejected)
 {
-    auto wire = encode_message({make_parcel(0, 1, 1, 100, 0)});
+    auto wire = encode_message({make_parcel(0, 1, 1, 100, 0)}).flatten_copy().to_vector();
     wire.resize(wire.size() / 2);
-    EXPECT_THROW(decode_message(wire), serialization_error);
+    EXPECT_THROW(
+        decode_message(coal::serialization::shared_buffer(wire)),
+        serialization_error);
 }
 
 TEST(Message, TrailingGarbageRejected)
 {
-    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)}).flatten_copy().to_vector();
     wire.push_back(0);
-    EXPECT_THROW(decode_message(wire), serialization_error);
+    EXPECT_THROW(
+        decode_message(coal::serialization::shared_buffer(wire)),
+        serialization_error);
 }
 
 TEST(Message, LyingParcelCountRejected)
 {
-    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)}).flatten_copy().to_vector();
     // Bump the count field (offset 4, little-endian u32) without adding
     // parcels.
     wire[4] = 200;
-    EXPECT_THROW(decode_message(wire), serialization_error);
+    EXPECT_THROW(
+        decode_message(coal::serialization::shared_buffer(wire)),
+        serialization_error);
 }
 
 TEST(Message, LyingPayloadLengthRejected)
 {
-    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)});
+    auto wire = encode_message({make_parcel(0, 1, 1, 4, 0)}).flatten_copy().to_vector();
     // The payload-length field sits after the frame prefix + parcel header;
     // set it huge.
     std::size_t const offset =
@@ -216,7 +224,9 @@ TEST(Message, LyingPayloadLengthRejected)
     wire[offset] = 0xff;
     wire[offset + 1] = 0xff;
     wire[offset + 2] = 0xff;
-    EXPECT_THROW(decode_message(wire), serialization_error);
+    EXPECT_THROW(
+        decode_message(coal::serialization::shared_buffer(wire)),
+        serialization_error);
 }
 
 }    // namespace

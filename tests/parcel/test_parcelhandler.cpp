@@ -34,6 +34,7 @@ using coal::parcel::message_handler;
 using coal::parcel::parcel;
 using coal::parcel::parcelhandler;
 using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
 using coal::serialization::from_bytes;
 using coal::threading::scheduler;
 using coal::threading::scheduler_config;
@@ -133,7 +134,7 @@ TEST(Parcelhandler, ResponseCompletesRegisteredCallback)
     harness h;
     std::atomic<int> result{0};
     auto const id = h.ph0.register_response_callback(
-        [&result](byte_buffer&& payload) {
+        [&result](shared_buffer&& payload) {
             result = from_bytes<int>(payload);
         });
     EXPECT_EQ(h.ph0.pending_responses(), 1u);
@@ -163,7 +164,7 @@ TEST(Parcelhandler, ManyRoundTripsConserveCounts)
     for (int i = 0; i != n; ++i)
     {
         auto const id = h.ph0.register_response_callback(
-            [&completed](byte_buffer&&) { ++completed; });
+            [&completed](shared_buffer&&) { ++completed; });
         h.ph0.put_parcel(make_request(1, 1, id));
     }
     h.settle();

@@ -233,7 +233,7 @@ TEST(Reliability, ResponsesRoundTripUnderLoss)
     for (int i = 0; i != n; ++i)
     {
         auto const id = h.ph0.register_response_callback(
-            [&completed](coal::serialization::byte_buffer&&) { ++completed; });
+            [&completed](coal::serialization::shared_buffer&&) { ++completed; });
         h.ph0.put_parcel(make_request(1, 1, id));
     }
     h.settle();

@@ -240,6 +240,53 @@ TEST(CountersIntegration, BackgroundOverheadBetweenZeroAndOne)
     rt.stop();
 }
 
+TEST(CountersIntegration, PoolCountersObserveRealTraffic)
+{
+    runtime rt(loopback());
+    auto& c = rt.counters();
+    // Baseline first: the pool is process-global and other activity in
+    // this process (runtime construction, earlier phases) already used it.
+    double const hits0 = c.query("/coal/pool/count/hits").value;
+    double const misses0 = c.query("/coal/pool/count/misses").value;
+    double const referenced0 = c.query("/coal/pool/data/referenced").value;
+
+    round_trips(rt, 200);
+    rt.quiesce();
+
+    // Every encode acquires a head slab and every decode borrows views,
+    // so traffic must move the acquire counters...
+    double const acquires = (c.query("/coal/pool/count/hits").value - hits0) +
+        (c.query("/coal/pool/count/misses").value - misses0);
+    EXPECT_GT(acquires, 0.0);
+    // ...and receive-side argument views are refcount shares, not copies.
+    EXPECT_GT(c.query("/coal/pool/data/referenced").value, referenced0);
+    EXPECT_GE(c.query("/coal/pool/count/outstanding").value, 0.0);
+    EXPECT_GE(c.query("/coal/pool/count/heap-fallbacks").value, 0.0);
+    rt.stop();
+}
+
+TEST(CountersIntegration, PoolCountersListedInDiscovery)
+{
+    runtime rt(loopback());
+    auto const types = rt.counters().discover();
+    auto has = [&](std::string const& path) {
+        for (auto const& [p, d] : types)
+        {
+            if (p == path)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("/coal/pool/count/hits"));
+    EXPECT_TRUE(has("/coal/pool/count/misses"));
+    EXPECT_TRUE(has("/coal/pool/count/heap-fallbacks"));
+    EXPECT_TRUE(has("/coal/pool/count/flattens"));
+    EXPECT_TRUE(has("/coal/pool/count/outstanding"));
+    EXPECT_TRUE(has("/coal/pool/data/copied"));
+    EXPECT_TRUE(has("/coal/pool/data/referenced"));
+    rt.stop();
+}
+
 TEST(CountersIntegration, TimerCountersTrackFlushTimers)
 {
     runtime rt(loopback());

@@ -217,10 +217,10 @@ TEST(Archive, UserTypeWithAdlSerialize)
 
 TEST(Archive, SequentialFieldsPreserveOrder)
 {
-    byte_buffer buf;
-    output_archive oa(buf);
+    output_archive oa;
     oa & std::int32_t{1} & std::int32_t{2} & std::string("mid") &
         std::int32_t{3};
+    auto const buf = oa.detach();
 
     input_archive ia(buf);
     std::int32_t a{}, b{}, c{};
@@ -235,8 +235,7 @@ TEST(Archive, SequentialFieldsPreserveOrder)
 
 TEST(Archive, BytesWrittenTracksSize)
 {
-    byte_buffer buf;
-    output_archive oa(buf);
+    output_archive oa;
     oa & std::uint64_t{1};
     EXPECT_EQ(oa.bytes_written(), 8u);
     oa & std::uint8_t{1};

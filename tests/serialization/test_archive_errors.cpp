@@ -24,14 +24,14 @@ TEST(ArchiveErrors, ReadingFromEmptyBufferThrows)
 
 TEST(ArchiveErrors, TruncatedScalarThrows)
 {
-    auto buf = to_bytes(std::uint64_t{42});
+    auto buf = to_bytes(std::uint64_t{42}).to_vector();
     buf.resize(4);
     EXPECT_THROW((void) from_bytes<std::uint64_t>(buf), serialization_error);
 }
 
 TEST(ArchiveErrors, TruncatedStringBodyThrows)
 {
-    auto buf = to_bytes(std::string("hello world"));
+    auto buf = to_bytes(std::string("hello world")).to_vector();
     buf.resize(buf.size() - 3);
     EXPECT_THROW((void) from_bytes<std::string>(buf), serialization_error);
 }
@@ -39,14 +39,14 @@ TEST(ArchiveErrors, TruncatedStringBodyThrows)
 TEST(ArchiveErrors, HugeDeclaredStringLengthThrows)
 {
     // Length prefix claims far more bytes than exist.
-    byte_buffer buf = to_bytes(std::uint64_t{1ull << 40});
+    byte_buffer buf = to_bytes(std::uint64_t{1ull << 40}).to_vector();
     buf.push_back('x');
     EXPECT_THROW((void) from_bytes<std::string>(buf), serialization_error);
 }
 
 TEST(ArchiveErrors, HugeDeclaredVectorLengthThrows)
 {
-    byte_buffer buf = to_bytes(std::uint64_t{1ull << 50});
+    byte_buffer buf = to_bytes(std::uint64_t{1ull << 50}).to_vector();
     EXPECT_THROW((void) from_bytes<std::vector<double>>(buf), serialization_error);
     EXPECT_THROW(
         (void) from_bytes<std::vector<std::string>>(buf), serialization_error);
@@ -61,7 +61,7 @@ TEST(ArchiveErrors, CorruptOptionalFlagThrows)
 
 TEST(ArchiveErrors, TruncatedVectorElementThrows)
 {
-    auto buf = to_bytes(std::vector<std::string>{"aaa", "bbb"});
+    auto buf = to_bytes(std::vector<std::string>{"aaa", "bbb"}).to_vector();
     buf.resize(buf.size() - 1);
     EXPECT_THROW(
         (void) from_bytes<std::vector<std::string>>(buf), serialization_error);
@@ -69,7 +69,7 @@ TEST(ArchiveErrors, TruncatedVectorElementThrows)
 
 TEST(ArchiveErrors, ExceptionLeavesNoUndefinedBehaviourOnRetry)
 {
-    auto good = to_bytes(std::string("payload"));
+    auto good = to_bytes(std::string("payload")).to_vector();
     auto bad = good;
     bad.resize(bad.size() - 2);
 

@@ -124,9 +124,9 @@ TEST_P(ConcatenationProperty, FramingComposition)
     std::vector<double> a(static_cast<std::size_t>(len(rng)), 1.5);
     std::string b(static_cast<std::size_t>(len(rng)), 'q');
 
-    coal::serialization::byte_buffer buf;
-    coal::serialization::output_archive oa(buf);
+    coal::serialization::output_archive oa;
     oa & a & b;
+    auto const buf = oa.detach();
 
     coal::serialization::input_archive ia(buf);
     std::vector<double> a2;

@@ -1,0 +1,169 @@
+// Adversarial-input robustness: deeply nested payloads must round-trip,
+// and *every* truncation or bit-flip of a valid encoding must either
+// decode to some value or throw serialization_error — never crash, hang
+// or read out of bounds.
+
+#include <coal/serialization/archive.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using coal::serialization::byte_buffer;
+using coal::serialization::from_bytes;
+using coal::serialization::serialization_error;
+using coal::serialization::to_bytes;
+
+using nested_payload = std::map<std::string,
+    std::vector<std::optional<std::tuple<std::int64_t, std::string,
+        std::vector<double>>>>>;
+
+nested_payload make_nested(unsigned seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> small(0, 6);
+
+    nested_payload out;
+    int const keys = 1 + small(rng);
+    for (int k = 0; k != keys; ++k)
+    {
+        std::string key(1 + static_cast<std::size_t>(small(rng)), 'k');
+        key += static_cast<char>('a' + k);
+        auto& list = out[key];
+        int const items = small(rng);
+        for (int i = 0; i != items; ++i)
+        {
+            if (small(rng) == 0)
+            {
+                list.emplace_back(std::nullopt);
+                continue;
+            }
+            std::vector<double> xs(static_cast<std::size_t>(small(rng)));
+            for (auto& x : xs)
+                x = static_cast<double>(small(rng)) * 1.5;
+            list.emplace_back(std::tuple{
+                static_cast<std::int64_t>(small(rng)) - 3,
+                std::string(static_cast<std::size_t>(small(rng)), 'v'), xs});
+        }
+    }
+    return out;
+}
+
+class NestedRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(NestedRoundTrip, Exact)
+{
+    auto const original = make_nested(GetParam());
+    EXPECT_EQ(from_bytes<nested_payload>(to_bytes(original)), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NestedRoundTrip, ::testing::Range(0u, 10u));
+
+// Exhaustive truncation: decoding any strict prefix must throw
+// serialization_error (the format has no trailing-optional parts), and
+// the full buffer must decode.
+TEST(ArchiveRobustness, EveryTruncationThrowsCleanly)
+{
+    auto const original = make_nested(1234);
+    byte_buffer const wire = to_bytes(original).to_vector();
+    ASSERT_GT(wire.size(), 0u);
+
+    for (std::size_t cut = 0; cut != wire.size(); ++cut)
+    {
+        byte_buffer truncated(wire.begin(),
+            wire.begin() + static_cast<std::ptrdiff_t>(cut));
+        EXPECT_THROW((void) from_bytes<nested_payload>(truncated),
+            serialization_error)
+            << "prefix of " << cut << " bytes decoded without error";
+    }
+    EXPECT_EQ(from_bytes<nested_payload>(wire), original);
+}
+
+// Bit flips: every single-bit corruption either decodes to *some* value
+// (the flip hit payload bytes) or throws serialization_error (the flip
+// hit a length/flag) — undefined behaviour (caught by asan/ubsan presets)
+// and uncontrolled exceptions are both failures.
+TEST(ArchiveRobustness, EveryBitFlipIsContained)
+{
+    using payload =
+        std::vector<std::tuple<std::string, std::optional<std::uint32_t>>>;
+    payload const original{
+        {"alpha", 7u}, {"", std::nullopt}, {"gamma-long-enough", 0u}};
+    byte_buffer const wire = to_bytes(original).to_vector();
+
+    for (std::size_t byte = 0; byte != wire.size(); ++byte)
+    {
+        for (int bit = 0; bit != 8; ++bit)
+        {
+            byte_buffer corrupted = wire;
+            corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+            try
+            {
+                auto const decoded = from_bytes<payload>(corrupted);
+                (void) decoded;
+            }
+            catch (serialization_error const&)
+            {
+                // fine: corruption detected
+            }
+            // anything else (std::bad_alloc from a lying length, segfault,
+            // uncaught type) fails the test / trips the sanitizer presets
+        }
+    }
+    SUCCEED();
+}
+
+// Random multi-byte corruption on a larger frame, same containment
+// property, different corruption shapes (runs, swaps, zeroing).
+TEST(ArchiveRobustness, RandomCorruptionIsContained)
+{
+    auto const original = make_nested(99);
+    byte_buffer const wire = to_bytes(original).to_vector();
+    std::mt19937_64 rng(2026);
+    std::uniform_int_distribution<std::size_t> pos(0, wire.size() - 1);
+    std::uniform_int_distribution<int> val(0, 255);
+
+    for (int round = 0; round != 2000; ++round)
+    {
+        byte_buffer corrupted = wire;
+        int const edits = 1 + round % 8;
+        for (int e = 0; e != edits; ++e)
+            corrupted[pos(rng)] = static_cast<std::uint8_t>(val(rng));
+        try
+        {
+            (void) from_bytes<nested_payload>(corrupted);
+        }
+        catch (serialization_error const&)
+        {
+        }
+    }
+    SUCCEED();
+}
+
+// A failed decode must leave the process able to decode good input
+// immediately afterwards (no sticky state in the pool or archives).
+TEST(ArchiveRobustness, DecodeFailureLeavesPoolUsable)
+{
+    auto const original = make_nested(7);
+    byte_buffer const wire = to_bytes(original).to_vector();
+
+    for (int i = 0; i != 50; ++i)
+    {
+        byte_buffer bad(wire.begin(), wire.begin() + 3);
+        EXPECT_THROW(
+            (void) from_bytes<nested_payload>(bad), serialization_error);
+        EXPECT_EQ(from_bytes<nested_payload>(wire), original);
+    }
+}
+
+}    // namespace

@@ -1,0 +1,156 @@
+// Concurrency stress for the slab pool and refcounted buffers — built as
+// its own binary with the "race" ctest label so the tsan preset runs
+// exactly these under ThreadSanitizer.
+
+#include <coal/serialization/buffer.hpp>
+#include <coal/serialization/buffer_pool.hpp>
+#include <coal/serialization/wire_message.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using coal::serialization::buffer_pool;
+using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
+using coal::serialization::wire_message;
+using coal::serialization::detail::slab;
+using coal::serialization::detail::slab_release;
+
+TEST(BufferRaces, ConcurrentAcquireReleaseSharedPool)
+{
+    buffer_pool pool(/*max_free_per_class=*/8);
+    constexpr int threads = 8;
+    constexpr int iterations = 2000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&pool, t] {
+            for (int i = 0; i != iterations; ++i)
+            {
+                // Cycle through size classes; write the whole payload so
+                // tsan sees any slab handed to two owners at once.
+                std::size_t const size = 32u << ((i + t) % 10);
+                slab* s = pool.acquire(size);
+                ASSERT_NE(s, nullptr);
+                ASSERT_GE(s->capacity, size);
+                ASSERT_EQ(s->refs.load(), 1u);
+                std::memset(s->data(), t, size);
+                ASSERT_EQ(s->data()[size - 1], static_cast<std::uint8_t>(t));
+                slab_release(s);
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    auto const s = pool.stats();
+    EXPECT_EQ(s.outstanding, 0u);
+    EXPECT_EQ(s.hits + s.misses,
+        static_cast<std::uint64_t>(threads) * iterations);
+}
+
+TEST(BufferRaces, ConcurrentRefcountCopiesKeepContentStable)
+{
+    byte_buffer payload(4096);
+    for (std::size_t i = 0; i != payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 131 + 5);
+    shared_buffer const source(payload);
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t != 8; ++t)
+    {
+        workers.emplace_back([&] {
+            for (int i = 0; i != 5000; ++i)
+            {
+                shared_buffer copy = source;            // add_ref
+                shared_buffer view = copy.view(100, 256);
+                if (view[0] != static_cast<std::uint8_t>(100 * 131 + 5))
+                    failed = true;
+                copy = shared_buffer();                 // release
+            }                                           // view releases
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_TRUE(source.unique());
+    EXPECT_EQ(source, payload);
+}
+
+// Retransmit-shaped race: one thread retains a frame and takes flattened
+// copies (as progress_reliability does under its lock) while others churn
+// the same global pool the frame's slabs came from.
+TEST(BufferRaces, RetainedFrameFlattenDuringPoolChurn)
+{
+    byte_buffer payload(3000);
+    for (std::size_t i = 0; i != payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+
+    wire_message retained;
+    retained.write_value(std::uint64_t{1});
+    retained.append_fragment(shared_buffer(payload));
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> churners;
+    for (int t = 0; t != 6; ++t)
+    {
+        churners.emplace_back([&stop] {
+            std::size_t n = 100;
+            while (!stop.load(std::memory_order_relaxed))
+            {
+                shared_buffer churn(n % 5000 + 1);
+                n = n * 2654435761u + 11;
+            }
+        });
+    }
+
+    for (int i = 0; i != 500; ++i)
+    {
+        auto const flat = retained.flatten_copy();
+        ASSERT_EQ(flat.size(), 8u + payload.size());
+        ASSERT_EQ(
+            std::memcmp(flat.data() + 8, payload.data(), payload.size()), 0);
+    }
+
+    stop = true;
+    for (auto& c : churners)
+        c.join();
+}
+
+TEST(BufferRaces, ParallelWireMessageBuildAndFlatten)
+{
+    std::vector<std::thread> workers;
+    std::atomic<bool> failed{false};
+    for (int t = 0; t != 8; ++t)
+    {
+        workers.emplace_back([t, &failed] {
+            for (int i = 0; i != 500; ++i)
+            {
+                wire_message msg;
+                msg.write_value(static_cast<std::uint64_t>(t));
+                msg.append(shared_buffer(
+                    static_cast<std::size_t>(600 + i % 700),
+                    static_cast<std::uint8_t>(t)));
+                auto const flat = std::move(msg).flatten();
+                std::uint64_t head = 0;
+                std::memcpy(&head, flat.data(), 8);
+                if (head != static_cast<std::uint64_t>(t) ||
+                    flat[flat.size() - 1] != static_cast<std::uint8_t>(t))
+                    failed = true;
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    EXPECT_FALSE(failed.load());
+}
+
+}    // namespace

@@ -1,0 +1,190 @@
+// Scatter-gather frame behaviour: fresh header bytes go into the head
+// slab, parcel images ride as reference fragments (or inline when small),
+// patching hits fragment 0 in place, and contiguity is produced exactly
+// once at the wire boundary.
+
+#include <coal/serialization/buffer_pool.hpp>
+#include <coal/serialization/wire_message.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace {
+
+using coal::serialization::buffer_pool;
+using coal::serialization::byte_buffer;
+using coal::serialization::shared_buffer;
+using coal::serialization::wire_message;
+
+byte_buffer pattern(std::size_t n, std::uint8_t seed)
+{
+    byte_buffer out(n);
+    for (std::size_t i = 0; i != n; ++i)
+        out[i] = static_cast<std::uint8_t>(seed + i * 13);
+    return out;
+}
+
+TEST(WireMessage, WriteAccumulatesInOneHeadFragment)
+{
+    wire_message msg;
+    for (std::uint32_t i = 0; i != 100; ++i)
+        msg.write_value(i);
+    EXPECT_EQ(msg.size(), 400u);
+    EXPECT_EQ(msg.fragment_count(), 1u);
+
+    auto const flat = msg.to_vector();
+    std::uint32_t last = 0;
+    std::memcpy(&last, flat.data() + 396, sizeof(last));
+    EXPECT_EQ(last, 99u);
+}
+
+TEST(WireMessage, SmallAppendInlinesIntoHead)
+{
+    wire_message msg;
+    msg.write_value(std::uint32_t{7});
+    msg.append(shared_buffer(
+        pattern(wire_message::inline_copy_threshold, 3)));
+    EXPECT_EQ(msg.fragment_count(), 1u);
+    EXPECT_EQ(msg.size(), 4u + wire_message::inline_copy_threshold);
+}
+
+TEST(WireMessage, LargeAppendBecomesReferenceFragment)
+{
+    auto const before = buffer_pool::global().stats();
+
+    shared_buffer const image(
+        pattern(wire_message::inline_copy_threshold + 1, 5));
+    wire_message msg;
+    msg.write_value(std::uint32_t{7});
+    msg.append(image);
+
+    EXPECT_EQ(msg.fragment_count(), 2u);
+    // The image is shared, not copied: same slab, refcount > 1.
+    EXPECT_EQ(msg.fragment(1).slab(), image.slab());
+    EXPECT_FALSE(image.unique());
+
+    auto const after = buffer_pool::global().stats();
+    EXPECT_EQ(after.bytes_referenced - before.bytes_referenced,
+        image.size());
+}
+
+TEST(WireMessage, WriteAfterFragmentOpensNewHead)
+{
+    wire_message msg;
+    msg.write_value(std::uint32_t{1});
+    msg.append_fragment(shared_buffer(pattern(600, 1)));
+    msg.write_value(std::uint32_t{2});
+    EXPECT_EQ(msg.fragment_count(), 3u);
+    EXPECT_EQ(msg.size(), 608u);
+
+    auto const flat = msg.to_vector();
+    std::uint32_t tail = 0;
+    std::memcpy(&tail, flat.data() + 604, sizeof(tail));
+    EXPECT_EQ(tail, 2u);
+}
+
+TEST(WireMessage, PatchRewritesPrefixInPlace)
+{
+    wire_message msg;
+    msg.write_value(std::uint64_t{1});
+    msg.write_value(std::uint64_t{2});
+    std::uint64_t const patched = 0xabcdef;
+    msg.patch(8, &patched, sizeof(patched));
+
+    auto const flat = msg.to_vector();
+    std::uint64_t a = 0, b = 0;
+    std::memcpy(&a, flat.data(), 8);
+    std::memcpy(&b, flat.data() + 8, 8);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 0xabcdefu);
+}
+
+TEST(WireMessage, FlattenMovesSingleFragmentWithoutGather)
+{
+    auto const before = buffer_pool::global().stats();
+
+    wire_message msg;
+    msg.write_value(std::uint64_t{42});
+    auto flat = std::move(msg).flatten();
+
+    auto const after = buffer_pool::global().stats();
+    EXPECT_EQ(after.flattens, before.flattens);    // zero-copy move-out
+    ASSERT_EQ(flat.size(), 8u);
+    std::uint64_t v = 0;
+    std::memcpy(&v, flat.data(), 8);
+    EXPECT_EQ(v, 42u);
+}
+
+TEST(WireMessage, FlattenGathersMultiFragmentOnce)
+{
+    auto const payload = pattern(4000, 9);
+
+    wire_message msg;
+    msg.write_value(std::uint32_t{0x11223344});
+    msg.append_fragment(shared_buffer(payload));
+
+    auto const before = buffer_pool::global().stats();
+    auto const flat = std::move(msg).flatten();
+    auto const after = buffer_pool::global().stats();
+
+    EXPECT_EQ(after.flattens - before.flattens, 1u);
+    EXPECT_EQ(after.bytes_flattened - before.bytes_flattened, flat.size());
+    ASSERT_EQ(flat.size(), 4u + payload.size());
+    EXPECT_EQ(std::memcmp(flat.data() + 4, payload.data(), payload.size()), 0);
+}
+
+// Retransmit safety: the flattened copy handed to the transport must not
+// alias fragments the sender may patch again later.
+TEST(WireMessage, FlattenCopyNeverAliasesRetainedFragments)
+{
+    wire_message msg;
+    msg.write_value(std::uint64_t{0});    // patchable prefix
+
+    auto const first = msg.flatten_copy();
+    std::uint64_t const acked = 77;
+    msg.patch(0, &acked, sizeof(acked));
+    auto const second = msg.flatten_copy();
+
+    std::uint64_t a = 0, b = 0;
+    std::memcpy(&a, first.data(), 8);
+    std::memcpy(&b, second.data(), 8);
+    EXPECT_EQ(a, 0u);     // earlier transmission unaffected by the patch
+    EXPECT_EQ(b, 77u);    // resend carries the updated acks
+    EXPECT_NE(first.slab(), msg.fragment(0).slab());
+}
+
+TEST(WireMessage, CopySharesFragmentsByRefcount)
+{
+    shared_buffer const image(pattern(2048, 2));
+    wire_message msg;
+    msg.write_value(std::uint32_t{5});
+    msg.append_fragment(image);
+
+    auto const before = buffer_pool::global().stats();
+    wire_message const dup = msg;    // fault-injection duplicate path
+    auto const after = buffer_pool::global().stats();
+
+    EXPECT_EQ(after.bytes_copied, before.bytes_copied);
+    EXPECT_EQ(dup.size(), msg.size());
+    EXPECT_EQ(dup.fragment(1).slab(), image.slab());
+    EXPECT_EQ(dup.to_vector(), msg.to_vector());
+}
+
+TEST(WireMessage, ByteBufferConversionCopiesContent)
+{
+    byte_buffer const bytes{1, 2, 3, 4, 5};
+    wire_message msg(bytes);
+    EXPECT_EQ(msg.size(), bytes.size());
+    EXPECT_EQ(msg.to_vector(), bytes);
+}
+
+TEST(WireMessage, EmptyMessageFlattensToEmptyBuffer)
+{
+    wire_message msg;
+    EXPECT_TRUE(msg.empty());
+    EXPECT_EQ(msg.flatten_copy().size(), 0u);
+    EXPECT_EQ(std::move(msg).flatten().size(), 0u);
+}
+
+}    // namespace
