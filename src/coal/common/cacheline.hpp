@@ -5,10 +5,23 @@
 /// counters on distinct cache lines, avoiding false sharing between
 /// scheduler workers.
 
+#include <atomic>
 #include <cstddef>
 #include <new>
 
 namespace coal {
+
+/// Small dense per-thread index for striped hot-path counters: threads
+/// get consecutive values in first-use order, so a handful of workers
+/// spread across stripes instead of hashing onto the same one.  Callers
+/// fold the value with their own stripe mask.
+inline std::size_t current_thread_stripe() noexcept
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned const idx =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+}
 
 // Fixed rather than std::hardware_destructive_interference_size: that
 // value can differ between TUs compiled with different -mtune flags (GCC

@@ -51,6 +51,68 @@ void histogram::reset() noexcept
     total_ = 0;
 }
 
+namespace {
+
+std::size_t floor_pow2(std::size_t n) noexcept
+{
+    std::size_t p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+}    // namespace
+
+striped_histogram::striped_histogram(
+    histogram_params params, std::size_t stripes)
+  : params_(params)
+  , stripe_mask_(floor_pow2(stripes) - 1)
+  , stride_((params.buckets + 7) & ~std::size_t(7))    // cacheline multiple
+  , counts_(stride_ * (stripe_mask_ + 1))
+{
+    COAL_ASSERT(params.buckets > 0);
+    COAL_ASSERT(params.max_value > params.min_value);
+    COAL_ASSERT(stripes > 0);
+}
+
+void striped_histogram::add(std::int64_t value, std::size_t stripe) noexcept
+{
+    auto const base = (stripe & stripe_mask_) * stride_;
+    counts_[base + bucket_index(params_, value)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::uint64_t striped_histogram::total() const noexcept
+{
+    std::uint64_t sum = 0;
+    for (auto const& c : counts_)
+        sum += c.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::vector<std::int64_t> striped_histogram::serialize() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(3 + params_.buckets);
+    out.push_back(params_.min_value);
+    out.push_back(params_.max_value);
+    out.push_back(params_.bucket_width());
+    for (std::size_t b = 0; b != params_.buckets; ++b)
+    {
+        std::uint64_t sum = 0;
+        for (std::size_t s = 0; s != stripe_mask_ + 1; ++s)
+            sum += counts_[s * stride_ + b].load(std::memory_order_relaxed);
+        out.push_back(static_cast<std::int64_t>(sum));
+    }
+    return out;
+}
+
+void striped_histogram::reset() noexcept
+{
+    for (auto& c : counts_)
+        c.store(0, std::memory_order_relaxed);
+}
+
 concurrent_histogram::concurrent_histogram(histogram_params params)
   : params_(params)
   , counts_(params.buckets)

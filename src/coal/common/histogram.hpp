@@ -65,6 +65,45 @@ private:
     std::uint64_t total_ = 0;
 };
 
+/// Thread-safe histogram whose buckets are striped across cache lines.
+///
+/// concurrent_histogram keeps one shared bucket array plus a shared total
+/// counter — every recording thread bounces the same cache lines.  The
+/// striped variant gives each stripe (callers pass a per-thread stripe
+/// index) its own cacheline-padded bucket block and aggregates only on
+/// reads, so concurrent writers never share a line.  Totals are exact:
+/// every add lands in exactly one stripe bucket and serialization sums
+/// across stripes.
+class striped_histogram
+{
+public:
+    explicit striped_histogram(
+        histogram_params params, std::size_t stripes = 8);
+
+    /// Record into the caller's stripe (any value; callers usually pass
+    /// current_thread_stripe()).  Stripe indices are folded internally.
+    void add(std::int64_t value, std::size_t stripe) noexcept;
+
+    [[nodiscard]] std::uint64_t total() const noexcept;
+
+    [[nodiscard]] histogram_params const& params() const noexcept
+    {
+        return params_;
+    }
+
+    /// Snapshot in HPX counter wire format (min, max, width, counts...),
+    /// aggregated across stripes.
+    [[nodiscard]] std::vector<std::int64_t> serialize() const;
+
+    void reset() noexcept;
+
+private:
+    histogram_params params_;
+    std::size_t stripe_mask_;
+    std::size_t stride_;    ///< padded bucket count per stripe
+    std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
 /// Thread-safe histogram for hot-path instrumentation.
 class concurrent_histogram
 {

@@ -5,28 +5,34 @@
 namespace coal::coalescing {
 
 coalescing_counters::coalescing_counters(histogram_params arrival_histogram)
-  : arrival_histogram_(arrival_histogram)
+  : arrival_histogram_(arrival_histogram, stripe_count)
 {
 }
 
 std::int64_t coalescing_counters::record_parcel() noexcept
 {
-    parcels_.fetch_add(1, std::memory_order_relaxed);
-
     std::int64_t const now = now_ns();
-    std::int64_t gap_ns = -1;
-    {
-        std::lock_guard lock(arrival_lock_);
-        if (last_arrival_ns_ >= 0)
-        {
-            gap_ns = now - last_arrival_ns_;
-            ++gap_count_;
-            gap_sum_us_ += static_cast<double>(gap_ns) / 1000.0;
-        }
-        last_arrival_ns_ = now;
-    }
-    if (gap_ns >= 0)
-        arrival_histogram_.add(gap_ns / 1000);
+    // The exchange serializes concurrent arrivals into a total order;
+    // each arrival measures its gap against the true predecessor in that
+    // order, so N parcels always produce exactly N-1 gaps.  It is the
+    // only shared cacheline this function writes — everything else lands
+    // in the caller's stripe.
+    std::int64_t const prev =
+        last_arrival_ns_.exchange(now, std::memory_order_acq_rel);
+
+    auto const stripe_idx = current_thread_stripe() & (stripe_count - 1);
+    auto& stripe = stripes_[stripe_idx];
+    stripe.parcel_count.fetch_add(1, std::memory_order_relaxed);
+    if (prev < 0)
+        return -1;
+
+    // Two threads can apply their exchanges in the opposite order of
+    // their timestamp reads; the resulting gap would be negative by a few
+    // ns.  Clamp — a sub-reorder-window gap is indistinguishable from 0.
+    std::int64_t const gap_ns = now > prev ? now - prev : 0;
+
+    stripe.gap_sum_ns.fetch_add(gap_ns, std::memory_order_relaxed);
+    arrival_histogram_.add(gap_ns / 1000, stripe_idx);
     return gap_ns;
 }
 
@@ -34,6 +40,22 @@ void coalescing_counters::record_message(std::size_t parcels) noexcept
 {
     messages_.fetch_add(1, std::memory_order_relaxed);
     parcels_in_messages_.fetch_add(parcels, std::memory_order_relaxed);
+}
+
+std::uint64_t coalescing_counters::parcels() const noexcept
+{
+    std::uint64_t total = 0;
+    for (auto const& s : stripes_)
+        total += s.parcel_count.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t coalescing_counters::gap_count() const noexcept
+{
+    // The exchange serializes arrivals into a total order in which every
+    // parcel but the first measures exactly one gap.
+    auto const p = parcels();
+    return p > 0 ? p - 1 : 0;
 }
 
 double coalescing_counters::average_parcels_per_message() const noexcept
@@ -48,10 +70,17 @@ double coalescing_counters::average_parcels_per_message() const noexcept
 
 double coalescing_counters::average_arrival_us() const noexcept
 {
-    std::lock_guard lock(arrival_lock_);
-    if (gap_count_ == 0)
+    std::uint64_t count = 0;
+    std::int64_t sum_ns = 0;
+    for (auto const& s : stripes_)
+    {
+        count += s.parcel_count.load(std::memory_order_relaxed);
+        sum_ns += s.gap_sum_ns.load(std::memory_order_relaxed);
+    }
+    if (count < 2)
         return 0.0;
-    return gap_sum_us_ / static_cast<double>(gap_count_);
+    return static_cast<double>(sum_ns) / 1000.0 /
+        static_cast<double>(count - 1);
 }
 
 std::vector<std::int64_t> coalescing_counters::arrival_histogram() const
@@ -61,14 +90,13 @@ std::vector<std::int64_t> coalescing_counters::arrival_histogram() const
 
 void coalescing_counters::reset() noexcept
 {
-    parcels_.store(0, std::memory_order_relaxed);
     messages_.store(0, std::memory_order_relaxed);
     parcels_in_messages_.store(0, std::memory_order_relaxed);
+    last_arrival_ns_.store(-1, std::memory_order_release);
+    for (auto& s : stripes_)
     {
-        std::lock_guard lock(arrival_lock_);
-        last_arrival_ns_ = -1;
-        gap_count_ = 0;
-        gap_sum_us_ = 0.0;
+        s.parcel_count.store(0, std::memory_order_relaxed);
+        s.gap_sum_ns.store(0, std::memory_order_relaxed);
     }
     arrival_histogram_.reset();
 }

@@ -4,6 +4,7 @@
 #include <coal/common/logging.hpp>
 #include <coal/trace/tracer.hpp>
 
+#include <optional>
 #include <utility>
 
 namespace coal::coalescing {
@@ -23,50 +24,83 @@ coalescing_message_handler::coalescing_message_handler(std::string name,
 
 coalescing_message_handler::~coalescing_message_handler()
 {
-    // Disarm: no new timers after this, and flush() below cancels the
-    // pending ones (detach_batch).
-    {
-        std::lock_guard lock(mutex_);
-        stopped_ = true;
-    }
+    // Disarm: enqueues that acquire a shard lock after flush() released
+    // it observe stopped_ (the store below happens-before flush()'s
+    // critical sections) and send directly without arming timers.
+    stopped_.store(true, std::memory_order_release);
     flush();
     // A timer callback that already popped its entry cannot be
     // cancelled; wait until the timer thread is out of callbacks so none
-    // can touch this handler post-destruction.  (Safe: mutex_ is not
+    // can touch this handler post-destruction.  (Safe: no shard lock is
     // held here, so an in-flight on_timer can complete.)
     timers_.synchronize();
 }
 
-void coalescing_message_handler::send_batch(
-    std::uint32_t dst, std::vector<parcel::parcel>&& batch)
+coalescing_message_handler::destination_queue&
+coalescing_message_handler::queue_for_locked(
+    queue_shard& shard, std::uint32_t dst)
 {
-    // Callers hold mutex_.  Handing the batch to the parcelhandler under
-    // the lock is what guarantees per-destination FIFO: a timer flush and
-    // a size-triggered flush would otherwise race between detaching a
-    // batch and queueing it for transmission.  send_message only moves
-    // the batch into the outbound queue (no network work, no locks that
-    // can call back into this handler), so holding mutex_ is safe.
-    counters_->record_message(batch.size());
-    parcels_.send_message(dst, std::move(batch));
+    auto& queue = shard.queues[dst];
+    if (queue.stream == 0)
+        queue.stream = parcels_.allocate_send_stream();
+    return queue;
+}
+
+coalescing_message_handler::detached_batch
+coalescing_message_handler::detach_batch_locked(destination_queue& queue)
+{
+    if (queue.timer.valid())
+    {
+        timers_.cancel(queue.timer);
+        queue.timer = {};
+    }
+    ++queue.epoch;    // a late timer for the old epoch becomes a no-op
+    queue.queued_bytes = 0;
+    detached_batch batch;
+    batch.parcels = std::exchange(queue.parcels, {});
+    batch.ticket = {queue.stream, queue.next_ticket++};
+    return batch;
+}
+
+void coalescing_message_handler::send_batch(
+    std::uint32_t dst, detached_batch&& batch)
+{
+    // Runs WITHOUT the shard lock.  Per-destination FIFO is preserved by
+    // the ticket: sequence numbers were allocated in shard-lock order and
+    // the parcelhandler's sequencer releases batches in ticket order, so
+    // dropping the lock before this hand-off cannot reorder the wire.
+    std::size_t const queued = batch.parcels.size();
+    counters_->record_message(queued);
+    parcels_.send_message(dst, std::move(batch.parcels), batch.ticket);
+    // Only now drop the parcels from the shard's queued gauge:
+    // send_message has made them visible in pending_sends(), so a
+    // quiescence poll always sees them in at least one count.
+    if (batch.gauge != 0)
+        shard_for(dst).gauge.fetch_sub(
+            batch.gauge, std::memory_order_release);
 }
 
 void coalescing_message_handler::enqueue(parcel::parcel&& p)
 {
     coalescing_params const params = params_->get();
     std::int64_t const gap_ns = counters_->record_parcel();
+    std::uint32_t const dst = p.dest;
 
-    // Disabled: pass through, one parcel per message.
+    // Disabled: pass through, one parcel per message.  The parcel still
+    // takes a ticket from the destination's stream so it cannot overtake
+    // (or be overtaken by) batches detached moments earlier.
     if (!params.coalescing_enabled())
     {
-        std::uint32_t const dst = p.dest;
-        std::vector<parcel::parcel> single;
-        single.push_back(std::move(p));
-        std::lock_guard lock(mutex_);
+        detached_batch single;
+        {
+            std::lock_guard lock(shard_for(dst).lock);
+            auto& queue = queue_for_locked(shard_for(dst), dst);
+            single.ticket = {queue.stream, queue.next_ticket++};
+        }
+        single.parcels.push_back(std::move(p));
         send_batch(dst, std::move(single));
         return;
     }
-
-    std::uint32_t const dst = p.dest;
 
     // Per-link circuit breaker: while the reliability layer reports this
     // destination as degraded, batching only stacks coalescing delay on
@@ -78,125 +112,143 @@ void coalescing_message_handler::enqueue(parcel::parcel&& p)
         breaker_bypasses_.fetch_add(1, std::memory_order_relaxed);
         trace::tracer::global().record(parcels_.here(),
             trace::event_kind::coalescing_bypass, p.action);
-        std::lock_guard lock(mutex_);
-        std::vector<parcel::parcel> batch;
-        if (auto it = queues_.find(dst); it != queues_.end())
-            batch = detach_batch(it->second);
-        batch.push_back(std::move(p));
+        detached_batch batch;
+        {
+            auto& shard = shard_for(dst);
+            std::lock_guard lock(shard.lock);
+            batch = detach_batch_locked(queue_for_locked(shard, dst));
+            batch.gauge = batch.parcels.size();
+        }
+        batch.parcels.push_back(std::move(p));
         send_batch(dst, std::move(batch));
         return;
     }
 
-    std::unique_lock lock(mutex_);
-
-    if (stopped_)
+    auto& shard = shard_for(dst);
+    std::optional<detached_batch> flush_now;
     {
-        // Tear-down path: do not arm new timers, send directly.
-        std::vector<parcel::parcel> single;
-        single.push_back(std::move(p));
-        send_batch(dst, std::move(single));
-        return;
-    }
+        std::unique_lock lock(shard.lock);
+        auto& queue = queue_for_locked(shard, dst);
 
-    auto& queue = queues_[dst];
+        if (stopped_.load(std::memory_order_acquire))
+        {
+            // Tear-down path: do not arm new timers, send directly.
+            detached_batch single;
+            single.ticket = {queue.stream, queue.next_ticket++};
+            lock.unlock();
+            single.parcels.push_back(std::move(p));
+            send_batch(dst, std::move(single));
+            return;
+        }
 
-    // Sparse-traffic bypass: if parcels arrive further apart than the
-    // wait time and nothing is queued, coalescing would only add latency
-    // — send directly (this is what "effectively disables" coalescing
-    // for sparse phases, §II-B).
-    bool const sparse = params.sparse_bypass && gap_ns >= 0 &&
-        gap_ns > params.interval_us * 1000;
-    if (sparse && queue.parcels.empty())
-    {
+        // Sparse-traffic bypass: if parcels arrive further apart than the
+        // wait time and nothing is queued, coalescing would only add
+        // latency — send directly (this is what "effectively disables"
+        // coalescing for sparse phases, §II-B).
+        bool const sparse = params.sparse_bypass && gap_ns >= 0 &&
+            gap_ns > params.interval_us * 1000;
+        if (sparse && queue.parcels.empty())
+        {
+            detached_batch single;
+            single.ticket = {queue.stream, queue.next_ticket++};
+            lock.unlock();
+            trace::tracer::global().record(parcels_.here(),
+                trace::event_kind::coalescing_bypass, p.action);
+            single.parcels.push_back(std::move(p));
+            send_batch(dst, std::move(single));
+            return;
+        }
+
+        std::uint64_t const action = p.action;
+        queue.queued_bytes += p.wire_size();
+        queue.parcels.push_back(std::move(p));
+        shard.gauge.fetch_add(1, std::memory_order_relaxed);
         trace::tracer::global().record(parcels_.here(),
-            trace::event_kind::coalescing_bypass, p.action);
-        std::vector<parcel::parcel> single;
-        single.push_back(std::move(p));
-        send_batch(dst, std::move(single));
-        return;
+            trace::event_kind::coalescing_queued, action,
+            queue.parcels.size());
+
+        if (queue.parcels.size() == 1)
+        {
+            // First parcel: arm the flush timer for this epoch.
+            std::uint64_t const epoch = queue.epoch;
+            queue.timer = timers_.schedule_after(params.interval_us,
+                [this, dst, epoch] { on_timer(dst, epoch); });
+        }
+
+        if (queue.parcels.size() >= params.nparcels ||
+            queue.queued_bytes >= params.max_buffer_bytes)
+        {
+            // Queue full: stop the flush timer, detach; the hand-off to
+            // the parcelhandler happens after the lock is dropped.
+            size_flushes_.fetch_add(1, std::memory_order_relaxed);
+            trace::tracer::global().record(parcels_.here(),
+                trace::event_kind::flush_size, action, queue.parcels.size());
+            flush_now = detach_batch_locked(queue);
+            flush_now->gauge = flush_now->parcels.size();
+        }
     }
 
-    std::uint64_t const action = p.action;
-    queue.queued_bytes += p.wire_size();
-    queue.parcels.push_back(std::move(p));
-    trace::tracer::global().record(parcels_.here(),
-        trace::event_kind::coalescing_queued, action,
-        queue.parcels.size());
-
-    if (queue.parcels.size() == 1)
-    {
-        // First parcel: arm the flush timer for this epoch.
-        std::uint64_t const epoch = queue.epoch;
-        queue.timer = timers_.schedule_after(
-            params.interval_us, [this, dst, epoch] { on_timer(dst, epoch); });
-    }
-
-    if (queue.parcels.size() >= params.nparcels ||
-        queue.queued_bytes >= params.max_buffer_bytes)
-    {
-        // Queue full: stop the flush timer, flush.
-        size_flushes_.fetch_add(1, std::memory_order_relaxed);
-        trace::tracer::global().record(parcels_.here(),
-            trace::event_kind::flush_size, action, queue.parcels.size());
-        send_batch(dst, detach_batch(queue));
-    }
-}
-
-std::vector<parcel::parcel> coalescing_message_handler::detach_batch(
-    destination_queue& queue)
-{
-    if (queue.timer.valid())
-    {
-        timers_.cancel(queue.timer);
-        queue.timer = {};
-    }
-    ++queue.epoch;    // a late timer for the old epoch becomes a no-op
-    queue.queued_bytes = 0;
-    return std::exchange(queue.parcels, {});
+    if (flush_now)
+        send_batch(dst, std::move(*flush_now));
 }
 
 void coalescing_message_handler::on_timer(
     std::uint32_t dst, std::uint64_t epoch)
 {
-    std::lock_guard lock(mutex_);
-    auto it = queues_.find(dst);
-    if (it == queues_.end())
-        return;
-    auto& queue = it->second;
-    // The epoch check resolves the race with a size-triggered flush that
-    // won the lock before this callback ran.
-    if (queue.epoch != epoch || queue.parcels.empty())
-        return;
-    timer_flushes_.fetch_add(1, std::memory_order_relaxed);
-    trace::tracer::global().record(parcels_.here(),
-        trace::event_kind::flush_timeout, queue.parcels.front().action,
-        queue.parcels.size());
-    queue.timer = {};    // it just fired; nothing to cancel
-    ++queue.epoch;
-    queue.queued_bytes = 0;
-    send_batch(dst, std::exchange(queue.parcels, {}));
+    auto& shard = shard_for(dst);
+    detached_batch batch;
+    {
+        std::lock_guard lock(shard.lock);
+        auto it = shard.queues.find(dst);
+        if (it == shard.queues.end())
+            return;
+        auto& queue = it->second;
+        // The epoch check resolves the race with a size-triggered flush
+        // that won the lock before this callback ran.
+        if (queue.epoch != epoch || queue.parcels.empty())
+            return;
+        timer_flushes_.fetch_add(1, std::memory_order_relaxed);
+        trace::tracer::global().record(parcels_.here(),
+            trace::event_kind::flush_timeout, queue.parcels.front().action,
+            queue.parcels.size());
+        queue.timer = {};    // it just fired; nothing to cancel
+        batch = detach_batch_locked(queue);
+        batch.gauge = batch.parcels.size();
+    }
+    send_batch(dst, std::move(batch));
 }
 
 void coalescing_message_handler::flush()
 {
-    std::lock_guard lock(mutex_);
-    for (auto& [dst, queue] : queues_)
+    for (auto& shard : shards_)
     {
-        if (queue.parcels.empty())
-            continue;
-        trace::tracer::global().record(parcels_.here(),
-            trace::event_kind::flush_forced, queue.parcels.front().action,
-            queue.parcels.size());
-        send_batch(dst, detach_batch(queue));
+        // Detach every non-empty queue in one critical section, then send
+        // the batches lock-free; tickets keep each destination in order.
+        std::vector<std::pair<std::uint32_t, detached_batch>> batches;
+        {
+            std::lock_guard lock(shard.lock);
+            for (auto& [dst, queue] : shard.queues)
+            {
+                if (queue.parcels.empty())
+                    continue;
+                trace::tracer::global().record(parcels_.here(),
+                    trace::event_kind::flush_forced,
+                    queue.parcels.front().action, queue.parcels.size());
+                auto batch = detach_batch_locked(queue);
+                batch.gauge = batch.parcels.size();
+                batches.emplace_back(dst, std::move(batch));
+            }
+        }
+        for (auto& [dst, batch] : batches)
+            send_batch(dst, std::move(batch));
     }
 }
 
 std::size_t coalescing_message_handler::queued_parcels() const
 {
-    std::lock_guard lock(mutex_);
     std::size_t total = 0;
-    for (auto const& [dst, queue] : queues_)
-        total += queue.parcels.size();
+    for (auto const& shard : shards_)
+        total += shard.gauge.load(std::memory_order_acquire);
     return total;
 }
 

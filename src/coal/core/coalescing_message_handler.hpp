@@ -23,20 +23,33 @@
 /// between a size-triggered flush and the timer firing is resolved with
 /// a per-queue epoch: a timer only flushes the epoch it was armed for.
 ///
+/// Concurrency: destination queues live in cacheline-aligned shards
+/// (destination id & mask), each under its own spinlock, so producers
+/// aiming at different destinations never serialize against each other.
+/// Batch hand-off happens *outside* the shard lock: detaching a batch
+/// allocates a consecutive sequence ticket on the destination's
+/// parcelhandler stream while the lock is held, and
+/// parcelhandler::send_message's sequencer restores ticket order before
+/// the batch reaches the outbound queue — per-destination FIFO without
+/// lock-coupled hand-off.  See DESIGN.md §8.
+///
 /// Flushing hands the batch to parcelhandler::send_message, which queues
 /// it for transmission by background work — so the modeled per-message
 /// cost lands in the Eq. 3/4 accounting regardless of which thread
 /// triggered the flush.
 
+#include <coal/common/cacheline.hpp>
+#include <coal/common/spinlock.hpp>
 #include <coal/core/coalescing_counters.hpp>
 #include <coal/core/coalescing_params.hpp>
 #include <coal/parcel/message_handler.hpp>
 #include <coal/parcel/parcelhandler.hpp>
 #include <coal/timing/deadline_timer.hpp>
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +59,11 @@ namespace coal::coalescing {
 class coalescing_message_handler final : public parcel::message_handler
 {
 public:
+    /// Shard fan-out for the per-destination queue map.  Power of two;
+    /// destinations are folded with a mask, so up to 16 producer threads
+    /// hitting distinct destinations proceed without sharing a lock.
+    static constexpr std::size_t shard_count = 16;
+
     coalescing_message_handler(std::string name,
         parcel::parcelhandler& parcels,
         timing::deadline_timer_service& timers, shared_params_ptr params,
@@ -101,16 +119,54 @@ private:
     {
         std::vector<parcel::parcel> parcels;
         std::size_t queued_bytes = 0;
-        std::uint64_t epoch = 0;    ///< bumped on every flush
+        std::uint64_t epoch = 0;     ///< bumped on every flush
+        std::uint64_t stream = 0;    ///< parcelhandler sequencer stream id
+        std::uint64_t next_ticket = 0;    ///< seq of the next detached batch
         timing::timer_id timer{};
     };
 
-    /// Record and queue a batch for transmission.  Caller holds mutex_ —
-    /// required for per-destination FIFO (see the .cpp comment).
-    void send_batch(std::uint32_t dst, std::vector<parcel::parcel>&& batch);
+    struct alignas(cache_line_size) queue_shard
+    {
+        mutable spinlock lock;
+        std::unordered_map<std::uint32_t, destination_queue> queues;
 
-    /// Detach a destination queue's contents (caller holds mutex_).
-    std::vector<parcel::parcel> detach_batch(destination_queue& queue);
+        /// Parcels currently queued in this shard, maintained as a gauge
+        /// so queued_parcels() (polled by quiescence) never takes a lock
+        /// — and so the enqueue fast path touches no cacheline shared
+        /// with other shards.  Incremented under the shard lock at
+        /// enqueue; decremented only after the detached batch has been
+        /// handed to the parcelhandler, so a parcel is always visible in
+        /// at least one of queued_parcels() / pending_sends() while in
+        /// flight.
+        std::atomic<std::size_t> gauge{0};
+    };
+
+    [[nodiscard]] queue_shard& shard_for(std::uint32_t dst) noexcept
+    {
+        return shards_[dst & (shard_count - 1)];
+    }
+
+    /// Get-or-create the destination queue inside its shard (caller holds
+    /// the shard lock); allocates the sequencer stream on first use.
+    destination_queue& queue_for_locked(
+        queue_shard& shard, std::uint32_t dst);
+
+    /// Detach a destination queue's contents and stamp them with the next
+    /// ordering ticket (caller holds the shard lock).  The batch is sent
+    /// by the caller *after* dropping the lock.
+    struct detached_batch
+    {
+        std::vector<parcel::parcel> parcels;
+        parcel::send_ticket ticket;
+        /// How many of `parcels` are counted in the shard gauge (bypass
+        /// paths append a never-queued parcel after detaching).
+        std::size_t gauge = 0;
+    };
+    detached_batch detach_batch_locked(destination_queue& queue);
+
+    /// Hand a detached batch to the parcelhandler.  Called without any
+    /// shard lock held; the ticket preserves per-destination FIFO.
+    void send_batch(std::uint32_t dst, detached_batch&& batch);
 
     void on_timer(std::uint32_t dst, std::uint64_t epoch);
 
@@ -120,9 +176,8 @@ private:
     shared_params_ptr params_;
     std::shared_ptr<coalescing_counters> counters_;
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::uint32_t, destination_queue> queues_;
-    bool stopped_ = false;
+    std::array<queue_shard, shard_count> shards_;
+    std::atomic<bool> stopped_{false};
 
     std::atomic<std::uint64_t> timer_flushes_{0};
     std::atomic<std::uint64_t> size_flushes_{0};

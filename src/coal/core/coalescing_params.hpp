@@ -16,8 +16,10 @@
 /// mid-run schedule changes) to mutate parameters while traffic flows;
 /// readers take a consistent snapshot.
 
+#include <coal/common/cacheline.hpp>
 #include <coal/common/spinlock.hpp>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -54,29 +56,72 @@ struct coalescing_params
 
 /// Mutable parameter cell shared between a request handler, its response
 /// handler, and the adaptive controller.
+///
+/// `get()` sits on every enqueue, so it is a seqlock over atomic fields:
+/// readers take a consistent snapshot with two version loads and four
+/// relaxed field loads — no shared write, no lock — and retry in the
+/// (rare) window where the controller is mid-`set()`.  Writers serialize
+/// on a spinlock and bump the version to odd around the field stores.
+/// All field accesses are on std::atomic objects, so the retry loop is
+/// data-race-free (ThreadSanitizer-clean), unlike a classic memcpy
+/// seqlock.
 class shared_params
 {
 public:
     explicit shared_params(coalescing_params initial)
-      : params_(initial)
     {
+        store_fields(initial);
     }
 
     [[nodiscard]] coalescing_params get() const
     {
-        std::lock_guard lock(lock_);
-        return params_;
+        for (;;)
+        {
+            std::uint64_t const v1 = version_.load(std::memory_order_acquire);
+            if (v1 & 1)
+            {
+                cpu_relax();    // writer in progress
+                continue;
+            }
+            coalescing_params p;
+            p.nparcels = nparcels_.load(std::memory_order_relaxed);
+            p.interval_us = interval_us_.load(std::memory_order_relaxed);
+            p.max_buffer_bytes =
+                max_buffer_bytes_.load(std::memory_order_relaxed);
+            p.sparse_bypass = sparse_bypass_.load(std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (version_.load(std::memory_order_relaxed) == v1)
+                return p;
+        }
     }
 
     void set(coalescing_params p)
     {
-        std::lock_guard lock(lock_);
-        params_ = p;
+        std::lock_guard lock(write_lock_);
+        version_.fetch_add(1, std::memory_order_relaxed);    // odd: in flux
+        // The release fence keeps the field stores below from becoming
+        // visible before the odd version; the release increment after
+        // them keeps them from becoming visible after the even version.
+        std::atomic_thread_fence(std::memory_order_release);
+        store_fields(p);
+        version_.fetch_add(1, std::memory_order_release);    // even: stable
     }
 
 private:
-    mutable spinlock lock_;
-    coalescing_params params_;
+    void store_fields(coalescing_params const& p) noexcept
+    {
+        nparcels_.store(p.nparcels, std::memory_order_relaxed);
+        interval_us_.store(p.interval_us, std::memory_order_relaxed);
+        max_buffer_bytes_.store(p.max_buffer_bytes, std::memory_order_relaxed);
+        sparse_bypass_.store(p.sparse_bypass, std::memory_order_relaxed);
+    }
+
+    spinlock write_lock_;
+    std::atomic<std::uint64_t> version_{0};
+    std::atomic<std::size_t> nparcels_{128};
+    std::atomic<std::int64_t> interval_us_{4000};
+    std::atomic<std::size_t> max_buffer_bytes_{1 << 20};
+    std::atomic<bool> sparse_bypass_{true};
 };
 
 using shared_params_ptr = std::shared_ptr<shared_params>;

@@ -100,12 +100,46 @@ void parcelhandler::put_parcel(parcel&& p)
 }
 
 void parcelhandler::send_message(
-    std::uint32_t dst, std::vector<parcel>&& parcels)
+    std::uint32_t dst, std::vector<parcel>&& parcels, send_ticket ticket)
 {
     if (parcels.empty())
         return;
     COAL_ASSERT(dst != here_);
+
+    if (ticket.stream == 0)
+    {
+        outbound_.push(send_job{dst, std::move(parcels)});
+        return;
+    }
+
+    // Ticketed hand-off: the producer allocated `seq` under its own queue
+    // lock but calls us lock-free, so two batches of one stream can
+    // arrive here in either order.  Release to the outbound queue
+    // strictly in ticket order, parking early arrivals.  Holding the
+    // stream's shard lock across the pushes is what makes the release
+    // order the queue order.
+    auto& shard =
+        sequencer_shards_[ticket.stream & (sequencer_shard_count - 1)];
+    std::lock_guard lock(shard.lock);
+    auto& stream = shard.streams[ticket.stream];
+    if (ticket.seq != stream.next_seq)
+    {
+        COAL_ASSERT(ticket.seq > stream.next_seq);
+        parked_sends_.fetch_add(1, std::memory_order_release);
+        stream.parked.emplace(
+            ticket.seq, send_job{dst, std::move(parcels)});
+        return;
+    }
+
     outbound_.push(send_job{dst, std::move(parcels)});
+    ++stream.next_seq;
+    for (auto it = stream.parked.begin();
+        it != stream.parked.end() && it->first == stream.next_seq;
+        it = stream.parked.erase(it), ++stream.next_seq)
+    {
+        outbound_.push(std::move(it->second));
+        parked_sends_.fetch_sub(1, std::memory_order_release);
+    }
 }
 
 void parcelhandler::set_message_handler(
@@ -415,6 +449,7 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
         peer.unacked.size() <= reliability_.breaker_close_backlog)
     {
         peer.breaker_open = false;
+        open_breakers_.fetch_sub(1, std::memory_order_release);
         COAL_LOG_INFO("parcel",
             "link %u->%u healed: circuit breaker closed", here_, src);
     }
@@ -463,6 +498,7 @@ void parcelhandler::maybe_trip_breaker_locked(
     if (!trip)
         return;
     peer.breaker_open = true;
+    open_breakers_.fetch_add(1, std::memory_order_release);
     counters_.circuit_breaker_trips.fetch_add(1, std::memory_order_relaxed);
     COAL_LOG_WARN("parcel",
         "link %u->%u degraded (%zu unacked): circuit breaker open, "
@@ -562,7 +598,11 @@ std::size_t parcelhandler::pending_reliability() const
 
 bool parcelhandler::link_degraded(std::uint32_t dst) const
 {
-    if (!reliability_.enabled)
+    // Fast path for the coalescer's enqueue: with no breaker open
+    // anywhere (the steady state), answer from one atomic load without
+    // touching the shared peers lock.
+    if (!reliability_.enabled ||
+        open_breakers_.load(std::memory_order_acquire) == 0)
         return false;
     std::lock_guard lock(peers_lock_);
     auto const it = peers_.find(dst);

@@ -20,6 +20,7 @@
 /// The response table maps continuation ids to callbacks that complete
 /// local promises when a result parcel arrives.
 
+#include <coal/common/cacheline.hpp>
 #include <coal/common/mpmc_queue.hpp>
 #include <coal/common/spinlock.hpp>
 #include <coal/common/unique_function.hpp>
@@ -29,6 +30,7 @@
 #include <coal/parcel/parcel.hpp>
 #include <coal/threading/scheduler.hpp>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -100,6 +102,19 @@ struct reliability_params
     std::size_t breaker_close_backlog = 2;
 };
 
+/// Ordering ticket for send_message.  Producers that detach batches
+/// outside their queue lock (the sharded coalescer) allocate consecutive
+/// sequence numbers on a per-destination stream *while still holding the
+/// lock*, then hand off lock-free; the parcelhandler's sequencer restores
+/// ticket order before the batch reaches the outbound queue.  A
+/// default-constructed ticket (stream 0) means "unordered, enqueue
+/// directly".
+struct send_ticket
+{
+    std::uint64_t stream = 0;    ///< 0 = no ordering requirement
+    std::uint64_t seq = 0;       ///< consecutive from 0 within a stream
+};
+
 class parcelhandler
 {
 public:
@@ -121,8 +136,19 @@ public:
     /// Queue a batch of parcels bound for `dst` as ONE wire message.
     /// Called by message handlers (a coalesced flush) and internally for
     /// singleton sends.  Actual framing/transmission happens in
-    /// background work.
-    void send_message(std::uint32_t dst, std::vector<parcel>&& parcels);
+    /// background work.  A non-zero ticket routes the batch through the
+    /// per-stream sequencer: batches are released to the outbound queue
+    /// strictly in ticket order, so callers may invoke this outside the
+    /// lock that assigned the ticket.
+    void send_message(std::uint32_t dst, std::vector<parcel>&& parcels,
+        send_ticket ticket = {});
+
+    /// Allocate a fresh sequencer stream id (never 0).  One stream per
+    /// ordered producer lane — the coalescer uses one per destination.
+    [[nodiscard]] std::uint64_t allocate_send_stream() noexcept
+    {
+        return next_stream_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /// Install/remove the message handler for an action.  Installing for
     /// a request action id does NOT implicitly cover its response id —
@@ -163,13 +189,15 @@ public:
     }
 
     /// Outbound messages accepted by send_message but not yet handed to
-    /// the transport.  Includes frames mid-encode inside progress_send so
+    /// the transport.  Includes frames mid-encode inside progress_send and
+    /// batches parked in the sequencer waiting for an earlier ticket, so
     /// quiescence checks never observe zero while a message is between
     /// the queue and the wire.
     [[nodiscard]] std::size_t pending_sends() const
     {
         return outbound_.size() +
-            sends_in_progress_.load(std::memory_order_acquire);
+            sends_in_progress_.load(std::memory_order_acquire) +
+            parked_sends_.load(std::memory_order_acquire);
     }
 
     /// Received wire messages not yet decoded/executed.  Includes frames
@@ -204,6 +232,23 @@ private:
         std::uint32_t dst;
         std::vector<parcel> parcels;
     };
+
+    /// Reorder state for one ordered producer lane.  Lives in a sharded
+    /// map: distinct streams (≈ distinct coalescer destinations) contend
+    /// only when they hash to the same shard.
+    struct stream_state
+    {
+        std::uint64_t next_seq = 0;                  ///< next ticket to release
+        std::map<std::uint64_t, send_job> parked;    ///< out-of-order arrivals
+    };
+
+    struct alignas(cache_line_size) sequencer_shard
+    {
+        spinlock lock;
+        std::unordered_map<std::uint64_t, stream_state> streams;
+    };
+
+    static constexpr std::size_t sequencer_shard_count = 16;    // power of two
 
     struct inbound_message
     {
@@ -263,6 +308,10 @@ private:
     mpmc_queue<send_job> outbound_;
     mpmc_queue<inbound_message> inbox_;
 
+    std::array<sequencer_shard, sequencer_shard_count> sequencer_shards_;
+    std::atomic<std::uint64_t> next_stream_{1};
+    std::atomic<std::size_t> parked_sends_{0};
+
     mutable spinlock handlers_lock_;
     std::unordered_map<action_id, std::shared_ptr<message_handler>> handlers_;
 
@@ -278,6 +327,10 @@ private:
     reliability_params reliability_;
     mutable spinlock peers_lock_;
     std::unordered_map<std::uint32_t, peer_state> peers_;
+    /// Links whose circuit breaker is currently open; lets
+    /// link_degraded() answer "none" without taking peers_lock_.
+    /// Mutated only under peers_lock_.
+    std::atomic<std::size_t> open_breakers_{0};
 
     parcelhandler_counters counters_;
     // Messages popped from outbound_/inbox_ but still being processed.

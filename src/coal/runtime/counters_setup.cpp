@@ -563,6 +563,19 @@ void runtime::register_counters()
             return std::make_shared<perf::function_counter>(
                 [this] { return timers_->stats().mean_lateness_us; });
         });
+    counters_.register_counter_type("/timers/time/max-lateness",
+        "worst timer firing lateness since start, µs",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>(
+                [this] { return timers_->stats().max_lateness_us; });
+        });
+    counters_.register_counter_type("/timers/count/pending",
+        "flush timers currently armed (gauge)",
+        [this](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>([this] {
+                return static_cast<double>(timers_->pending());
+            });
+        });
 }
 
 }    // namespace coal

@@ -1,15 +1,30 @@
 #include <coal/timing/deadline_timer.hpp>
 
 #include <coal/common/assert.hpp>
-#include <coal/common/spinlock.hpp>
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 namespace coal::timing {
 
+namespace {
+
+constexpr std::int64_t k_no_deadline =
+    std::numeric_limits<std::int64_t>::max();
+
+std::int64_t to_ns(time_point tp) noexcept
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        tp.time_since_epoch())
+        .count();
+}
+
+}    // namespace
+
 deadline_timer_service::deadline_timer_service(std::int64_t spin_threshold_us)
-  : spin_threshold_us_(spin_threshold_us)
+  : wheel_(now_ns())
+  , spin_threshold_us_(spin_threshold_us)
 {
     thread_ = std::thread([this] { run(); });
 }
@@ -22,18 +37,34 @@ deadline_timer_service::~deadline_timer_service()
 timer_id deadline_timer_service::schedule_at(
     time_point deadline, timer_callback cb)
 {
-    std::uint64_t id = 0;
+    if (stopping_.load(std::memory_order_acquire))
+        return {};
+
+    auto entry = std::make_shared<timer_entry>();
+    entry->deadline_ns = to_ns(deadline);
+    entry->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    entry->callback = std::move(cb);
+
+    timer_id const id{entry->id};
     {
-        std::lock_guard lock(mutex_);
-        if (stopping_)
-            return {};
-        id = next_id_++;
-        auto it = queue_.emplace(deadline, std::pair{id, std::move(cb)});
-        index_.emplace(id, it);
-        ++scheduled_;
+        auto& shard = shard_for(entry->id);
+        std::lock_guard lock(shard.lock);
+        shard.map.emplace(entry->id, entry);
     }
-    cv_.notify_one();
-    return {id};
+    {
+        std::lock_guard lock(wheel_lock_);
+        wheel_.insert(std::move(entry));
+    }
+    scheduled_.fetch_add(1, std::memory_order_relaxed);
+    pending_count_.fetch_add(1, std::memory_order_acq_rel);
+
+    // Wake the timer thread only if this deadline is earlier than what it
+    // is sleeping toward.  sleep_target_ns_ is INT64_MAX while the thread
+    // is between computations, so the race degrades to a spurious notify,
+    // never a missed one (see run() for the ordering argument).
+    if (to_ns(deadline) < sleep_target_ns_.load(std::memory_order_acquire))
+        wake_timer_thread();
+    return id;
 }
 
 timer_id deadline_timer_service::schedule_after(
@@ -48,128 +79,192 @@ bool deadline_timer_service::cancel(timer_id id)
 {
     if (!id.valid())
         return false;
-    std::lock_guard lock(mutex_);
-    auto it = index_.find(id.value);
-    if (it == index_.end())
-        return false;    // already fired (or never existed)
-    queue_.erase(it->second);
-    index_.erase(it);
-    ++cancelled_;
-    return true;
-}
 
-std::size_t deadline_timer_service::pending() const
-{
-    std::lock_guard lock(mutex_);
-    return queue_.size();
+    timer_entry_ptr entry;
+    {
+        auto& shard = shard_for(id.value);
+        std::lock_guard lock(shard.lock);
+        auto it = shard.map.find(id.value);
+        if (it == shard.map.end())
+            return false;    // already fired (or never existed)
+        entry = it->second;
+        auto expected = timer_entry_state::pending;
+        if (!entry->state.compare_exchange_strong(expected,
+                timer_entry_state::cancelled, std::memory_order_seq_cst))
+            return false;    // firing thread claimed it first
+        shard.map.erase(it);
+    }
+    // We won the CAS: the firing thread will see `cancelled` and never
+    // touch the callback again, so releasing its captures here is safe.
+    timer_callback dead = std::move(entry->callback);
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    pending_count_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
 }
 
 timer_service_stats deadline_timer_service::stats() const
 {
-    std::lock_guard lock(mutex_);
     timer_service_stats s;
-    s.scheduled = scheduled_;
-    s.fired = fired_;
-    s.cancelled = cancelled_;
-    s.mean_lateness_us =
-        fired_ ? lateness_sum_us_ / static_cast<double>(fired_) : 0.0;
-    s.max_lateness_us = lateness_max_us_;
+    s.scheduled = scheduled_.load(std::memory_order_relaxed);
+    s.fired = fired_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    auto const sum_ns = lateness_sum_ns_.load(std::memory_order_relaxed);
+    s.mean_lateness_us = s.fired != 0 ?
+        static_cast<double>(sum_ns) / 1000.0 / static_cast<double>(s.fired) :
+        0.0;
+    s.max_lateness_us =
+        static_cast<double>(lateness_max_ns_.load(std::memory_order_relaxed)) /
+        1000.0;
     return s;
 }
 
 void deadline_timer_service::shutdown()
 {
-    {
-        std::lock_guard lock(mutex_);
-        if (stopping_)
-        {
-            // Second call: thread may already be joined.
-            if (thread_.joinable())
-            {
-                // fallthrough to join below
-            }
-        }
-        stopping_ = true;
-    }
-    cv_.notify_all();
+    stopping_.store(true, std::memory_order_release);
+    wake_timer_thread();
     if (thread_.joinable())
         thread_.join();
 }
 
+void deadline_timer_service::wake_timer_thread()
+{
+    wake_generation_.fetch_add(1, std::memory_order_seq_cst);
+    {
+        std::lock_guard lock(sleep_mutex_);
+    }
+    cv_.notify_all();
+}
+
+void deadline_timer_service::fire(timer_entry_ptr const& entry)
+{
+    auto expected = timer_entry_state::pending;
+    if (!entry->state.compare_exchange_strong(expected,
+            timer_entry_state::fired, std::memory_order_seq_cst))
+        return;    // cancelled between collection and firing
+
+    {
+        auto& shard = shard_for(entry->id);
+        std::lock_guard lock(shard.lock);
+        shard.map.erase(entry->id);
+    }
+    pending_count_.fetch_sub(1, std::memory_order_acq_rel);
+
+    std::int64_t const lateness_ns =
+        std::max<std::int64_t>(0, now_ns() - entry->deadline_ns);
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    lateness_sum_ns_.fetch_add(lateness_ns, std::memory_order_relaxed);
+    std::int64_t prev = lateness_max_ns_.load(std::memory_order_relaxed);
+    while (prev < lateness_ns &&
+        !lateness_max_ns_.compare_exchange_weak(
+            prev, lateness_ns, std::memory_order_relaxed))
+    {
+    }
+
+    // No lock is held here: callbacks may schedule or cancel timers.
+    timer_callback cb = std::move(entry->callback);
+    cb();
+}
+
 void deadline_timer_service::run()
 {
-    std::unique_lock lock(mutex_);
+    std::vector<timer_entry_ptr> due;
     for (;;)
     {
-        if (stopping_)
+        if (stopping_.load(std::memory_order_acquire))
             return;
 
-        if (queue_.empty())
+        // Publish "recomputing" before touching the wheel and read the
+        // wake generation before collecting.  A scheduler inserts under
+        // the wheel lock, then compares its deadline against
+        // sleep_target_ns_: if its insert missed this collection pass, the
+        // lock hand-off guarantees it reads either the INT64_MAX sentinel
+        // (notifies unconditionally) or the target published below
+        // (notifies iff earlier) — a stale target from a previous loop
+        // iteration is impossible, so no wake-up can be lost.
+        sleep_target_ns_.store(k_no_deadline, std::memory_order_seq_cst);
+        std::uint64_t const gen =
+            wake_generation_.load(std::memory_order_seq_cst);
+
+        due.clear();
+        std::int64_t next = -1;
         {
-            cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+            std::lock_guard lock(wheel_lock_);
+            wheel_.collect_due(now_ns(), due);
+            if (due.empty())
+                next = wheel_.next_deadline();
+        }
+
+        if (!due.empty())
+        {
+            // Equal deadlines fire in schedule order (ids are monotonic).
+            std::sort(due.begin(), due.end(),
+                [](timer_entry_ptr const& a, timer_entry_ptr const& b) {
+                    return a->deadline_ns != b->deadline_ns ?
+                        a->deadline_ns < b->deadline_ns :
+                        a->id < b->id;
+                });
+            // The running flag must be raised *before* the claiming CAS
+            // inside fire(): a canceller that loses the CAS may call
+            // synchronize(), which must then observe the flag until the
+            // callback has completed.
+            callback_running_.store(true, std::memory_order_seq_cst);
+            for (auto const& entry : due)
+                fire(entry);
+            callback_running_.store(false, std::memory_order_seq_cst);
+            wake_timer_thread();    // releases synchronize() waiters
             continue;
         }
 
-        auto const next_deadline = queue_.begin()->first;
-        auto const now = steady_clock::now();
-
-        if (next_deadline > now)
+        if (next < 0)
         {
-            auto const remaining_us =
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    next_deadline - now)
-                    .count();
-            if (remaining_us > spin_threshold_us_)
+            // Nothing pending: sleep until a schedule bumps the
+            // generation (sleep_target_ns_ is already the MAX sentinel,
+            // so every new timer notifies).
+            std::unique_lock lock(sleep_mutex_);
+            cv_.wait(lock, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                    wake_generation_.load(std::memory_order_seq_cst) != gen;
+            });
+            continue;
+        }
+
+        sleep_target_ns_.store(next, std::memory_order_seq_cst);
+        std::int64_t const remaining_us = (next - now_ns()) / 1000;
+        if (remaining_us > spin_threshold_us_)
+        {
+            // Sleep until shortly before the deadline; an earlier timer
+            // or shutdown wakes us via the condvar.
+            auto const wake = time_point(
+                std::chrono::duration_cast<steady_clock::duration>(
+                    std::chrono::nanoseconds(
+                        next - spin_threshold_us_ * 1000)));
+            std::unique_lock lock(sleep_mutex_);
+            cv_.wait_until(lock, wake, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                    wake_generation_.load(std::memory_order_seq_cst) != gen;
+            });
+        }
+        else
+        {
+            // Close to the deadline: busy-poll (no lock is held, so
+            // schedule/cancel stay responsive); bail out early if a new
+            // earlier timer arrives.
+            while (now_ns() < next &&
+                wake_generation_.load(std::memory_order_relaxed) == gen &&
+                !stopping_.load(std::memory_order_relaxed))
             {
-                // Sleep until shortly before the deadline; a new earlier
-                // timer or shutdown wakes us via the condvar.
-                cv_.wait_until(lock,
-                    next_deadline -
-                        std::chrono::microseconds(spin_threshold_us_));
-                continue;
-            }
-
-            // Close to the deadline: spin with the lock *released* so
-            // schedule/cancel stay responsive, then re-evaluate.
-            lock.unlock();
-            while (steady_clock::now() < next_deadline)
                 cpu_relax();
-            lock.lock();
-            continue;
+            }
         }
-
-        // Deadline reached: detach the entry and run the callback
-        // unlocked so callbacks may schedule/cancel timers.
-        auto it = queue_.begin();
-        std::uint64_t const id = it->second.first;
-        timer_callback cb = std::move(it->second.second);
-        index_.erase(id);
-        queue_.erase(it);
-
-        auto const lateness_us =
-            static_cast<double>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    steady_clock::now() - next_deadline)
-                    .count()) /
-            1000.0;
-        ++fired_;
-        lateness_sum_us_ += lateness_us;
-        if (lateness_us > lateness_max_us_)
-            lateness_max_us_ = lateness_us;
-
-        callback_running_ = true;
-        lock.unlock();
-        cb();
-        lock.lock();
-        callback_running_ = false;
-        cv_.notify_all();    // wake synchronize() waiters
     }
 }
 
 void deadline_timer_service::synchronize()
 {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return !callback_running_; });
+    std::unique_lock lock(sleep_mutex_);
+    cv_.wait(lock, [&] {
+        return !callback_running_.load(std::memory_order_seq_cst);
+    });
 }
 
 }    // namespace coal::timing

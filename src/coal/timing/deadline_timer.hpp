@@ -6,30 +6,48 @@
 /// The paper's flush timer is built on Boost's deadline_timer "running in
 /// its own dedicated hardware thread", giving µs-order resolution instead
 /// of the millisecond granularity of OS time slicing.  This service
-/// replicates that design: one dedicated thread owns a min-heap of
-/// deadlines and sleeps with `wait_until`; near the deadline it spins
-/// briefly to shave off wake-up latency.  Callbacks run on the timer
-/// thread and must be short — the coalescing handler uses them only to
-/// trigger a queue flush.
+/// replicates that design: one dedicated thread owns the pending-timer
+/// store and sleeps with `wait_until`; near the deadline it spins briefly
+/// to shave off wake-up latency.  Callbacks run on the timer thread and
+/// must be short — the coalescing handler uses them only to trigger a
+/// queue flush.
+///
+/// The store is a hierarchical timer wheel (timer_wheel.hpp): schedule is
+/// an O(1) bucket push under a short spinlock, and cancel is O(1) and
+/// touches no shared queue at all — it flips the entry's state with a CAS
+/// and the tombstone is swept when the wheel cursor passes its slot.
+/// That matters because the coalescing workload is cancel-heavy (every
+/// first parcel of a batch arms a timer, most are cancelled by size
+/// flushes), and under the previous multimap design every cancel
+/// serialized against every schedule *and* the timer thread on one mutex.
+/// Statistics live in their own atomics so observation (stats(),
+/// pending()) never stalls the hot path either.
 ///
 /// Timers are one-shot and cancellable; `cancel` returns whether the
 /// callback was prevented from running (the coalescing handler relies on
 /// that to resolve the race between "queue filled up" and "timeout").
+/// The exactness survives the lock-free design because the pending→fired
+/// and pending→cancelled transitions are a single CAS on the entry: the
+/// loser learns the winner's verdict.
 
+#include <coal/common/cacheline.hpp>
+#include <coal/common/spinlock.hpp>
 #include <coal/common/stats.hpp>
 #include <coal/common/stopwatch.hpp>
 #include <coal/common/unique_function.hpp>
+#include <coal/timing/timer_wheel.hpp>
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 namespace coal::timing {
-
-using timer_callback = unique_function<void()>;
 
 /// Opaque handle identifying a scheduled timer.
 struct timer_id
@@ -90,8 +108,12 @@ public:
     /// lock a callback may take.
     void synchronize();
 
-    /// Number of timers currently pending.
-    [[nodiscard]] std::size_t pending() const;
+    /// Number of timers currently pending (scheduled, not yet fired or
+    /// cancelled).  Lock-free; safe to poll from quiescence checks.
+    [[nodiscard]] std::size_t pending() const
+    {
+        return pending_count_.load(std::memory_order_acquire);
+    }
 
     [[nodiscard]] timer_service_stats stats() const;
 
@@ -99,35 +121,56 @@ public:
     void shutdown();
 
 private:
-    struct entry
+    static constexpr std::size_t id_shard_count = 16;
+
+    struct alignas(cache_line_size) id_shard
     {
-        time_point deadline;
-        timer_callback callback;
+        mutable spinlock lock;
+        std::unordered_map<std::uint64_t, timer_entry_ptr> map;
     };
 
-    void run();
+    [[nodiscard]] id_shard& shard_for(std::uint64_t id) noexcept
+    {
+        return id_shards_[id & (id_shard_count - 1)];
+    }
 
-    mutable std::mutex mutex_;
+    void run();
+    void fire(timer_entry_ptr const& entry);
+    void wake_timer_thread();
+
+    // Pending-timer store: the wheel under one short spinlock.
+    mutable spinlock wheel_lock_;
+    timer_wheel wheel_;
+
+    // id → entry lookup for cancel(), sharded so concurrent cancellers
+    // (and the firing thread's erase) rarely collide.
+    std::array<id_shard, id_shard_count> id_shards_;
+
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> pending_count_{0};
+
+    // Sleep coordination.  The mutex guards only the condvar sleep; the
+    // wheel is never touched under it.  sleep_target_ns_ publishes what
+    // the thread is currently sleeping toward (INT64_MAX while it is
+    // recomputing or idle) so schedulers only pay a notify when their
+    // deadline actually moves the wake-up earlier.
+    std::mutex sleep_mutex_;
     std::condition_variable cv_;
-    // Key: (deadline, id) so equal deadlines fire in schedule order and
-    // cancellation is O(log n) by id lookup through the side index.
-    std::multimap<time_point, std::pair<std::uint64_t, timer_callback>>
-        queue_;
-    std::map<std::uint64_t, std::multimap<time_point,
-        std::pair<std::uint64_t, timer_callback>>::iterator>
-        index_;
-    std::uint64_t next_id_ = 1;
-    bool stopping_ = false;
-    bool callback_running_ = false;
+    std::atomic<std::uint64_t> wake_generation_{0};
+    std::atomic<std::int64_t> sleep_target_ns_{
+        std::numeric_limits<std::int64_t>::max()};
+    std::atomic<bool> callback_running_{false};
+
+    // Stats, deliberately outside every lock: a counter query must never
+    // stall a schedule, a cancel, or the firing loop.
+    std::atomic<std::uint64_t> scheduled_{0};
+    std::atomic<std::uint64_t> fired_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::int64_t> lateness_sum_ns_{0};
+    std::atomic<std::int64_t> lateness_max_ns_{0};
 
     std::int64_t spin_threshold_us_;
-
-    // Stats (guarded by mutex_).
-    std::uint64_t scheduled_ = 0;
-    std::uint64_t fired_ = 0;
-    std::uint64_t cancelled_ = 0;
-    double lateness_sum_us_ = 0.0;
-    double lateness_max_us_ = 0.0;
 
     std::thread thread_;
 };

@@ -1,0 +1,245 @@
+#include <coal/timing/timer_wheel.hpp>
+
+#include <coal/common/assert.hpp>
+
+#include <algorithm>
+#include <utility>
+
+namespace coal::timing {
+
+timer_wheel::timer_wheel(std::int64_t start_ns, std::int64_t tick_ns)
+  : tick_ns_(tick_ns)
+  , cur_tick_(start_ns / tick_ns)
+{
+    COAL_ASSERT(tick_ns > 0);
+}
+
+void timer_wheel::insert(timer_entry_ptr entry)
+{
+    ++stored_;
+    place(std::move(entry));
+}
+
+void timer_wheel::place(timer_entry_ptr entry)
+{
+    std::int64_t const t = std::max(tick_of(entry->deadline_ns), cur_tick_);
+    std::int64_t const dt = t - cur_tick_;
+    if (dt < static_cast<std::int64_t>(slot_count))
+    {
+        auto const slot = static_cast<std::size_t>(t) & slot_mask;
+        levels_[0].slots[slot].push_back(std::move(entry));
+        set_bit(levels_[0], slot);
+    }
+    else if (dt < static_cast<std::int64_t>(slot_count * slot_count))
+    {
+        auto const slot =
+            (static_cast<std::size_t>(t) >> slot_bits) & slot_mask;
+        levels_[1].slots[slot].push_back(std::move(entry));
+        set_bit(levels_[1], slot);
+    }
+    else
+    {
+        overflow_.push_back(std::move(entry));
+    }
+}
+
+void timer_wheel::cascade(std::size_t l1_slot, std::int64_t /*now*/)
+{
+    auto& slot = levels_[1].slots[l1_slot];
+    if (slot.empty())
+        return;
+    clear_bit(levels_[1], l1_slot);
+    std::vector<timer_entry_ptr> pending;
+    pending.swap(slot);
+    for (auto& e : pending)
+    {
+        if (e->state.load(std::memory_order_acquire) ==
+            timer_entry_state::cancelled)
+        {
+            --stored_;
+            continue;
+        }
+        place(std::move(e));
+    }
+}
+
+void timer_wheel::rebucket_overflow()
+{
+    if (overflow_.empty())
+        return;
+    std::vector<timer_entry_ptr> keep;
+    keep.reserve(overflow_.size());
+    for (auto& e : overflow_)
+    {
+        if (e->state.load(std::memory_order_acquire) ==
+            timer_entry_state::cancelled)
+        {
+            --stored_;
+            continue;
+        }
+        std::int64_t const dt = tick_of(e->deadline_ns) - cur_tick_;
+        if (dt < static_cast<std::int64_t>(slot_count * slot_count))
+            place(std::move(e));
+        else
+            keep.push_back(std::move(e));
+    }
+    overflow_.swap(keep);
+}
+
+void timer_wheel::collect_due(
+    std::int64_t now, std::vector<timer_entry_ptr>& out)
+{
+    std::int64_t const target = std::max(tick_of(now), cur_tick_);
+    auto const mask = static_cast<std::int64_t>(slot_mask);
+
+    for (;;)
+    {
+        // Sweep the slot under the cursor.  Everything in a slot strictly
+        // before the target tick is due by construction; in the target
+        // slot itself entries may still be up to one tick in the future.
+        auto const idx = static_cast<std::size_t>(cur_tick_) & slot_mask;
+        auto& slot = levels_[0].slots[idx];
+        if (!slot.empty())
+        {
+            std::size_t kept = 0;
+            for (auto& e : slot)
+            {
+                if (e->state.load(std::memory_order_acquire) ==
+                    timer_entry_state::cancelled)
+                {
+                    --stored_;
+                }
+                else if (e->deadline_ns <= now)
+                {
+                    --stored_;
+                    out.push_back(std::move(e));
+                }
+                else
+                {
+                    slot[kept++] = std::move(e);
+                }
+            }
+            slot.resize(kept);
+            if (slot.empty())
+                clear_bit(levels_[0], idx);
+        }
+
+        if (cur_tick_ >= target)
+            return;
+
+        std::int64_t const next_tick = cur_tick_ + 1;
+        if ((next_tick & mask) == 0)
+        {
+            // Level-0 lap boundary: pull the matching level-1 slot down
+            // and give far-future entries a chance to enter the wheel.
+            cur_tick_ = next_tick;
+            cascade((static_cast<std::size_t>(next_tick) >> slot_bits) &
+                    slot_mask,
+                now);
+            rebucket_overflow();
+            continue;
+        }
+
+        // Skip empty slots inside the current lap segment via the bitmap.
+        std::int64_t const seg_end = cur_tick_ | mask;
+        std::int64_t const limit = std::min(target, seg_end);
+        std::size_t const s = scan_bits(levels_[0],
+            static_cast<std::size_t>(next_tick) & slot_mask,
+            static_cast<std::size_t>(limit) & slot_mask);
+        cur_tick_ = s == npos ?
+            limit :
+            (cur_tick_ - (cur_tick_ & mask)) + static_cast<std::int64_t>(s);
+    }
+}
+
+std::int64_t timer_wheel::scan_slot(level& lvl, std::size_t slot)
+{
+    auto& entries = lvl.slots[slot];
+    std::int64_t best = -1;
+    std::size_t kept = 0;
+    for (auto& e : entries)
+    {
+        if (e->state.load(std::memory_order_acquire) ==
+            timer_entry_state::cancelled)
+        {
+            --stored_;
+            continue;
+        }
+        if (best < 0 || e->deadline_ns < best)
+            best = e->deadline_ns;
+        entries[kept++] = std::move(e);
+    }
+    entries.resize(kept);
+    if (entries.empty())
+        clear_bit(lvl, slot);
+    return best;
+}
+
+std::int64_t timer_wheel::next_deadline()
+{
+    // Within a level, slots ordered by absolute tick start at the cursor
+    // and wrap once around; the first slot holding a live entry bounds
+    // every later slot's deadlines from below, so its minimum is the
+    // level's minimum — and level 0 bounds level 1 bounds the overflow
+    // list.  Level-0 entries sit within one lap of the cursor, so cursor
+    // order is base, base+1, …  Level-1 entries are at least one level-0
+    // lap out: the base slot itself can only hold entries a full level-1
+    // lap ahead, so it is scanned *last*.
+    for (int l = 0; l != 2; ++l)
+    {
+        auto& lvl = levels_[l];
+        std::size_t const base = l == 0 ?
+            (static_cast<std::size_t>(cur_tick_) & slot_mask) :
+            ((static_cast<std::size_t>(cur_tick_) >> slot_bits) & slot_mask);
+        std::size_t const first_offset = l == 0 ? 0 : 1;
+        for (std::size_t off = first_offset; off <= slot_count; ++off)
+        {
+            if (off == slot_count && first_offset == 0)
+                break;    // level 0: base already covered at off == 0
+            std::size_t const s = (base + off) & slot_mask;
+            if ((lvl.bitmap[s >> 6] & (std::uint64_t(1) << (s & 63))) == 0)
+                continue;
+            std::int64_t const best = scan_slot(lvl, s);
+            if (best >= 0)
+                return best;
+        }
+    }
+
+    std::int64_t best = -1;
+    std::size_t kept = 0;
+    for (auto& e : overflow_)
+    {
+        if (e->state.load(std::memory_order_acquire) ==
+            timer_entry_state::cancelled)
+        {
+            --stored_;
+            continue;
+        }
+        if (best < 0 || e->deadline_ns < best)
+            best = e->deadline_ns;
+        overflow_[kept++] = std::move(e);
+    }
+    overflow_.resize(kept);
+    return best;
+}
+
+std::size_t timer_wheel::scan_bits(
+    level const& lvl, std::size_t from, std::size_t to) noexcept
+{
+    if (from > to)
+        return npos;
+    for (std::size_t w = from >> 6; w <= (to >> 6); ++w)
+    {
+        std::uint64_t bits = lvl.bitmap[w];
+        if (w == (from >> 6))
+            bits &= ~std::uint64_t(0) << (from & 63);
+        if (w == (to >> 6) && (to & 63) != 63)
+            bits &= (std::uint64_t(1) << ((to & 63) + 1)) - 1;
+        if (bits != 0)
+            return (w << 6) +
+                static_cast<std::size_t>(__builtin_ctzll(bits));
+    }
+    return npos;
+}
+
+}    // namespace coal::timing

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file timer_wheel.hpp
+/// Hierarchical timer wheel — the O(1) bucketed store behind
+/// deadline_timer_service.
+///
+/// The coalescing workload is cancel-heavy: every first parcel of a batch
+/// arms a flush timer and most of those are cancelled moments later by a
+/// size-triggered flush.  A sorted multimap makes both ends O(log n) and
+/// forces the canceller to mutate the shared structure.  The wheel makes
+/// schedule O(1) (bucket push) and cancel O(1) *without touching the
+/// wheel at all*: the canceller flips the entry's state atomically and the
+/// tombstone is reclaimed when the cursor sweeps its slot — which happens
+/// within the timer's original delay, so garbage is bounded.
+///
+/// Two levels of 512 slots each.  Level 0 buckets one tick (128 µs)
+/// per slot (~65 ms horizon); level 1 buckets one level-0 lap per slot
+/// (~33 s horizon); anything further sits in an overflow list that is
+/// re-bucketed as the cursor approaches.  Non-empty slots are tracked in
+/// per-level bitmaps so advancing across idle time is a word scan, not a
+/// slot-by-slot walk.
+///
+/// Firing accuracy does not degrade to tick granularity: entries keep
+/// their exact deadlines, `collect_due` only returns entries that are
+/// actually due, and `next_deadline` reports the exact earliest live
+/// deadline — the service thread spins down to it exactly as before.
+///
+/// The wheel is a plain data structure: the owning service serializes all
+/// calls (one short spinlock).  Entry *state*, however, is an atomic so
+/// cancellation can race the firing thread and be decided by a single CAS
+/// (see timer_entry_state).
+
+#include <coal/common/unique_function.hpp>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace coal::timing {
+
+using timer_callback = unique_function<void()>;
+
+/// Lifecycle of a scheduled entry.  Exactly one of the two CAS
+/// transitions pending→fired (timer thread) or pending→cancelled
+/// (canceller) wins; the loser observes the winner's state.  This is what
+/// keeps cancel()'s exact ran/never-ran answer without a queue lock.
+enum class timer_entry_state : std::uint8_t
+{
+    pending = 0,
+    fired = 1,
+    cancelled = 2,
+};
+
+struct timer_entry
+{
+    std::int64_t deadline_ns = 0;
+    std::uint64_t id = 0;
+    std::atomic<timer_entry_state> state{timer_entry_state::pending};
+    timer_callback callback;
+};
+
+using timer_entry_ptr = std::shared_ptr<timer_entry>;
+
+class timer_wheel
+{
+public:
+    static constexpr std::size_t slot_bits = 9;
+    static constexpr std::size_t slot_count = std::size_t(1) << slot_bits;
+    static constexpr std::size_t slot_mask = slot_count - 1;
+
+    /// \param start_ns  current time; slots before it are considered swept
+    /// \param tick_ns   level-0 slot width
+    explicit timer_wheel(std::int64_t start_ns, std::int64_t tick_ns = 128000);
+
+    /// Bucket an entry by its deadline (past deadlines land in the
+    /// current slot and are returned by the next collect_due).
+    void insert(timer_entry_ptr entry);
+
+    /// Advance the cursor to `now`, appending every live entry whose
+    /// deadline has passed to `out` (cancelled tombstones are dropped).
+    /// Entries sharing the current tick but not yet due stay put.
+    void collect_due(std::int64_t now, std::vector<timer_entry_ptr>& out);
+
+    /// Exact earliest live deadline across both levels and the overflow
+    /// list, or -1 when nothing is pending.  Reaps the tombstones it
+    /// scans past.
+    [[nodiscard]] std::int64_t next_deadline();
+
+    /// Live + tombstoned entries still bucketed (sizing/tests only).
+    [[nodiscard]] std::size_t stored() const noexcept
+    {
+        return stored_;
+    }
+
+private:
+    struct level
+    {
+        std::array<std::vector<timer_entry_ptr>, slot_count> slots;
+        std::array<std::uint64_t, slot_count / 64> bitmap{};
+    };
+
+    [[nodiscard]] std::int64_t tick_of(std::int64_t ns) const noexcept
+    {
+        return ns / tick_ns_;
+    }
+
+    void place(timer_entry_ptr entry);
+    void cascade(std::size_t l1_slot, std::int64_t now);
+    void rebucket_overflow();
+    /// Min live deadline in one slot (reaping tombstones); -1 if none.
+    std::int64_t scan_slot(level& lvl, std::size_t slot);
+
+    static void set_bit(level& lvl, std::size_t slot) noexcept
+    {
+        lvl.bitmap[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+    }
+
+    static void clear_bit(level& lvl, std::size_t slot) noexcept
+    {
+        lvl.bitmap[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    }
+
+    /// First set bit in [from, to] (slot indices), or npos.
+    static std::size_t scan_bits(
+        level const& lvl, std::size_t from, std::size_t to) noexcept;
+
+    static constexpr std::size_t npos = ~std::size_t(0);
+
+    std::int64_t tick_ns_;
+    std::int64_t cur_tick_;    ///< slots strictly before it are swept
+    level levels_[2];
+    std::vector<timer_entry_ptr> overflow_;
+    std::size_t stored_ = 0;
+};
+
+}    // namespace coal::timing

@@ -125,4 +125,73 @@ TEST(CoalescingCounters, ConcurrentRecordingConserves)
         static_cast<std::uint64_t>(threads) * per_thread);
 }
 
+// The striped internals must be invisible to readers: the aggregated
+// mean equals the mean of the gaps record_parcel handed back, and the
+// histogram holds exactly one entry per measured gap — no matter which
+// thread (stripe) recorded each gap.
+TEST(CoalescingCounters, StripedAggregationMatchesRecordedGaps)
+{
+    coalescing_counters c;
+    constexpr int threads = 6;
+    constexpr int per_thread = 5000;
+
+    std::vector<std::int64_t> sums(threads, 0);
+    std::vector<std::thread> workers;
+    for (int t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&c, &sums, t] {
+            std::int64_t local = 0;
+            for (int i = 0; i != per_thread; ++i)
+            {
+                auto const gap = c.record_parcel();
+                if (gap >= 0)
+                    local += gap;
+            }
+            sums[t] = local;
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    constexpr std::uint64_t total =
+        static_cast<std::uint64_t>(threads) * per_thread;
+    ASSERT_EQ(c.gap_count(), total - 1);
+
+    std::int64_t recorded_sum = 0;
+    for (auto const s : sums)
+        recorded_sum += s;
+    double const expected_us =
+        static_cast<double>(recorded_sum) / 1000.0 / (total - 1);
+    EXPECT_NEAR(c.average_arrival_us(), expected_us,
+        expected_us * 1e-9 + 1e-9);
+
+    auto const wire = c.arrival_histogram();
+    std::int64_t hist_total = 0;
+    for (std::size_t i = 3; i < wire.size(); ++i)
+        hist_total += wire[i];
+    EXPECT_EQ(hist_total, static_cast<std::int64_t>(total - 1));
+}
+
+// Single-threaded sanity for the same invariant (no concurrency noise):
+// the mean is exactly the sum of returned gaps over their count.
+TEST(CoalescingCounters, AverageMatchesReturnedGapsExactly)
+{
+    coalescing_counters c;
+    std::int64_t sum = 0;
+    std::uint64_t count = 0;
+    for (int i = 0; i != 1000; ++i)
+    {
+        auto const gap = c.record_parcel();
+        if (gap >= 0)
+        {
+            sum += gap;
+            ++count;
+        }
+    }
+    ASSERT_EQ(count, 999u);
+    ASSERT_EQ(c.gap_count(), count);
+    EXPECT_DOUBLE_EQ(c.average_arrival_us(),
+        static_cast<double>(sum) / 1000.0 / static_cast<double>(count));
+}
+
 }    // namespace

@@ -1,0 +1,402 @@
+// Race-stress tests for the contention-free send path: the sharded
+// coalescing handler (per-destination FIFO under concurrent producers
+// with mixed size/timer/bypass/forced flushes), the striped arrival
+// counters, and the timer-wheel-backed deadline timer service.  Built
+// into a race-labeled binary so the tsan preset runs exactly these under
+// ThreadSanitizer.
+
+#include <coal/core/coalescing_message_handler.hpp>
+
+#include <coal/net/loopback.hpp>
+#include <coal/parcel/action.hpp>
+#include <coal/parcel/parcel.hpp>
+#include <coal/parcel/parcelhandler.hpp>
+#include <coal/threading/scheduler.hpp>
+#include <coal/timing/deadline_timer.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+void sendrace_noop(std::uint64_t)
+{
+}
+
+}    // namespace
+
+COAL_PLAIN_ACTION(sendrace_noop, sendrace_noop_action);
+
+namespace {
+
+using coal::coalescing::coalescing_counters;
+using coal::coalescing::coalescing_message_handler;
+using coal::coalescing::coalescing_params;
+using coal::coalescing::shared_params;
+using coal::net::transport;
+using coal::parcel::decode_message;
+using coal::parcel::parcelhandler;
+using coal::threading::scheduler;
+using coal::threading::scheduler_config;
+using coal::timing::deadline_timer_service;
+
+/// Wire-order observation point: decodes every frame the parcelhandler
+/// emits and records the (producer, seq) payloads per destination in
+/// transmission order.
+struct recorded
+{
+    std::mutex m;
+    std::map<std::uint32_t, std::vector<std::uint64_t>> order;
+};
+
+class recording_transport final : public transport
+{
+public:
+    explicit recording_transport(recorded& sink)
+      : sink_(sink)
+    {
+    }
+
+    void set_delivery_handler(std::uint32_t, delivery_handler) override
+    {
+    }
+
+    void send(std::uint32_t, std::uint32_t dst,
+        coal::serialization::wire_message&& buf) override
+    {
+        auto const parcels = decode_message(buf);
+        std::lock_guard lock(sink_.m);
+        for (auto const& p : parcels)
+        {
+            std::tuple<std::uint64_t> args;
+            coal::serialization::input_archive ia(p.arguments);
+            ia & args;
+            sink_.order[dst].push_back(std::get<0>(args));
+        }
+    }
+
+    [[nodiscard]] double recv_overhead_us() const noexcept override
+    {
+        return 0.0;
+    }
+
+    [[nodiscard]] std::uint64_t in_flight() const noexcept override
+    {
+        return 0;
+    }
+
+    void drain() override
+    {
+    }
+
+    [[nodiscard]] coal::net::transport_stats stats() const override
+    {
+        return {};
+    }
+
+    void shutdown() override
+    {
+    }
+
+private:
+    recorded& sink_;
+};
+
+constexpr std::uint64_t pack(std::uint64_t producer, std::uint64_t seq)
+{
+    return (producer << 32) | seq;
+}
+
+// The property the ticket sequencer must deliver: whatever mixture of
+// size flushes, timer flushes, sparse bypasses, and concurrent forced
+// flushes detaches the batches, each producer's parcels toward one
+// destination appear on the wire in enqueue order.
+TEST(SendPathRaces, PerDestinationFifoUnderConcurrentProducers)
+{
+    constexpr unsigned producers = 4;
+    constexpr std::uint64_t per_producer = 3000;
+    constexpr std::uint32_t destinations = 5;
+
+    recorded sink;
+    recording_transport transport(sink);
+    scheduler_config cfg;
+    cfg.num_workers = 1;
+    scheduler sched(cfg);
+    parcelhandler ph(0, transport, sched);
+    deadline_timer_service timers;
+
+    // Small batches + short interval + sparse bypass on: all flush modes
+    // fire during the run.
+    auto params = std::make_shared<shared_params>(
+        coalescing_params{8, 500, 1 << 20, true});
+    auto counters = std::make_shared<coalescing_counters>();
+    {
+        coalescing_message_handler handler(
+            "sendrace_noop_action", ph, timers, params, counters);
+
+        std::atomic<bool> stop_flusher{false};
+        std::thread flusher([&] {
+            while (!stop_flusher.load(std::memory_order_acquire))
+            {
+                handler.flush();
+                std::this_thread::sleep_for(std::chrono::microseconds(300));
+            }
+        });
+
+        std::vector<std::thread> threads;
+        for (unsigned t = 0; t != producers; ++t)
+        {
+            threads.emplace_back([&, t] {
+                for (std::uint64_t i = 0; i != per_producer; ++i)
+                {
+                    coal::parcel::parcel p;
+                    p.dest = 1 + static_cast<std::uint32_t>(
+                                     (i + t) % destinations);
+                    p.action = sendrace_noop_action::id();
+                    p.arguments =
+                        sendrace_noop_action::make_arguments(pack(t, i));
+                    handler.enqueue(std::move(p));
+                    // Periodic pauses open sparse-bypass and timer-flush
+                    // windows between bursts.
+                    if ((i & 511) == 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                }
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+        stop_flusher.store(true, std::memory_order_release);
+        flusher.join();
+        // Handler destructor flushes the remainder.
+    }
+
+    for (int spin = 0; spin != 20000 && ph.pending_sends() != 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    ASSERT_EQ(ph.pending_sends(), 0u);
+    sched.stop();
+    ph.stop();
+
+    std::lock_guard lock(sink.m);
+    std::size_t total = 0;
+    for (auto const& [dst, values] : sink.order)
+    {
+        total += values.size();
+        // Per-producer order within this destination's wire stream.
+        std::map<std::uint64_t, std::uint64_t> last_seq;
+        for (auto const v : values)
+        {
+            std::uint64_t const producer = v >> 32;
+            std::uint64_t const seq = v & 0xffffffffull;
+            auto const it = last_seq.find(producer);
+            if (it != last_seq.end())
+                EXPECT_LT(it->second, seq)
+                    << "wire reorder: producer " << producer << " at dst "
+                    << dst;
+            last_seq[producer] = seq;
+        }
+    }
+    // Conservation: nothing lost, nothing duplicated (duplicates would
+    // break the strict ordering above; the count pins losses).
+    EXPECT_EQ(total, producers * per_producer);
+    EXPECT_EQ(counters->parcels(), producers * per_producer);
+    EXPECT_EQ(counters->parcels_in_messages(), producers * per_producer);
+}
+
+// Hammer all shards plus queued_parcels() observers; conservation must
+// hold and the gauge must settle to zero.
+TEST(SendPathRaces, ShardedHandlerGaugeSettlesUnderStress)
+{
+    constexpr unsigned producers = 4;
+    constexpr std::uint64_t per_producer = 4000;
+
+    recorded sink;
+    recording_transport transport(sink);
+    scheduler_config cfg;
+    cfg.num_workers = 1;
+    scheduler sched(cfg);
+    parcelhandler ph(0, transport, sched);
+    deadline_timer_service timers;
+
+    auto params = std::make_shared<shared_params>(
+        coalescing_params{16, 1000, 1 << 20, true});
+    auto counters = std::make_shared<coalescing_counters>();
+    coalescing_message_handler handler(
+        "sendrace_noop_action", ph, timers, params, counters);
+
+    std::atomic<bool> stop_observer{false};
+    std::thread observer([&] {
+        // The gauge is an unlocked relaxed atomic; reading it while every
+        // shard churns must be race-free and never underflow.
+        while (!stop_observer.load(std::memory_order_acquire))
+        {
+            auto const depth = handler.queued_parcels();
+            EXPECT_LT(depth, std::size_t(1) << 60) << "gauge underflow";
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    });
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t != producers; ++t)
+    {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i != per_producer; ++i)
+            {
+                coal::parcel::parcel p;
+                // 32 destinations: every shard sees traffic, most shards
+                // host two queues.
+                p.dest = 1 + static_cast<std::uint32_t>((i * 7 + t) % 32);
+                p.action = sendrace_noop_action::id();
+                p.arguments =
+                    sendrace_noop_action::make_arguments(pack(t, i));
+                handler.enqueue(std::move(p));
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    stop_observer.store(true, std::memory_order_release);
+    observer.join();
+
+    handler.flush();
+    for (int spin = 0; spin != 20000 && ph.pending_sends() != 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    ASSERT_EQ(ph.pending_sends(), 0u);
+    EXPECT_EQ(handler.queued_parcels(), 0u);
+    EXPECT_EQ(counters->parcels(), producers * per_producer);
+    EXPECT_EQ(counters->parcels_in_messages(), producers * per_producer);
+    sched.stop();
+    ph.stop();
+}
+
+// Striped counters: every gap lands in exactly one stripe, so the
+// aggregated views must conserve across any thread interleaving.
+TEST(SendPathRaces, StripedCountersConserveAcrossThreads)
+{
+    constexpr unsigned threads = 8;
+    constexpr std::uint64_t per_thread = 20000;
+
+    coalescing_counters counters;
+    std::vector<std::thread> workers;
+    std::vector<std::int64_t> sums(threads, 0);
+    for (unsigned t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&, t] {
+            std::int64_t local = 0;
+            for (std::uint64_t i = 0; i != per_thread; ++i)
+            {
+                std::int64_t const gap = counters.record_parcel();
+                if (gap >= 0)
+                    local += gap;
+                counters.record_message(1);
+            }
+            sums[t] = local;
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    constexpr std::uint64_t total = threads * per_thread;
+    EXPECT_EQ(counters.parcels(), total);
+    EXPECT_EQ(counters.messages(), total);
+    EXPECT_EQ(counters.gap_count(), total - 1);
+
+    // The aggregated mean must equal the mean of the gaps the recording
+    // threads were handed — stripes lose nothing.
+    std::int64_t observed_sum = 0;
+    for (auto const s : sums)
+        observed_sum += s;
+    double const expected_us =
+        static_cast<double>(observed_sum) / 1000.0 / (total - 1);
+    EXPECT_NEAR(counters.average_arrival_us(), expected_us,
+        expected_us * 1e-9 + 1e-9);
+
+    // Histogram: one entry per measured gap, aggregated across stripes.
+    auto const hist = counters.arrival_histogram();
+    std::int64_t hist_total = 0;
+    for (std::size_t i = 3; i < hist.size(); ++i)
+        hist_total += hist[i];
+    EXPECT_EQ(hist_total, static_cast<std::int64_t>(total - 1));
+}
+
+// Timer wheel storm across all three residence classes (level 0, level
+// 1, overflow) with concurrent cancellation: the ran-exactly-once XOR
+// cancelled guarantee must survive.
+TEST(SendPathRaces, TimerWheelScheduleCancelFireStorm)
+{
+    constexpr unsigned threads = 4;
+    constexpr std::size_t per_thread = 400;
+
+    deadline_timer_service timers;
+    struct entry
+    {
+        coal::timing::timer_id id;
+        std::shared_ptr<std::atomic<int>> ran;
+    };
+    std::vector<std::vector<entry>> scheduled(threads);
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t != threads; ++t)
+    {
+        workers.emplace_back([&, t] {
+            for (std::size_t i = 0; i != per_thread; ++i)
+            {
+                // Deadlines spanning the wheel levels: sub-tick, level 0
+                // (≤65 ms), level 1 (≤33 s), and the overflow list.
+                std::int64_t us;
+                switch (i % 4)
+                {
+                case 0: us = 50 + static_cast<std::int64_t>(i); break;
+                case 1: us = 5000 + static_cast<std::int64_t>(i * 11); break;
+                case 2: us = 2000000; break;
+                default: us = 60000000; break;
+                }
+                auto ran = std::make_shared<std::atomic<int>>(0);
+                auto id = timers.schedule_after(us, [ran] {
+                    ran->fetch_add(1, std::memory_order_relaxed);
+                });
+                scheduled[t].push_back({id, ran});
+                // Cancel every other long timer immediately to churn the
+                // lazy-tombstone path while the wheel advances.
+                if (i % 2 == 1)
+                {
+                    bool const cancelled = timers.cancel(id);
+                    if (cancelled)
+                        scheduled[t].back().id = {};
+                }
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    // Wait for all short (<100 ms) non-cancelled timers to fire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    auto const stats = timers.stats();
+    std::size_t ran_total = 0;
+    for (auto const& lane : scheduled)
+        for (auto const& e : lane)
+        {
+            int const runs = e.ran->load(std::memory_order_acquire);
+            EXPECT_LE(runs, 1) << "timer callback ran twice";
+            if (!e.id.valid())
+                EXPECT_EQ(runs, 0) << "cancelled timer still fired";
+            ran_total += static_cast<std::size_t>(runs);
+        }
+    EXPECT_EQ(stats.fired, ran_total);
+    EXPECT_EQ(stats.scheduled, threads * per_thread);
+    EXPECT_EQ(
+        stats.scheduled, stats.fired + stats.cancelled + timers.pending());
+
+    timers.shutdown();
+}
+
+}    // namespace

@@ -297,6 +297,49 @@ TEST(CountersIntegration, TimerCountersTrackFlushTimers)
     auto& c = rt.counters();
     EXPECT_GT(c.query("/timers/count/scheduled").value, 0.0);
     EXPECT_GE(c.query("/timers/time/average-lateness").value, 0.0);
+    EXPECT_GE(c.query("/timers/time/max-lateness").value,
+        c.query("/timers/time/average-lateness").value);
+    // All flush timers resolved by quiesce: nothing left armed.
+    EXPECT_DOUBLE_EQ(c.query("/timers/count/pending").value, 0.0);
+    rt.stop();
+}
+
+// The arrival statistics are striped across per-thread shards
+// internally; the counter facade must still aggregate to exact totals:
+// per locality, the histogram holds one entry per measured gap, i.e.
+// parcels - 1 (the first parcel after reset has no gap).
+TEST(CountersIntegration, ArrivalStatsAggregateExactlyAcrossStripes)
+{
+    runtime rt(loopback());
+    rt.enable_coalescing("ci_echo_action", {16, 2000});
+    round_trips(rt, 120);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    for (int loc = 0; loc != 2; ++loc)
+    {
+        std::string const inst =
+            "{locality#" + std::to_string(loc) + "}";
+        double const parcels =
+            c.query("/coalescing" + inst + "/count/parcels@ci_echo_action")
+                .value;
+        ASSERT_GT(parcels, 0.0);
+
+        auto const histogram = c.query(
+            "/coalescing" + inst +
+            "/time/parcel-arrival-histogram@ci_echo_action");
+        ASSERT_TRUE(histogram.valid);
+        ASSERT_GT(histogram.values.size(), 3u);
+        std::int64_t gaps = 0;
+        for (std::size_t i = 3; i < histogram.values.size(); ++i)
+            gaps += histogram.values[i];
+        EXPECT_EQ(gaps, static_cast<std::int64_t>(parcels) - 1);
+
+        EXPECT_GT(c.query("/coalescing" + inst +
+                       "/time/average-parcel-arrival@ci_echo_action")
+                      .value,
+            0.0);
+    }
     rt.stop();
 }
 
