@@ -41,6 +41,9 @@ int main()
              "/threads/background-work",
              "/threads/background-overhead",
              "/threads/time/average-overhead",
+             "/threads/receive-pipeline/frames-per-drain",
+             "/threads/receive-pipeline/chunk-occupancy",
+             "/threads/receive-pipeline/time/offloaded-decode",
              "/parcels/count/sent",
              "/messages/count/sent",
              "/data/count/sent",

@@ -27,7 +27,11 @@ struct phase_metrics
     double background_s = 0.0;          ///< Eq. 3 delta, seconds
     double task_duration_s = 0.0;       ///< Eq. 1 delta, seconds
     double avg_task_overhead_ns = 0.0;  ///< Eq. 2 over the phase
+    /// Scheduler tasks executed.  With the batched receive pipeline a
+    /// task is a *chunk* of remote parcels, so this undercounts parcel
+    /// volume — use `parcels_executed` for that.
     std::uint64_t tasks = 0;
+    std::uint64_t parcels_executed = 0;
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
 };
@@ -47,6 +51,7 @@ public:
     {
         base_ = runtime_.aggregate_snapshot();
         base_net_ = runtime_.network().stats();
+        base_parcels_ = total_parcels_executed();
         watch_.restart();
     }
 
@@ -64,15 +69,30 @@ public:
             static_cast<double>(snap.task_duration_ns()) / 1e9;
         m.avg_task_overhead_ns = snap.average_task_overhead_ns();
         m.tasks = snap.tasks_executed;
+        m.parcels_executed = total_parcels_executed() - base_parcels_;
         m.messages_sent = net.messages_sent - base_net_.messages_sent;
         m.bytes_sent = net.bytes_sent - base_net_.bytes_sent;
         return m;
     }
 
 private:
+    [[nodiscard]] std::uint64_t total_parcels_executed() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i != runtime_.num_localities(); ++i)
+        {
+            total += runtime_.get_locality(i)
+                         .parcels()
+                         .counters()
+                         .parcels_executed.load(std::memory_order_relaxed);
+        }
+        return total;
+    }
+
     runtime& runtime_;
     threading::scheduler_snapshot base_{};
     net::transport_stats base_net_{};
+    std::uint64_t base_parcels_ = 0;
     stopwatch watch_;
 };
 

@@ -95,6 +95,60 @@ std::vector<parcel> decode_message(
     return decode_message(message.flatten_copy(), header);
 }
 
+frame_info peek_frame(shared_buffer const& buffer)
+{
+    input_archive ar(buffer);
+    std::uint32_t magic = 0;
+    ar & magic;
+    if (magic != message_magic)
+        throw serialization_error("bad message magic");
+
+    frame_info info;
+    ar & info.count & info.header.seq & info.header.ack & info.header.sack;
+    if (info.count > ar.remaining())    // each parcel needs >= 1 byte
+        throw serialization_error("parcel count exceeds message size");
+    return info;
+}
+
+std::vector<std::size_t> scan_parcel_offsets(
+    shared_buffer const& buffer, std::uint32_t count, std::size_t step)
+{
+    COAL_ASSERT(step != 0);
+    input_archive ar(buffer);
+    ar.skip(frame_prefix_bytes);
+
+    std::vector<std::size_t> offsets;
+    offsets.reserve(static_cast<std::size_t>(count) / step + 2);
+    for (std::uint32_t i = 0; i != count; ++i)
+    {
+        if (i % step == 0)
+            offsets.push_back(ar.position());
+        // Hop over the parcel image reading only its length field.
+        ar.skip(parcel::header_bytes);
+        std::uint64_t nbytes = 0;
+        ar & nbytes;
+        if (nbytes > ar.remaining())
+            throw serialization_error("parcel payload exceeds message size");
+        ar.skip(static_cast<std::size_t>(nbytes));
+    }
+    if (ar.remaining() != 0)
+        throw serialization_error("trailing bytes after last parcel");
+    offsets.push_back(buffer.size());
+    return offsets;
+}
+
+std::vector<parcel> decode_parcel_range(
+    shared_buffer const& buffer, std::size_t offset, std::size_t count)
+{
+    input_archive ar(buffer);
+    ar.skip(offset);
+    std::vector<parcel> parcels;
+    parcels.reserve(count);
+    for (std::size_t i = 0; i != count; ++i)
+        parcels.push_back(decode_parcel(ar));
+    return parcels;
+}
+
 void patch_frame_acks(
     wire_message& wire, std::uint64_t ack, std::uint64_t sack) noexcept
 {

@@ -109,6 +109,46 @@ inline constexpr std::size_t frame_sack_offset = 24;
     serialization::wire_message const& message,
     frame_header* header = nullptr);
 
+// --- lazy (batched-receive) decode ----------------------------------------
+//
+// The batched receive pipeline avoids full decode on the background
+// worker: `peek_frame` reads only the fixed prefix (O(1)),
+// `scan_parcel_offsets` hops over the parcel images touching nothing but
+// the length fields, and `decode_parcel_range` — the part that constructs
+// parcels and bumps slab refcounts — runs inside the chunk tasks on the
+// workers that will execute the parcels.
+
+/// Fixed-prefix view of a frame: reliability header + parcel count.
+struct frame_info
+{
+    frame_header header;
+    std::uint32_t count = 0;
+};
+
+/// Validate the frame prefix and extract header fields without touching
+/// any parcel image.  O(1); the receive path uses it for the duplicate
+/// check *before* paying the modeled per-message protocol cost.
+/// \throws serialization::serialization_error on bad magic / short frame.
+[[nodiscard]] frame_info peek_frame(
+    serialization::shared_buffer const& buffer);
+
+/// Byte offsets of parcels 0, step, 2·step, … inside `buffer`, with
+/// `buffer.size()` appended as the final sentinel — one entry per chunk
+/// boundary of the batched receive pipeline.  Walks the frame reading
+/// only each parcel's payload-length field (no parcel construction, no
+/// refcount traffic) and validates the frame's structure end to end.
+/// \throws serialization::serialization_error on malformed input.
+[[nodiscard]] std::vector<std::size_t> scan_parcel_offsets(
+    serialization::shared_buffer const& buffer, std::uint32_t count,
+    std::size_t step);
+
+/// Decode `count` parcels starting at byte `offset` — a chunk boundary
+/// previously produced by scan_parcel_offsets.  Arguments are zero-copy
+/// views into `buffer`'s slab, exactly as decode_message produces.
+[[nodiscard]] std::vector<parcel> decode_parcel_range(
+    serialization::shared_buffer const& buffer, std::size_t offset,
+    std::size_t count);
+
 /// Refresh the ack/sack fields of an already-encoded frame in place —
 /// retransmitted frames carry current acks, not stale ones.  The caller
 /// must serialize this against readers of the frame (the parcelhandler

@@ -57,6 +57,17 @@ parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
   , scheduler_(scheduler)
   , reliability_(reliability)
 {
+    // One shared invocation context for every parcel this handler ever
+    // executes; the per-parcel path just passes a reference.
+    invoke_ctx_.this_locality = here_;
+    invoke_ctx_.put_parcel = [this](parcel&& out) {
+        put_parcel(std::move(out));
+    };
+    invoke_ctx_.complete_promise = [this](continuation_id id,
+                                       serialization::shared_buffer&& payload) {
+        complete_promise(id, std::move(payload));
+    };
+
     transport_.set_delivery_handler(
         here, [this](std::uint32_t src, serialization::shared_buffer&& buffer) {
             inbox_.push(inbound_message{src, std::move(buffer)});
@@ -228,19 +239,10 @@ void parcelhandler::execute_parcel(parcel&& p)
         return;
     }
 
-    invocation_context ctx;
-    ctx.this_locality = here_;
-    ctx.put_parcel = [this](parcel&& out) { put_parcel(std::move(out)); };
-    ctx.complete_promise = [this](continuation_id id,
-                               serialization::shared_buffer&& payload) {
-        complete_promise(id, std::move(payload));
-    };
-    ctx.find_component = component_resolver_;
-
     auto const action = p.action;
     try
     {
-        entry->invoke(ctx, std::move(p));
+        entry->invoke(invoke_ctx_, std::move(p));
     }
     catch (std::exception const& e)
     {
@@ -328,59 +330,114 @@ bool parcelhandler::progress_send()
 bool parcelhandler::progress_receive()
 {
     in_progress_guard guard(receives_in_progress_);
-    auto msg = inbox_.try_pop();
-    if (!msg)
+
+    // Budgeted multi-frame drain: amortize the poll (and, under load, the
+    // wake-up that led here) over up to receive_drain_budget frames
+    // instead of re-entering the whole progress machinery per frame.
+    std::size_t frames = 0;
+    while (frames != receive_drain_budget)
+    {
+        auto msg = inbox_.try_pop();
+        if (!msg)
+            break;
+        ++frames;
+        receive_one(std::move(*msg));
+    }
+    if (frames == 0)
         return false;
+
+    counters_.receive_drains.fetch_add(1, std::memory_order_relaxed);
+    counters_.frames_drained.fetch_add(frames, std::memory_order_relaxed);
+    return true;
+}
+
+void parcelhandler::receive_one(inbound_message&& msg)
+{
+    counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_received.fetch_add(
+        msg.payload.size(), std::memory_order_relaxed);
+
+    frame_info info;
+    try
+    {
+        info = peek_frame(msg.payload);
+    }
+    catch (serialization::serialization_error const& e)
+    {
+        COAL_LOG_WARN("parcel",
+            "malformed frame from locality %u dropped: %s", msg.src, e.what());
+        return;
+    }
+
+    trace::tracer::global().record(here_,
+        trace::event_kind::message_received, info.count, msg.payload.size());
+
+    if (reliability_.enabled && info.header.seq != 0)
+    {
+        // Duplicate check from the O(1) prefix peek, BEFORE the modeled
+        // per-message protocol spin: a retransmit of a frame we already
+        // hold must not cost receive_overhead a second time.  This early
+        // check is only an optimization — the authoritative one happens
+        // again at insertion below, under the same lock.
+        bool duplicate = false;
+        {
+            std::int64_t const now = now_ns();
+            std::lock_guard lock(peers_lock_);
+            auto& peer = peers_[msg.src];
+            if (info.header.seq <= peer.cum_received ||
+                peer.held.count(info.header.seq) != 0)
+            {
+                duplicate = true;
+                // Re-ack immediately-ish so the sender stops resending.
+                schedule_ack_locked(peer, now);
+            }
+        }
+        if (duplicate)
+        {
+            handle_acks(msg.src, info.header);    // dups carry fresh acks
+            counters_.duplicates_suppressed.fetch_add(
+                1, std::memory_order_relaxed);
+            counters_.duplicate_overhead_avoided.fetch_add(
+                1, std::memory_order_relaxed);
+            return;
+        }
+    }
 
     // Receiver-side per-message CPU cost (protocol processing).
     timing::spin_for_us(transport_.recv_overhead_us());
 
-    counters_.messages_received.fetch_add(1, std::memory_order_relaxed);
-    counters_.bytes_received.fetch_add(
-        msg->payload.size(), std::memory_order_relaxed);
-
-    frame_header hdr;
-    std::vector<parcel> parcels = decode_message(msg->payload, &hdr);
-    trace::tracer::global().record(here_,
-        trace::event_kind::message_received, parcels.size(),
-        msg->payload.size());
-
-    if (!reliability_.enabled || hdr.seq == 0)
+    if (!reliability_.enabled || info.header.seq == 0)
     {
         // Unsequenced frame: standalone ack (count == 0) or plain traffic
         // with the reliability layer off.
         if (reliability_.enabled)
-            handle_acks(msg->src, hdr);
-        counters_.parcels_received.fetch_add(
-            parcels.size(), std::memory_order_relaxed);
-        for (auto& p : parcels)
-        {
-            scheduler_.post([this, parcel = std::move(p)]() mutable {
-                execute_parcel(std::move(parcel));
-            });
-        }
-        return true;
+            handle_acks(msg.src, info.header);
+        spawn_parcel_tasks(std::move(msg.payload), info.count);
+        return;
     }
 
-    handle_acks(msg->src, hdr);
+    handle_acks(msg.src, info.header);
 
     // Sequenced data frame: suppress duplicates, hold out-of-order frames
-    // back, and release the in-order prefix.
-    std::vector<std::vector<parcel>> ready;
+    // back (undecoded), and release the in-order prefix.  The duplicate
+    // re-check is required: two workers may have popped two copies of the
+    // same seq concurrently and both passed the early check above.
+    std::vector<held_frame> ready;
     {
         std::int64_t const now = now_ns();
         std::lock_guard lock(peers_lock_);
-        auto& peer = peers_[msg->src];
-        if (hdr.seq <= peer.cum_received || peer.held.count(hdr.seq) != 0)
+        auto& peer = peers_[msg.src];
+        if (info.header.seq <= peer.cum_received ||
+            peer.held.count(info.header.seq) != 0)
         {
             counters_.duplicates_suppressed.fetch_add(
                 1, std::memory_order_relaxed);
-            // Re-ack immediately-ish so the sender stops retransmitting.
             schedule_ack_locked(peer, now);
         }
         else
         {
-            peer.held.emplace(hdr.seq, std::move(parcels));
+            peer.held.emplace(info.header.seq,
+                held_frame{std::move(msg.payload), info.count});
             for (;;)
             {
                 auto it = peer.held.find(peer.cum_received + 1);
@@ -394,18 +451,87 @@ bool parcelhandler::progress_receive()
         }
     }
 
-    for (auto& batch : ready)
+    for (auto& frame : ready)
+        spawn_parcel_tasks(std::move(frame.payload), frame.count);
+}
+
+std::size_t parcelhandler::chunk_size_for(std::size_t count) const noexcept
+{
+    // ~2 chunks per worker keeps every worker fed and leaves slack for
+    // stealing to balance uneven action runtimes, without descending to
+    // chunk sizes where per-task overhead reappears.
+    std::size_t const workers = std::max<std::size_t>(
+        scheduler_.num_workers(), 1);
+    std::size_t const per_chunk = (count + 2 * workers - 1) / (2 * workers);
+    return std::max(per_chunk, receive_min_chunk_parcels);
+}
+
+void parcelhandler::spawn_parcel_tasks(
+    serialization::shared_buffer&& buffer, std::uint32_t count)
+{
+    if (count == 0)
+        return;    // standalone ack frame
+
+    std::size_t const chunk = chunk_size_for(count);
+    std::vector<std::size_t> offsets;
+    try
     {
-        counters_.parcels_received.fetch_add(
-            batch.size(), std::memory_order_relaxed);
-        for (auto& p : batch)
-        {
-            scheduler_.post([this, parcel = std::move(p)]() mutable {
-                execute_parcel(std::move(parcel));
-            });
-        }
+        offsets = scan_parcel_offsets(buffer, count, chunk);
     }
-    return true;
+    catch (serialization::serialization_error const& e)
+    {
+        COAL_LOG_WARN(
+            "parcel", "malformed frame body dropped: %s", e.what());
+        return;
+    }
+
+    counters_.parcels_received.fetch_add(count, std::memory_order_relaxed);
+
+    // One chunk task per boundary; each borrows the frame slab by
+    // refcount and decodes its own parcel range on the worker that runs
+    // it — the deserialization never executes on this (background) path.
+    std::size_t const nchunks = offsets.size() - 1;
+    std::vector<threading::task_type> tasks;
+    tasks.reserve(nchunks);
+    std::size_t remaining = count;
+    for (std::size_t c = 0; c != nchunks; ++c)
+    {
+        std::size_t const in_chunk = std::min(chunk, remaining);
+        remaining -= in_chunk;
+        tasks.push_back(
+            [this, buffer, offset = offsets[c], in_chunk]() mutable {
+                execute_chunk(std::move(buffer), offset, in_chunk);
+            });
+    }
+
+    counters_.chunk_tasks.fetch_add(nchunks, std::memory_order_relaxed);
+    counters_.chunk_parcels.fetch_add(count, std::memory_order_relaxed);
+    scheduler_.post_n(std::move(tasks));
+}
+
+void parcelhandler::execute_chunk(
+    serialization::shared_buffer buffer, std::size_t offset, std::size_t count)
+{
+    std::int64_t const t_start = now_ns();
+    std::vector<parcel> parcels;
+    try
+    {
+        parcels = decode_parcel_range(buffer, offset, count);
+    }
+    catch (serialization::serialization_error const& e)
+    {
+        // scan_parcel_offsets validated the frame end to end, so this
+        // would indicate slab corruption; drop the chunk, not the worker.
+        COAL_LOG_ERROR(
+            "parcel", "chunk decode failed: %s (parcels dropped)", e.what());
+        return;
+    }
+    counters_.decode_offload_ns.fetch_add(
+        static_cast<std::uint64_t>(now_ns() - t_start),
+        std::memory_order_relaxed);
+
+    for (auto& p : parcels)
+        execute_parcel(std::move(p));
 }
 
 void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)

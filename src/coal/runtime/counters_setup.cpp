@@ -349,6 +349,89 @@ void runtime::register_counters()
                 });
         });
 
+    // ---- batched receive pipeline --------------------------------------
+
+    // Ratio of two parcelhandler counters over the selected localities.
+    auto parcel_ratio = [this](std::function<double(ph_counters const&)> num,
+                            std::function<double(ph_counters const&)> den) {
+        return [this, num, den](counter_path const& path) -> counter_ptr {
+            std::vector<locality*> selected;
+            if (auto loc = path.locality())
+            {
+                if (*loc >= num_localities())
+                    return nullptr;
+                selected.push_back(localities_[*loc].get());
+            }
+            else
+            {
+                for (auto const& l : localities_)
+                    selected.push_back(l.get());
+            }
+            return std::make_shared<ratio_counter>(
+                [selected, num] {
+                    double total = 0.0;
+                    for (auto* l : selected)
+                        total += num(l->parcels().counters());
+                    return total;
+                },
+                [selected, den] {
+                    double total = 0.0;
+                    for (auto* l : selected)
+                        total += den(l->parcels().counters());
+                    return total;
+                });
+        };
+    };
+
+    counters_.register_counter_type("/threads/receive-pipeline/count/drains",
+        "progress_receive calls that drained at least one frame",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.receive_drains.load());
+        }));
+    counters_.register_counter_type("/threads/receive-pipeline/count/frames",
+        "inbox frames consumed by budgeted receive drains",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.frames_drained.load());
+        }));
+    counters_.register_counter_type("/threads/receive-pipeline/count/chunks",
+        "chunk tasks bulk-spawned by the receive pipeline",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.chunk_tasks.load());
+        }));
+    counters_.register_counter_type(
+        "/threads/receive-pipeline/frames-per-drain",
+        "average inbox frames consumed per draining progress_receive call",
+        parcel_ratio(
+            [](ph_counters const& c) {
+                return static_cast<double>(c.frames_drained.load());
+            },
+            [](ph_counters const& c) {
+                return static_cast<double>(c.receive_drains.load());
+            }));
+    counters_.register_counter_type(
+        "/threads/receive-pipeline/chunk-occupancy",
+        "average parcels carried per chunk task",
+        parcel_ratio(
+            [](ph_counters const& c) {
+                return static_cast<double>(c.chunk_parcels.load());
+            },
+            [](ph_counters const& c) {
+                return static_cast<double>(c.chunk_tasks.load());
+            }));
+    counters_.register_counter_type(
+        "/threads/receive-pipeline/time/offloaded-decode",
+        "argument-decode time moved off the background critical path onto "
+        "executing workers, ns",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.decode_offload_ns.load());
+        }));
+    counters_.register_counter_type("/net/count/duplicate-overhead-avoided",
+        "duplicate frames recognized from the frame prefix before the "
+        "per-message receive overhead was paid",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.duplicate_overhead_avoided.load());
+        }));
+
     // ---- coalescing counters (the paper's §II-B additions) -------------
 
     // Collect the per-action counter blocks selected by a path: one

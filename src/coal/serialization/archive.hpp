@@ -196,6 +196,17 @@ public:
         pos_ += size;
     }
 
+    /// Advance past `size` bytes without reading them.  The receive
+    /// pipeline's boundary scan uses this to hop from parcel to parcel
+    /// touching only the length fields.
+    void skip(std::size_t size)
+    {
+        if (pos_ + size > size_)
+            throw serialization_error(
+                "input archive exhausted (truncated message?)");
+        pos_ += size;
+    }
+
     /// Borrow `size` bytes in place without copying (bulk fast path).
     std::uint8_t const* borrow_bytes(std::size_t size)
     {

@@ -16,6 +16,8 @@ scheduler_snapshot scheduler_snapshot::since(
         idle_poll_time_ns - earlier.idle_poll_time_ns;
     delta.tasks_stolen = tasks_stolen - earlier.tasks_stolen;
     delta.idle_loops = idle_loops - earlier.idle_loops;
+    delta.bulk_posts = bulk_posts - earlier.bulk_posts;
+    delta.bulk_posted_tasks = bulk_posted_tasks - earlier.bulk_posted_tasks;
     return delta;
 }
 
@@ -44,6 +46,8 @@ scheduler_snapshot instrumentation::snapshot() const noexcept
     }
     s.background_time_ns +=
         external_background_ns_.load(std::memory_order_relaxed);
+    s.bulk_posts = bulk_posts_.load(std::memory_order_relaxed);
+    s.bulk_posted_tasks = bulk_posted_tasks_.load(std::memory_order_relaxed);
     return s;
 }
 

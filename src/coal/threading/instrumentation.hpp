@@ -51,6 +51,10 @@ struct scheduler_snapshot
     std::int64_t idle_poll_time_ns = 0;
     std::uint64_t tasks_stolen = 0;
     std::uint64_t idle_loops = 0;
+    /// Bulk-spawn (post_n) activity: batches and tasks enqueued through
+    /// the batched receive pipeline's one-lock-per-deque path.
+    std::uint64_t bulk_posts = 0;
+    std::uint64_t bulk_posted_tasks = 0;
 
     /// Eq. 1: cumulative task duration (ns).
     [[nodiscard]] std::int64_t task_duration_ns() const noexcept
@@ -108,6 +112,13 @@ public:
         external_background_ns_.fetch_add(ns, std::memory_order_relaxed);
     }
 
+    /// Record one post_n batch of `tasks` tasks.
+    void add_bulk_post(std::uint64_t tasks) noexcept
+    {
+        bulk_posts_.fetch_add(1, std::memory_order_relaxed);
+        bulk_posted_tasks_.fetch_add(tasks, std::memory_order_relaxed);
+    }
+
     [[nodiscard]] scheduler_snapshot snapshot() const noexcept;
 
     [[nodiscard]] std::size_t worker_count() const noexcept
@@ -118,6 +129,8 @@ public:
 private:
     std::vector<cache_aligned<worker_counters>> counters_;
     std::atomic<std::int64_t> external_background_ns_{0};
+    std::atomic<std::uint64_t> bulk_posts_{0};
+    std::atomic<std::uint64_t> bulk_posted_tasks_{0};
 };
 
 }    // namespace coal::threading

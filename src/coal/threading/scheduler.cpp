@@ -68,6 +68,69 @@ void scheduler::post(task_type task)
     wake_cv_.notify_one();
 }
 
+void scheduler::post_n(std::vector<task_type>&& tasks)
+{
+    if (tasks.empty())
+        return;
+    COAL_ASSERT_MSG(
+        !stopped_.load(std::memory_order_acquire), "post_n after stop()");
+
+    std::size_t const n = tasks.size();
+    pending_.fetch_add(n, std::memory_order_acq_rel);
+    instrumentation_.add_bulk_post(n);
+
+    if (t_worker.owner == this)
+    {
+        // Whole batch onto the local deque: keeps the batch FIFO with
+        // respect to itself and to earlier posts from this worker (the
+        // receive pipeline relies on this for per-source order on a
+        // single-worker locality).
+        auto& q = *queues_[t_worker.index];
+        std::lock_guard lock(q.lock);
+        for (auto& task : tasks)
+            q.tasks.push_back(std::move(task));
+    }
+    else
+    {
+        // Contiguous slices round-robin across deques: one lock
+        // acquisition per deque, and each worker receives a run of
+        // adjacent chunks (adjacent chunks share the frame slab, so
+        // slice placement preserves cache locality).
+        std::size_t const nq = queues_.size();
+        std::size_t const slices = n < nq ? n : nq;
+        std::size_t const start =
+            next_queue_.fetch_add(slices, std::memory_order_relaxed);
+        std::size_t const per = n / slices;
+        std::size_t extra = n % slices;
+        std::size_t taken = 0;
+        for (std::size_t s = 0; s != slices; ++s)
+        {
+            std::size_t const take = per + (extra != 0 ? 1 : 0);
+            if (extra != 0)
+                --extra;
+            auto& q = *queues_[(start + s) % nq];
+            std::lock_guard lock(q.lock);
+            for (std::size_t i = 0; i != take; ++i)
+                q.tasks.push_back(std::move(tasks[taken + i]));
+            taken += take;
+        }
+    }
+    tasks.clear();
+
+    // Wake only as many sleeping workers as there are tasks to run; a
+    // full notify_all for a two-task batch would stampede every idle
+    // worker through its steal loop for nothing.
+    if (n >= workers_.size())
+    {
+        wake_cv_.notify_all();
+    }
+    else
+    {
+        for (std::size_t i = 0; i != n; ++i)
+            wake_cv_.notify_one();
+    }
+}
+
 bool scheduler::try_pop(std::size_t index, task_type& out)
 {
     auto& q = *queues_[index];

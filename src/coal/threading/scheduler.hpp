@@ -66,6 +66,14 @@ public:
     /// any external thread (round-robin across workers).
     void post(task_type task);
 
+    /// Enqueue a batch of tasks: contiguous slices land on successive
+    /// worker deques under ONE lock acquisition per deque, and at most
+    /// min(n, num_workers) sleeping workers are woken — the bulk-spawn
+    /// primitive of the batched receive pipeline.  From a worker thread
+    /// the whole batch goes to the local deque, preserving FIFO order
+    /// with respect to each other and to prior posts from that worker.
+    void post_n(std::vector<task_type>&& tasks);
+
     /// Execute one pending task or one round of background work.
     /// Returns true if anything ran.  Safe from worker threads (the
     /// help-while-wait path) and from external threads.

@@ -77,6 +77,39 @@ TEST(CountersIntegration, DiscoverListsAllBuiltinTypes)
     EXPECT_TRUE(has("/messages/count/sent"));
     EXPECT_TRUE(has("/data/count/sent"));
     EXPECT_TRUE(has("/timers/count/fired"));
+    // Batched receive pipeline:
+    EXPECT_TRUE(has("/threads/receive-pipeline/count/drains"));
+    EXPECT_TRUE(has("/threads/receive-pipeline/count/frames"));
+    EXPECT_TRUE(has("/threads/receive-pipeline/count/chunks"));
+    EXPECT_TRUE(has("/threads/receive-pipeline/frames-per-drain"));
+    EXPECT_TRUE(has("/threads/receive-pipeline/chunk-occupancy"));
+    EXPECT_TRUE(has("/threads/receive-pipeline/time/offloaded-decode"));
+    EXPECT_TRUE(has("/net/count/duplicate-overhead-avoided"));
+    rt.stop();
+}
+
+TEST(CountersIntegration, ReceivePipelineCountersTrackTraffic)
+{
+    runtime rt(loopback());
+    round_trips(rt, 200);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    // Every remote message goes through a drain; uncoalesced traffic is
+    // one parcel per frame, so chunks == frames here.
+    double const drains =
+        c.query("/threads/receive-pipeline/count/drains").value;
+    double const frames =
+        c.query("/threads/receive-pipeline/count/frames").value;
+    double const chunks =
+        c.query("/threads/receive-pipeline/count/chunks").value;
+    EXPECT_GT(drains, 0.0);
+    EXPECT_DOUBLE_EQ(frames, 400.0);    // 200 requests + 200 responses
+    EXPECT_DOUBLE_EQ(chunks, 400.0);    // 1 parcel per frame -> 1 chunk
+    EXPECT_GE(frames, drains);
+    EXPECT_DOUBLE_EQ(
+        c.query("/threads/receive-pipeline/chunk-occupancy").value, 1.0);
+    EXPECT_GE(c.query("/threads/receive-pipeline/frames-per-drain").value, 1.0);
     rt.stop();
 }
 

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <latch>
 #include <thread>
+#include <vector>
 
 namespace {
 
@@ -260,6 +262,87 @@ TEST(Scheduler, SnapshotSinceComputesDeltas)
     sched.wait_idle();
     auto const delta = sched.snapshot().since(first);
     EXPECT_EQ(delta.tasks_executed, 5u);
+}
+
+TEST(Scheduler, PostNExecutesAllAndCountsOneBulkPost)
+{
+    scheduler sched(make_config(4));
+    std::atomic<int> count{0};
+
+    std::vector<coal::threading::task_type> tasks;
+    for (int i = 0; i != 100; ++i)
+        tasks.emplace_back([&count] { ++count; });
+    sched.post_n(std::move(tasks));
+    sched.wait_idle();
+
+    EXPECT_EQ(count.load(), 100);
+    auto const snap = sched.snapshot();
+    EXPECT_EQ(snap.bulk_posts, 1u);
+    EXPECT_EQ(snap.bulk_posted_tasks, 100u);
+    EXPECT_EQ(snap.tasks_executed, 100u);
+}
+
+TEST(Scheduler, PostNFromWorkerKeepsFifoOrder)
+{
+    // On one worker the local deque is FIFO, so tasks posted from inside
+    // a task — singly or in bulk — run in submission order.
+    scheduler sched(make_config(1));
+    std::vector<int> order;
+    std::latch done(1);
+
+    sched.post([&] {
+        sched.post([&order] { order.push_back(1); });
+        std::vector<coal::threading::task_type> bulk;
+        bulk.emplace_back([&order] { order.push_back(2); });
+        bulk.emplace_back([&order] { order.push_back(3); });
+        sched.post_n(std::move(bulk));
+        sched.post([&order, &done] {
+            order.push_back(4);
+            done.count_down();
+        });
+    });
+    done.wait();
+    sched.wait_idle();
+
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Scheduler, PostNEmptyBatchIsNoOp)
+{
+    scheduler sched(make_config(2));
+    sched.post_n({});
+    sched.wait_idle();
+
+    auto const snap = sched.snapshot();
+    EXPECT_EQ(snap.bulk_posts, 0u);
+    EXPECT_EQ(snap.bulk_posted_tasks, 0u);
+    EXPECT_EQ(sched.pending_tasks(), 0u);
+}
+
+TEST(Scheduler, PostNBatchesAreStealable)
+{
+    // A worker-local bulk post lands entirely on that worker's deque; the
+    // sleeper at the front pins it, so the other worker must steal to
+    // make progress on the rest.
+    scheduler sched(make_config(2));
+    std::atomic<int> count{0};
+    std::latch done(1);
+
+    sched.post([&] {
+        std::vector<coal::threading::task_type> bulk;
+        bulk.emplace_back(
+            [] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+        for (int i = 0; i != 50; ++i)
+            bulk.emplace_back([&count] { ++count; });
+        bulk.emplace_back([&done] { done.count_down(); });
+        sched.post_n(std::move(bulk));
+    });
+    done.wait();
+    sched.wait_idle();
+
+    EXPECT_EQ(count.load(), 50);
+    EXPECT_GE(sched.snapshot().tasks_stolen, 1u);
 }
 
 }    // namespace
