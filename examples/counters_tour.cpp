@@ -16,6 +16,15 @@ int main()
 {
     coal::runtime_config cfg;
     cfg.num_localities = 2;
+    // Flow control on, with a deliberately small credit window and a low
+    // soft watermark so the /net/flow/* counters and pressure transitions
+    // have something to show.
+    cfg.flow.enabled = true;
+    cfg.flow.initial_window_bytes = 8 * 1024;
+    cfg.flow.window_bytes = 16 * 1024;
+    cfg.flow.min_window_bytes = 4 * 1024;
+    cfg.flow.pool_soft_bytes = 64 * 1024;
+    cfg.flow.pool_critical_bytes = 64u << 20;    // far away: nothing shed
     coal::runtime rt(cfg);
 
     std::printf("registered counter types:\n");
@@ -57,8 +66,21 @@ int main()
              "/coal/pool/count/heap-fallbacks",
              "/coal/pool/count/flattens",
              "/coal/pool/count/outstanding",
+             "/coal/pool/count/fallback-cap-hits",
              "/coal/pool/data/copied",
              "/coal/pool/data/referenced",
+             "/coal/pool/resident-bytes",
+             "/coal/pool/resident-bytes-peak",
+             "/coal/pool/fallback-bytes",
+             "/coal/pool/fallback-bytes-peak",
+             "/net/flow/count/shed",
+             "/net/flow/count/deferrals",
+             "/net/flow/count/releases",
+             "/net/flow/count/credit-updates",
+             "/net/flow/count/link-down",
+             "/net/flow/count/pressure-transitions",
+             "/net/flow/count/starvation-trips",
+             "/net/flow/pressure",
          })
     {
         auto const v = counters.query(name);

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file pressure.hpp
+/// Three-state memory/overload pressure signal shared by the buffer pool
+/// (byte watermarks) and the parcel pipeline (per-link in-flight caps).
+///
+///   ok       — everything under the soft watermark; normal operation.
+///   soft     — above the soft watermark: stay functional but start
+///              degrading throughput for latency/memory (the coalescer
+///              shrinks batch targets and flushes early).
+///   critical — at the hard ceiling: admission control sheds best-effort
+///              traffic; only guaranteed and control traffic proceeds.
+///
+/// States are ordered so max() composes independent pressure sources.
+
+#include <cstdint>
+
+namespace coal {
+
+enum class pressure_state : std::uint8_t
+{
+    ok = 0,
+    soft = 1,
+    critical = 2,
+};
+
+[[nodiscard]] constexpr pressure_state max_pressure(
+    pressure_state a, pressure_state b) noexcept
+{
+    return a < b ? b : a;
+}
+
+[[nodiscard]] constexpr char const* to_string(pressure_state s) noexcept
+{
+    switch (s)
+    {
+    case pressure_state::ok:
+        return "ok";
+    case pressure_state::soft:
+        return "soft";
+    case pressure_state::critical:
+        return "critical";
+    }
+    return "?";
+}
+
+}    // namespace coal

@@ -4,6 +4,7 @@
 #include <coal/common/logging.hpp>
 #include <coal/trace/tracer.hpp>
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -82,7 +83,7 @@ void coalescing_message_handler::send_batch(
 
 void coalescing_message_handler::enqueue(parcel::parcel&& p)
 {
-    coalescing_params const params = params_->get();
+    coalescing_params params = params_->get();
     std::int64_t const gap_ns = counters_->record_parcel();
     std::uint32_t const dst = p.dest;
 
@@ -122,6 +123,20 @@ void coalescing_message_handler::enqueue(parcel::parcel&& p)
         batch.parcels.push_back(std::move(p));
         send_batch(dst, std::move(batch));
         return;
+    }
+
+    // Overload protection: under soft (or worse) pressure toward this
+    // destination the flow-control layer wants *earlier* flushes, not
+    // bigger batches — shrink the batch targets for this enqueue so the
+    // queue drains at a quarter of its configured depth.  The configured
+    // params are untouched; pressure subsiding restores full batching on
+    // the next enqueue.
+    if (parcels_.flow_pressure(dst) != pressure_state::ok)
+    {
+        pressure_shrinks_.fetch_add(1, std::memory_order_relaxed);
+        params.nparcels = std::max<std::size_t>(2, params.nparcels / 4);
+        params.max_buffer_bytes =
+            std::max<std::size_t>(1024, params.max_buffer_bytes / 4);
     }
 
     auto& shard = shard_for(dst);

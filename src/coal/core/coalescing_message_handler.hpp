@@ -114,6 +114,14 @@ public:
         return breaker_bypasses_.load(std::memory_order_relaxed);
     }
 
+    /// Enqueues that ran with shrunken batch targets because the
+    /// flow-control layer reported memory/link pressure toward the
+    /// destination (early-flush overload degradation).
+    [[nodiscard]] std::uint64_t pressure_shrinks() const noexcept
+    {
+        return pressure_shrinks_.load(std::memory_order_relaxed);
+    }
+
 private:
     struct destination_queue
     {
@@ -182,6 +190,7 @@ private:
     std::atomic<std::uint64_t> timer_flushes_{0};
     std::atomic<std::uint64_t> size_flushes_{0};
     std::atomic<std::uint64_t> breaker_bypasses_{0};
+    std::atomic<std::uint64_t> pressure_shrinks_{0};
 };
 
 }    // namespace coal::coalescing

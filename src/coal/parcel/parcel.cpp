@@ -44,6 +44,7 @@ wire_message encode_message(
     msg.write_value(header.seq);
     msg.write_value(header.ack);
     msg.write_value(header.sack);
+    msg.write_value(header.credit);
     for (auto const& p : parcels)
     {
         msg.write_value(p.source);
@@ -72,7 +73,7 @@ std::vector<parcel> decode_message(
     ar & count;
 
     frame_header hdr;
-    ar & hdr.seq & hdr.ack & hdr.sack;
+    ar & hdr.seq & hdr.ack & hdr.sack & hdr.credit;
     if (header != nullptr)
         *header = hdr;
 
@@ -104,7 +105,8 @@ frame_info peek_frame(shared_buffer const& buffer)
         throw serialization_error("bad message magic");
 
     frame_info info;
-    ar & info.count & info.header.seq & info.header.ack & info.header.sack;
+    ar & info.count & info.header.seq & info.header.ack & info.header.sack &
+        info.header.credit;
     if (info.count > ar.remaining())    // each parcel needs >= 1 byte
         throw serialization_error("parcel count exceeds message size");
     return info;
@@ -149,13 +151,14 @@ std::vector<parcel> decode_parcel_range(
     return parcels;
 }
 
-void patch_frame_acks(
-    wire_message& wire, std::uint64_t ack, std::uint64_t sack) noexcept
+void patch_frame_acks(wire_message& wire, std::uint64_t ack,
+    std::uint64_t sack, std::uint64_t credit) noexcept
 {
     if (wire.size() < frame_prefix_bytes)
         return;
     wire.patch(frame_ack_offset, &ack, sizeof(ack));
     wire.patch(frame_sack_offset, &sack, sizeof(sack));
+    wire.patch(frame_credit_offset, &credit, sizeof(credit));
 }
 
 }    // namespace coal::parcel

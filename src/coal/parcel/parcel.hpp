@@ -18,13 +18,17 @@
 /// A *message* is what travels the transport: a frame of one or more
 /// parcel images (message coalescing packs several), prefixed by the
 /// reliability header (see DESIGN.md "Reliability & fault injection"):
-///     u32 magic | u32 count | u64 seq | u64 ack | u64 sack |
+///     u32 magic | u32 count | u64 seq | u64 ack | u64 sack | u64 credit |
 ///     count * parcel image
 ///
 /// `seq` is the per-(peer, direction) sequence number (0 = unsequenced,
 /// used when the reliability layer is off).  `ack` is the cumulative
 /// sequence received from the peer; `sack` is a bitmap of seq ack+1+i
 /// received out of order.  A frame with count == 0 is a standalone ack.
+/// `credit` is the flow-control window grant piggybacked on every frame
+/// (DESIGN.md "Flow control"): 0 means "no advertisement", any other
+/// value means "the receiver of this frame may keep credit−1 bytes of
+/// unacknowledged data in flight toward me".
 
 #include <coal/serialization/archive.hpp>
 #include <coal/serialization/buffer.hpp>
@@ -75,15 +79,20 @@ struct frame_header
     std::uint64_t seq = 0;     ///< link sequence number; 0 = unsequenced
     std::uint64_t ack = 0;     ///< cumulative ack for the reverse direction
     std::uint64_t sack = 0;    ///< bitmap: seq ack+1+i received out of order
+    /// Flow-control window grant, biased by one so it can piggyback on
+    /// every frame: 0 = no advertisement (flow control off), otherwise
+    /// the sender of this frame allows credit−1 in-flight bytes.
+    std::uint64_t credit = 0;
 };
 
-/// Frame prefix: magic + count + the three reliability fields.
+/// Frame prefix: magic + count + the four reliability/flow fields.
 inline constexpr std::size_t frame_prefix_bytes =
-    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 3;
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 4;
 
-/// Byte offsets of the patchable reliability fields inside a frame.
+/// Byte offsets of the patchable reliability/flow fields inside a frame.
 inline constexpr std::size_t frame_ack_offset = 16;
 inline constexpr std::size_t frame_sack_offset = 24;
+inline constexpr std::size_t frame_credit_offset = 32;
 
 /// Total wire size of a frame containing the given parcels.
 [[nodiscard]] std::size_t message_wire_size(
@@ -149,11 +158,12 @@ struct frame_info
     serialization::shared_buffer const& buffer, std::size_t offset,
     std::size_t count);
 
-/// Refresh the ack/sack fields of an already-encoded frame in place —
-/// retransmitted frames carry current acks, not stale ones.  The caller
-/// must serialize this against readers of the frame (the parcelhandler
-/// patches retained frames only under its peers lock).
+/// Refresh the ack/sack/credit fields of an already-encoded frame in
+/// place — retransmitted frames carry current acks and window grants, not
+/// stale ones.  The caller must serialize this against readers of the
+/// frame (the parcelhandler patches retained frames only under its peers
+/// lock).
 void patch_frame_acks(serialization::wire_message& wire, std::uint64_t ack,
-    std::uint64_t sack) noexcept;
+    std::uint64_t sack, std::uint64_t credit = 0) noexcept;
 
 }    // namespace coal::parcel

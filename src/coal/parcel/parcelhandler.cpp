@@ -3,6 +3,7 @@
 #include <coal/common/assert.hpp>
 #include <coal/common/logging.hpp>
 #include <coal/common/stopwatch.hpp>
+#include <coal/serialization/buffer_pool.hpp>
 #include <coal/timing/busy_work.hpp>
 #include <coal/trace/tracer.hpp>
 
@@ -51,12 +52,19 @@ namespace {
 }    // namespace
 
 parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
-    threading::scheduler& scheduler, reliability_params reliability)
+    threading::scheduler& scheduler, reliability_params reliability,
+    flow_params flow)
   : here_(here)
   , transport_(transport)
   , scheduler_(scheduler)
   , reliability_(reliability)
+  , flow_(flow)
 {
+    // Credits travel in the frame's ack fields, so flow control requires
+    // the reliability layer underneath it.
+    if (flow_.enabled)
+        reliability_.enabled = true;
+
     // One shared invocation context for every parcel this handler ever
     // executes; the per-parcel path just passes a reference.
     invoke_ctx_.this_locality = here_;
@@ -91,6 +99,23 @@ void parcelhandler::put_parcel(parcel&& p)
         trace::tracer::global().record(
             here_, trace::event_kind::parcel_local, p.action);
         deliver_local(std::move(p));
+        return;
+    }
+
+    // Admission control: under critical memory/link pressure, best-effort
+    // parcels (no continuation — nobody is waiting on a future) are shed
+    // here, before they can pin another frame's worth of pool bytes.
+    // Continuation-bearing parcels are always admitted: their population
+    // is bounded by the caller's outstanding futures, and shedding them
+    // would strand promises forever.
+    if (flow_.enabled && p.continuation == 0 &&
+        flow_pressure(p.dest) == pressure_state::critical)
+    {
+        counters_.parcels_shed.fetch_add(1, std::memory_order_relaxed);
+        trace::tracer::global().record(
+            here_, trace::event_kind::parcel_shed, p.action, p.dest);
+        if (on_delivery_error_)
+            on_delivery_error_(delivery_error::shed_overload, std::move(p));
         return;
     }
 
@@ -277,13 +302,59 @@ bool parcelhandler::progress_send()
     {
         frame_header hdr;
         std::int64_t const now = now_ns();
+        std::size_t const est = message_wire_size(job->parcels);
+        std::uint32_t const dst = job->dst;
+        bool down = false;
+        bool deferred = false;
+        std::uint64_t deferred_bytes_after = 0;
         {
             std::lock_guard lock(peers_lock_);
-            auto& peer = peers_[job->dst];
-            hdr.seq = peer.next_seq++;
-            hdr.ack = peer.cum_received;
-            hdr.sack = sack_bits_locked(peer);
-            peer.ack_pending = false;    // this frame carries the ack
+            auto& peer = peers_[dst];
+            if (flow_.enabled)
+            {
+                if (link_down_locked(peer))
+                {
+                    down = true;
+                }
+                else if (should_defer_locked(peer, est))
+                {
+                    // Window exhausted: park the job on the peer instead
+                    // of handing it to the wire.  No sequence number is
+                    // consumed — the job re-enters this path when a grant
+                    // or an ack opens the window.
+                    if (peer.starved_since_ns == 0)
+                        peer.starved_since_ns = now;
+                    job->bytes = est;
+                    peer.deferred_bytes += est;
+                    deferred_bytes_after = peer.deferred_bytes;
+                    peer.deferred.push_back(std::move(*job));
+                    deferred_sends_.fetch_add(1, std::memory_order_release);
+                    counters_.sends_deferred.fetch_add(
+                        1, std::memory_order_relaxed);
+                    update_link_pressure_locked(peer);
+                    deferred = true;
+                }
+            }
+            if (!down && !deferred)
+            {
+                hdr.seq = peer.next_seq++;
+                hdr.ack = peer.cum_received;
+                hdr.sack = sack_bits_locked(peer);
+                if (flow_.enabled)
+                    hdr.credit = advertised_credit_wire();
+                peer.ack_pending = false;    // this frame carries the ack
+            }
+        }
+        if (down)
+        {
+            fail_job(delivery_error::link_down, std::move(*job));
+            return true;
+        }
+        if (deferred)
+        {
+            trace::tracer::global().record(here_,
+                trace::event_kind::send_deferred, dst, deferred_bytes_after);
+            return true;    // consumed a queue item (into the defer queue)
         }
         serialization::wire_message frame = encode_message(job->parcels, hdr);
         serialization::shared_buffer flat;
@@ -291,14 +362,16 @@ bool parcelhandler::progress_send()
             // Register the frame before handing it to the transport so a
             // synchronous loopback ack always finds its entry.
             std::lock_guard lock(peers_lock_);
-            auto& peer = peers_[job->dst];
+            auto& peer = peers_[dst];
             unacked_frame u;
             // Retained by reference: the retransmission table shares the
             // frame's fragments instead of deep-copying the wire image.
             u.frame = std::move(frame);
+            u.bytes = est;
             u.first_send_ns = now;
             u.rto_ns = initial_rto_ns_locked(peer);
             u.deadline_ns = now + u.rto_ns;
+            peer.unacked_bytes += est;
             auto const it = peer.unacked.emplace(hdr.seq, std::move(u)).first;
             // The transport must not alias the retained fragments —
             // progress_reliability patches the ack/sack prefix in place
@@ -306,7 +379,9 @@ bool parcelhandler::progress_send()
             // gather copy per transmission here, while the frame is
             // guaranteed stable.
             flat = it->second.frame.flatten_copy();
-            maybe_trip_breaker_locked(job->dst, peer);
+            maybe_trip_breaker_locked(dst, peer);
+            if (flow_.enabled)
+                update_link_pressure_locked(peer);
         }
         wire = serialization::wire_message(std::move(flat));
     }
@@ -537,47 +612,81 @@ void parcelhandler::execute_chunk(
 void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
 {
     std::int64_t const now = now_ns();
-    std::lock_guard lock(peers_lock_);
-    auto& peer = peers_[src];
-
-    auto release = [&](std::map<std::uint64_t, unacked_frame>::iterator it) {
-        unacked_frame const& u = it->second;
-        counters_.ack_latency_ns.fetch_add(
-            static_cast<std::uint64_t>(now - u.first_send_ns),
-            std::memory_order_relaxed);
-        counters_.acked_messages.fetch_add(1, std::memory_order_relaxed);
-        if (u.attempts == 1)
-        {
-            // Karn's rule: only never-retransmitted frames give an
-            // unambiguous RTT sample.
-            double const sample_us =
-                static_cast<double>(now - u.first_send_ns) / 1000.0;
-            peer.srtt_us = peer.srtt_us <= 0.0 ?
-                sample_us :
-                (1.0 - reliability_.rtt_gain) * peer.srtt_us +
-                    reliability_.rtt_gain * sample_us;
-        }
-        peer.unacked.erase(it);
-    };
-
-    while (!peer.unacked.empty() && peer.unacked.begin()->first <= hdr.ack)
-        release(peer.unacked.begin());
-    for (unsigned i = 0; i != 64; ++i)
+    std::vector<send_job> released;
     {
-        if ((hdr.sack & (1ull << i)) == 0)
-            continue;
-        if (auto it = peer.unacked.find(hdr.ack + 1 + i);
-            it != peer.unacked.end())
-            release(it);
+        std::lock_guard lock(peers_lock_);
+        auto& peer = peers_[src];
+
+        auto release =
+            [&](std::map<std::uint64_t, unacked_frame>::iterator it) {
+                unacked_frame const& u = it->second;
+                counters_.ack_latency_ns.fetch_add(
+                    static_cast<std::uint64_t>(now - u.first_send_ns),
+                    std::memory_order_relaxed);
+                counters_.acked_messages.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (u.attempts == 1)
+                {
+                    // Karn's rule: only never-retransmitted frames give an
+                    // unambiguous RTT sample.
+                    double const sample_us =
+                        static_cast<double>(now - u.first_send_ns) / 1000.0;
+                    peer.srtt_us = peer.srtt_us <= 0.0 ?
+                        sample_us :
+                        (1.0 - reliability_.rtt_gain) * peer.srtt_us +
+                            reliability_.rtt_gain * sample_us;
+                }
+                peer.unacked_bytes -=
+                    std::min<std::uint64_t>(peer.unacked_bytes, u.bytes);
+                peer.unacked.erase(it);
+            };
+
+        while (!peer.unacked.empty() && peer.unacked.begin()->first <= hdr.ack)
+            release(peer.unacked.begin());
+        for (unsigned i = 0; i != 64; ++i)
+        {
+            if ((hdr.sack & (1ull << i)) == 0)
+                continue;
+            if (auto it = peer.unacked.find(hdr.ack + 1 + i);
+                it != peer.unacked.end())
+                release(it);
+        }
+
+        if (peer.breaker_open &&
+            peer.unacked.size() <= reliability_.breaker_close_backlog)
+        {
+            peer.breaker_open = false;
+            open_breakers_.fetch_sub(1, std::memory_order_release);
+            COAL_LOG_INFO("parcel",
+                "link %u->%u healed: circuit breaker closed", here_, src);
+        }
+
+        if (flow_.enabled)
+        {
+            // Apply the piggybacked window grant (biased by one on the
+            // wire; 0 means the peer advertised nothing on this frame).
+            if (hdr.credit != 0)
+            {
+                std::uint64_t const window = hdr.credit - 1;
+                if (!peer.has_credit || peer.credit_window != window)
+                    counters_.credit_updates.fetch_add(
+                        1, std::memory_order_relaxed);
+                peer.has_credit = true;
+                peer.credit_window = window;
+            }
+            // Acked bytes and fresh grants both open window space — give
+            // deferred jobs a chance immediately rather than waiting for
+            // the next reliability tick.
+            release_deferred_locked(peer, released, now);
+            update_link_pressure_locked(peer);
+        }
     }
 
-    if (peer.breaker_open &&
-        peer.unacked.size() <= reliability_.breaker_close_backlog)
+    for (auto& job : released)
     {
-        peer.breaker_open = false;
-        open_breakers_.fetch_sub(1, std::memory_order_release);
-        COAL_LOG_INFO("parcel",
-            "link %u->%u healed: circuit breaker closed", here_, src);
+        outbound_.push(std::move(job));
+        deferred_sends_.fetch_sub(1, std::memory_order_release);
+        counters_.sends_released.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -645,6 +754,8 @@ bool parcelhandler::progress_reliability()
     };
     std::vector<ack_job> acks;
     std::vector<std::pair<std::uint32_t, serialization::shared_buffer>> resends;
+    std::vector<send_job> released;
+    std::vector<send_job> failed;
     {
         std::lock_guard lock(peers_lock_);
         for (auto& [dst, peer] : peers_)
@@ -655,7 +766,59 @@ bool parcelhandler::progress_reliability()
                 frame_header hdr;
                 hdr.ack = peer.cum_received;
                 hdr.sack = sack_bits_locked(peer);
+                if (flow_.enabled)
+                    hdr.credit = advertised_credit_wire();
                 acks.push_back(ack_job{dst, hdr});
+            }
+
+            if (flow_.enabled)
+            {
+                // Slow-peer detector: a link that has kept jobs deferred
+                // for starvation_trip_us without any grant movement is
+                // treated like a dark link — trip its circuit breaker so
+                // the coalescer bypasses batching and, once the byte cap
+                // is also exhausted, sends fail as link_down.
+                if (!peer.breaker_open && !peer.deferred.empty() &&
+                    peer.starved_since_ns != 0 &&
+                    now - peer.starved_since_ns >=
+                        flow_.starvation_trip_us * 1000)
+                {
+                    peer.breaker_open = true;
+                    open_breakers_.fetch_add(1, std::memory_order_release);
+                    counters_.starvation_trips.fetch_add(
+                        1, std::memory_order_relaxed);
+                    counters_.circuit_breaker_trips.fetch_add(
+                        1, std::memory_order_relaxed);
+                    peer.starved_since_ns = now;
+                    COAL_LOG_WARN("parcel",
+                        "link %u->%u credit-starved for %lld us: circuit "
+                        "breaker open",
+                        here_, dst,
+                        static_cast<long long>(flow_.starvation_trip_us));
+                }
+
+                if (link_down_locked(peer) && !peer.deferred.empty())
+                {
+                    // Dark link past its byte cap: retained frames stay
+                    // (they are what exactly-once delivery replays if the
+                    // link heals) but deferred jobs — which never consumed
+                    // a sequence number — fail with a distinct error
+                    // instead of queueing behind an unbounded blackout.
+                    while (!peer.deferred.empty())
+                    {
+                        send_job& front = peer.deferred.front();
+                        peer.deferred_bytes -= std::min<std::uint64_t>(
+                            peer.deferred_bytes, front.bytes);
+                        failed.push_back(std::move(front));
+                        peer.deferred.pop_front();
+                    }
+                    peer.starved_since_ns = 0;
+                }
+                else
+                {
+                    release_deferred_locked(peer, released, now);
+                }
+                update_link_pressure_locked(peer);
             }
 
             // Selective repeat bounded by the wire format's 64-bit sack
@@ -683,12 +846,14 @@ bool parcelhandler::progress_reliability()
                     1.0 + reliability_.rto_jitter * jitter_unit(seq, u.attempts);
                 u.rto_ns = static_cast<std::int64_t>(backed);
                 u.deadline_ns = now + u.rto_ns;
-                // Refresh piggybacked acks — the stored image has stale
-                // ones.  Patch + snapshot both happen under peers_lock_,
-                // so no transport thread ever reads a half-patched prefix;
-                // the retained frame itself is reused, not deep-copied.
-                patch_frame_acks(
-                    u.frame, peer.cum_received, sack_bits_locked(peer));
+                // Refresh piggybacked acks and the credit grant — the
+                // stored image has stale ones.  Patch + snapshot both
+                // happen under peers_lock_, so no transport thread ever
+                // reads a half-patched prefix; the retained frame itself
+                // is reused, not deep-copied.
+                patch_frame_acks(u.frame, peer.cum_received,
+                    sack_bits_locked(peer),
+                    flow_.enabled ? advertised_credit_wire() : 0);
                 peer.ack_pending = false;    // the retransmit carries the ack
                 resends.emplace_back(dst, u.frame.flatten_copy());
                 counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
@@ -704,7 +869,19 @@ bool parcelhandler::progress_reliability()
     }
     for (auto& [dst, wire] : resends)
         transport_.send(here_, dst, serialization::wire_message(std::move(wire)));
-    return !acks.empty() || !resends.empty();
+    for (auto& job : released)
+    {
+        outbound_.push(std::move(job));
+        deferred_sends_.fetch_sub(1, std::memory_order_release);
+        counters_.sends_released.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (auto& job : failed)
+    {
+        fail_job(delivery_error::link_down, std::move(job));
+        deferred_sends_.fetch_sub(1, std::memory_order_release);
+    }
+    return !acks.empty() || !resends.empty() || !released.empty() ||
+        !failed.empty();
 }
 
 std::size_t parcelhandler::pending_reliability() const
@@ -735,6 +912,161 @@ bool parcelhandler::link_degraded(std::uint32_t dst) const
     return it != peers_.end() && it->second.breaker_open;
 }
 
+pressure_state parcelhandler::flow_pressure(std::uint32_t dst) const
+{
+    if (!flow_.enabled)
+        return pressure_state::ok;
+    pressure_state const pool =
+        serialization::buffer_pool::global().pressure();
+    // Steady state: no link above ok anywhere — answer without the lock.
+    if (pressured_links_.load(std::memory_order_relaxed) == 0)
+        return pool;
+    std::lock_guard lock(peers_lock_);
+    auto const it = peers_.find(dst);
+    if (it == peers_.end())
+        return pool;
+    return max_pressure(pool, it->second.link_pressure);
+}
+
+pressure_state parcelhandler::current_pressure() const noexcept
+{
+    if (!flow_.enabled)
+        return pressure_state::ok;
+    return max_pressure(serialization::buffer_pool::global().pressure(),
+        static_cast<pressure_state>(
+            worst_link_pressure_.load(std::memory_order_relaxed)));
+}
+
+std::uint64_t parcelhandler::advertised_credit_wire() const noexcept
+{
+    std::uint64_t window = flow_.window_bytes;
+    switch (serialization::buffer_pool::global().pressure())
+    {
+    case pressure_state::soft:
+        window /= 4;
+        break;
+    case pressure_state::critical:
+        window /= 16;
+        break;
+    case pressure_state::ok:
+        break;
+    }
+    // Never advertise below the floor (and never 0 on the wire): the pool
+    // is process-global, so a sender's own backlog can raise the pressure
+    // this grant is computed from — a zero grant could then deadlock the
+    // very traffic that would relieve it.
+    window = std::max(window, flow_.min_window_bytes);
+    return window + 1;
+}
+
+bool parcelhandler::should_defer_locked(
+    peer_state const& peer, std::size_t bytes) const noexcept
+{
+    if (peer.unacked_bytes == 0)
+        return false;    // one frame may always fly: no-deadlock guarantee
+    std::uint64_t const window =
+        peer.has_credit ? peer.credit_window : flow_.initial_window_bytes;
+    return peer.unacked_bytes + bytes > window;
+}
+
+bool parcelhandler::link_down_locked(peer_state const& peer) const noexcept
+{
+    return peer.breaker_open && flow_.link_inflight_cap_bytes != 0 &&
+        peer.unacked_bytes + peer.deferred_bytes >=
+            flow_.link_inflight_cap_bytes;
+}
+
+void parcelhandler::release_deferred_locked(
+    peer_state& peer, std::vector<send_job>& released, std::int64_t now)
+{
+    if (peer.deferred.empty() || link_down_locked(peer))
+        return;
+    std::uint64_t const window =
+        peer.has_credit ? peer.credit_window : flow_.initial_window_bytes;
+    // Plan against the window as if each released job were already on the
+    // wire — otherwise one grant would release the whole queue at once
+    // and progress_send would immediately re-defer most of it.
+    std::uint64_t planned = peer.unacked_bytes;
+    bool any = false;
+    while (!peer.deferred.empty())
+    {
+        send_job& front = peer.deferred.front();
+        if (planned != 0 && planned + front.bytes > window)
+            break;
+        planned += front.bytes;
+        peer.deferred_bytes -=
+            std::min<std::uint64_t>(peer.deferred_bytes, front.bytes);
+        released.push_back(std::move(front));
+        peer.deferred.pop_front();
+        any = true;
+    }
+    if (peer.deferred.empty())
+        peer.starved_since_ns = 0;
+    else if (any)
+        peer.starved_since_ns = now;    // the window moved: not starved
+}
+
+void parcelhandler::update_link_pressure_locked(peer_state& peer)
+{
+    std::uint64_t const total = peer.unacked_bytes + peer.deferred_bytes;
+    pressure_state next = pressure_state::ok;
+    if (flow_.link_inflight_cap_bytes != 0 &&
+        total >= flow_.link_inflight_cap_bytes)
+        next = pressure_state::critical;
+    else if (flow_.link_soft_bytes != 0 && total >= flow_.link_soft_bytes)
+        next = pressure_state::soft;
+    if (next == peer.link_pressure)
+        return;
+    bool const was_ok = peer.link_pressure == pressure_state::ok;
+    peer.link_pressure = next;
+    if (was_ok && next != pressure_state::ok)
+        pressured_links_.fetch_add(1, std::memory_order_relaxed);
+    else if (!was_ok && next == pressure_state::ok)
+        pressured_links_.fetch_sub(1, std::memory_order_relaxed);
+    // Handful of peers: recomputing the max is cheaper than being clever.
+    pressure_state worst = pressure_state::ok;
+    for (auto const& [d, p] : peers_)
+        worst = max_pressure(worst, p.link_pressure);
+    worst_link_pressure_.store(
+        static_cast<std::uint8_t>(worst), std::memory_order_relaxed);
+}
+
+void parcelhandler::fail_job(delivery_error err, send_job&& job)
+{
+    if (err == delivery_error::link_down)
+    {
+        counters_.link_down_failures.fetch_add(
+            job.parcels.size(), std::memory_order_relaxed);
+        trace::tracer::global().record(here_, trace::event_kind::link_down,
+            job.dst, job.parcels.size());
+        COAL_LOG_WARN("parcel",
+            "link %u->%u down: %zu parcels failed (breaker open, in-flight "
+            "cap exhausted)",
+            here_, job.dst, job.parcels.size());
+    }
+    if (on_delivery_error_)
+    {
+        for (auto& p : job.parcels)
+            on_delivery_error_(err, std::move(p));
+    }
+}
+
+void parcelhandler::note_pressure_transition()
+{
+    auto const cur = static_cast<std::uint8_t>(current_pressure());
+    std::uint8_t prev = last_pressure_.load(std::memory_order_relaxed);
+    if (cur == prev ||
+        !last_pressure_.compare_exchange_strong(
+            prev, cur, std::memory_order_relaxed))
+        return;
+    counters_.pressure_transitions.fetch_add(1, std::memory_order_relaxed);
+    trace::tracer::global().record(
+        here_, trace::event_kind::pressure_changed, prev, cur);
+    COAL_LOG_INFO("parcel", "locality %u pressure %s -> %s", here_,
+        to_string(static_cast<pressure_state>(prev)),
+        to_string(static_cast<pressure_state>(cur)));
+}
+
 bool parcelhandler::progress()
 {
     if (stopped_.load(std::memory_order_acquire))
@@ -742,6 +1074,8 @@ bool parcelhandler::progress()
     bool const sent = progress_send();
     bool const received = progress_receive();
     bool const pumped = progress_reliability();
+    if (flow_.enabled)
+        note_pressure_transition();
     return sent || received || pumped;
 }
 

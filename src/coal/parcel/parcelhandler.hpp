@@ -30,13 +30,25 @@
 ///
 /// The response table maps continuation ids to callbacks that complete
 /// local promises when a result parcel arrives.
+///
+/// Flow control (when `flow_params::enabled`): every outbound frame
+/// carries a credit grant computed from local memory pressure, every
+/// inbound frame updates the per-peer send window, and progress_send
+/// *defers* jobs that would overrun the window onto a per-peer queue
+/// instead of handing them to the wire.  Admission control in put_parcel
+/// sheds best-effort parcels under critical pressure, and a link whose
+/// breaker is open with its in-flight byte cap exhausted fails sends
+/// with `delivery_error::link_down`.  See flow_control.hpp for the full
+/// protocol description.
 
 #include <coal/common/cacheline.hpp>
 #include <coal/common/mpmc_queue.hpp>
+#include <coal/common/pressure.hpp>
 #include <coal/common/spinlock.hpp>
 #include <coal/common/unique_function.hpp>
 #include <coal/net/transport.hpp>
 #include <coal/parcel/action_registry.hpp>
+#include <coal/parcel/flow_control.hpp>
 #include <coal/parcel/message_handler.hpp>
 #include <coal/parcel/parcel.hpp>
 #include <coal/threading/scheduler.hpp>
@@ -44,6 +56,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -81,11 +95,19 @@ struct parcelhandler_counters
     /// Duplicate frames recognized from the O(1) prefix peek alone,
     /// before the modeled per-message receive overhead was paid.
     std::atomic<std::uint64_t> duplicate_overhead_avoided{0};
+    // Flow control / overload protection (/net/flow/*; zero while off):
+    std::atomic<std::uint64_t> parcels_shed{0};    ///< admission-control drops
+    std::atomic<std::uint64_t> sends_deferred{0};  ///< jobs parked on credit
+    std::atomic<std::uint64_t> sends_released{0};  ///< deferred jobs re-queued
+    std::atomic<std::uint64_t> credit_updates{0};  ///< window grants applied
+    std::atomic<std::uint64_t> link_down_failures{0};    ///< parcels failed
+    std::atomic<std::uint64_t> pressure_transitions{0};
+    std::atomic<std::uint64_t> starvation_trips{0};    ///< slow-peer breaker trips
 };
 
 /// Tunables of the ack/retransmit protocol.  Disabled by default: every
 /// frame then goes out unsequenced (seq 0) exactly as before, so the
-/// zero-loss fast path pays only the 24 unused header bytes.
+/// zero-loss fast path pays only the 32 unused header bytes.
 struct reliability_params
 {
     bool enabled = false;
@@ -140,8 +162,16 @@ struct send_ticket
 class parcelhandler
 {
 public:
+    /// Callback surfacing parcels the flow-control layer refused to
+    /// deliver (shed under overload, or failed on a down link).  Invoked
+    /// outside internal locks, possibly concurrently from several
+    /// threads; the parcel is moved to the handler for inspection.
+    using delivery_error_handler =
+        std::function<void(delivery_error, parcel&&)>;
+
     parcelhandler(std::uint32_t here, net::transport& transport,
-        threading::scheduler& scheduler, reliability_params reliability = {});
+        threading::scheduler& scheduler, reliability_params reliability = {},
+        flow_params flow = {});
     ~parcelhandler();
 
     parcelhandler(parcelhandler const&) = delete;
@@ -221,7 +251,8 @@ public:
     {
         return outbound_.size() +
             sends_in_progress_.load(std::memory_order_acquire) +
-            parked_sends_.load(std::memory_order_acquire);
+            parked_sends_.load(std::memory_order_acquire) +
+            deferred_sends_.load(std::memory_order_acquire);
     }
 
     /// Received wire messages not yet decoded/executed.  Includes frames
@@ -237,6 +268,31 @@ public:
     {
         return reliability_;
     }
+
+    [[nodiscard]] flow_params const& flow() const noexcept
+    {
+        return flow_;
+    }
+
+    /// Install the callback that surfaces shed / link-down parcels.  Like
+    /// the component resolver, this must be installed before traffic
+    /// starts — it is read without synchronization afterwards.
+    void set_delivery_error_handler(delivery_error_handler handler)
+    {
+        on_delivery_error_ = std::move(handler);
+    }
+
+    /// Overload pressure toward `dst`: the max of buffer-pool memory
+    /// pressure and the link's in-flight/deferred byte pressure.  The
+    /// coalescer consults this to shrink its batch targets under `soft`
+    /// pressure; put_parcel sheds best-effort parcels under `critical`.
+    /// Steady state (no watermark crossed anywhere) answers from two
+    /// relaxed atomic loads without taking peers_lock_.
+    [[nodiscard]] pressure_state flow_pressure(std::uint32_t dst) const;
+
+    /// Process-level pressure: pool state combined with the worst link.
+    /// The /net/flow/pressure counter reads this.
+    [[nodiscard]] pressure_state current_pressure() const noexcept;
 
     /// Unfinished reliability state: unacked outbound frames, parcels held
     /// for reordering, and acks not yet emitted.  Zero when disabled.
@@ -255,6 +311,9 @@ private:
     {
         std::uint32_t dst;
         std::vector<parcel> parcels;
+        /// Estimated wire bytes; stamped when the job is deferred so the
+        /// release path need not re-measure it.
+        std::size_t bytes = 0;
     };
 
     /// Reorder state for one ordered producer lane.  Lives in a sharded
@@ -298,6 +357,7 @@ private:
     struct unacked_frame
     {
         serialization::wire_message frame;
+        std::size_t bytes = 0;    ///< wire size, counted in unacked_bytes
         std::int64_t first_send_ns = 0;
         std::int64_t deadline_ns = 0;
         std::int64_t rto_ns = 0;
@@ -328,6 +388,16 @@ private:
         std::int64_t ack_deadline_ns = 0;
         // Per-link circuit breaker.
         bool breaker_open = false;
+        // Flow control (sender side).
+        std::uint64_t unacked_bytes = 0;    ///< wire bytes in `unacked`
+        std::uint64_t credit_window = 0;    ///< latest grant from the peer
+        bool has_credit = false;    ///< false until the first advertisement
+        std::deque<send_job> deferred;      ///< jobs awaiting window space
+        std::uint64_t deferred_bytes = 0;
+        /// When continuous credit starvation on this link began (0 = not
+        /// starving).  Feeds the slow-peer breaker trip.
+        std::int64_t starved_since_ns = 0;
+        pressure_state link_pressure = pressure_state::ok;
     };
 
     void deliver_local(parcel&& p);
@@ -349,6 +419,33 @@ private:
     void maybe_trip_breaker_locked(std::uint32_t dst, peer_state& peer);
     void complete_promise(
         continuation_id id, serialization::shared_buffer&& payload);
+
+    // -- flow control -----------------------------------------------------
+    /// The credit this locality grants its peers right now, scaled by
+    /// buffer-pool pressure and biased by one for the wire (never 0 when
+    /// flow control is on — a grant of 0 would wedge the peer).
+    [[nodiscard]] std::uint64_t advertised_credit_wire() const noexcept;
+    /// Would sending `bytes` more overrun the peer's window?  One frame
+    /// is always allowed in flight (unacked_bytes == 0), so a grant
+    /// smaller than a single frame cannot deadlock the link.
+    [[nodiscard]] bool should_defer_locked(
+        peer_state const& peer, std::size_t bytes) const noexcept;
+    /// Is the link to this peer past its in-flight cap with the breaker
+    /// open — i.e. in the link_down failure mode?
+    [[nodiscard]] bool link_down_locked(peer_state const& peer) const noexcept;
+    /// Move deferred jobs that now fit the window back to outbound_.
+    /// Appends them to `released`; the caller pushes after unlocking.
+    void release_deferred_locked(
+        peer_state& peer, std::vector<send_job>& released, std::int64_t now);
+    /// Recompute this link's pressure state from its in-flight + deferred
+    /// bytes; maintains the lock-free pressured_links_ fast path.
+    void update_link_pressure_locked(peer_state& peer);
+    /// Fail a job's parcels through the delivery-error handler (called
+    /// without peers_lock_ held).
+    void fail_job(delivery_error err, send_job&& job);
+    /// Emit trace/counter updates when the process-level pressure state
+    /// changed since the last check.  Called from progress().
+    void note_pressure_transition();
 
     std::uint32_t here_;
     net::transport& transport_;
@@ -377,12 +474,23 @@ private:
     invocation_context invoke_ctx_;
 
     reliability_params reliability_;
+    flow_params flow_;
     mutable spinlock peers_lock_;
     std::unordered_map<std::uint32_t, peer_state> peers_;
     /// Links whose circuit breaker is currently open; lets
     /// link_degraded() answer "none" without taking peers_lock_.
     /// Mutated only under peers_lock_.
     std::atomic<std::size_t> open_breakers_{0};
+    /// Links whose link_pressure is above ok, and the worst such state —
+    /// the lock-free fast path of flow_pressure()/current_pressure().
+    /// Mutated only under peers_lock_.
+    std::atomic<std::size_t> pressured_links_{0};
+    std::atomic<std::uint8_t> worst_link_pressure_{0};
+    /// Last process-level pressure reported by note_pressure_transition().
+    std::atomic<std::uint8_t> last_pressure_{0};
+    /// Deferred send jobs across all peers (gauge for pending_sends()).
+    std::atomic<std::size_t> deferred_sends_{0};
+    delivery_error_handler on_delivery_error_;
 
     parcelhandler_counters counters_;
     // Messages popped from outbound_/inbox_ but still being processed.

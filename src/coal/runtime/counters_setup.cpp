@@ -432,6 +432,71 @@ void runtime::register_counters()
             return static_cast<double>(c.duplicate_overhead_avoided.load());
         }));
 
+    // ---- flow control / overload protection (/net/flow) ----------------
+
+    counters_.register_counter_type("/net/flow/count/shed",
+        "best-effort parcels shed by admission control under critical "
+        "pressure",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_shed.load());
+        }));
+    counters_.register_counter_type("/net/flow/count/deferrals",
+        "send jobs deferred on an exhausted credit window",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.sends_deferred.load());
+        }));
+    counters_.register_counter_type("/net/flow/count/releases",
+        "deferred send jobs re-queued after the window opened",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.sends_released.load());
+        }));
+    counters_.register_counter_type("/net/flow/count/credit-updates",
+        "credit window grants applied from peer advertisements",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.credit_updates.load());
+        }));
+    counters_.register_counter_type("/net/flow/count/link-down",
+        "parcels failed with link_down (breaker open, in-flight cap "
+        "exhausted)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.link_down_failures.load());
+        }));
+    counters_.register_counter_type("/net/flow/count/pressure-transitions",
+        "process-level pressure state changes (ok/soft/critical)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.pressure_transitions.load());
+        }));
+    counters_.register_counter_type("/net/flow/count/starvation-trips",
+        "circuit breakers opened by the credit-starvation slow-peer "
+        "detector",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.starvation_trips.load());
+        }));
+    counters_.register_counter_type("/net/flow/pressure",
+        "current pressure state toward the worst peer "
+        "(gauge: 0=ok, 1=soft, 2=critical)",
+        [this](counter_path const& path) -> counter_ptr {
+            std::vector<locality*> selected;
+            if (auto loc = path.locality())
+            {
+                if (*loc >= num_localities())
+                    return nullptr;
+                selected.push_back(localities_[*loc].get());
+            }
+            else
+            {
+                for (auto const& l : localities_)
+                    selected.push_back(l.get());
+            }
+            return std::make_shared<perf::function_counter>([selected] {
+                pressure_state worst = pressure_state::ok;
+                for (auto* l : selected)
+                    worst = max_pressure(
+                        worst, l->parcels().current_pressure());
+                return static_cast<double>(worst);
+            });
+        });
+
     // ---- coalescing counters (the paper's §II-B additions) -------------
 
     // Collect the per-action counter blocks selected by a path: one
@@ -617,6 +682,48 @@ void runtime::register_counters()
         "payload bytes moved by bumping a slab refcount instead of copying",
         pool_scalar([](serialization::buffer_pool_stats const& s) {
             return static_cast<double>(s.bytes_referenced);
+        }));
+    counters_.register_counter_type("/coal/pool/resident-bytes",
+        "payload bytes held by live slabs (gauge; watermark input)",
+        [](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>([] {
+                return static_cast<double>(serialization::buffer_pool::global()
+                        .stats()
+                        .resident_bytes);
+            });
+        });
+    counters_.register_counter_type("/coal/pool/resident-bytes-peak",
+        "high-water mark of live slab payload bytes",
+        [](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>([] {
+                return static_cast<double>(serialization::buffer_pool::global()
+                        .stats()
+                        .resident_bytes_peak);
+            });
+        });
+    counters_.register_counter_type("/coal/pool/fallback-bytes",
+        "live heap-fallback payload bytes (gauge; capped allocation path)",
+        [](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>([] {
+                return static_cast<double>(serialization::buffer_pool::global()
+                        .stats()
+                        .fallback_bytes);
+            });
+        });
+    counters_.register_counter_type("/coal/pool/fallback-bytes-peak",
+        "high-water mark of live heap-fallback payload bytes",
+        [](counter_path const&) -> counter_ptr {
+            return std::make_shared<perf::function_counter>([] {
+                return static_cast<double>(serialization::buffer_pool::global()
+                        .stats()
+                        .fallback_bytes_peak);
+            });
+        });
+    counters_.register_counter_type("/coal/pool/count/fallback-cap-hits",
+        "capped acquires refused because live fallback bytes were at the "
+        "configured cap",
+        pool_scalar([](serialization::buffer_pool_stats const& s) {
+            return static_cast<double>(s.fallback_cap_hits);
         }));
 
     // ---- flush-timer service -------------------------------------------

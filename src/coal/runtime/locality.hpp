@@ -37,7 +37,8 @@ public:
         threading::scheduler_config scheduler_config,
         net::transport& transport,
         timing::deadline_timer_service& timers,
-        parcel::reliability_params reliability = {});
+        parcel::reliability_params reliability = {},
+        parcel::flow_params flow = {});
 
     locality(locality const&) = delete;
     locality& operator=(locality const&) = delete;

@@ -4,6 +4,7 @@
 #include <coal/common/logging.hpp>
 #include <coal/core/coalescing_defaults.hpp>
 #include <coal/net/loopback.hpp>
+#include <coal/serialization/buffer_pool.hpp>
 
 #include <chrono>
 #include <latch>
@@ -41,6 +42,16 @@ runtime::runtime(runtime_config config)
         transport_ = std::move(base);
     }
 
+    if (config_.flow.enabled)
+    {
+        // Credits ride on the ack fields; watermarks guard the one pool
+        // every locality in this process shares.
+        config_.reliability.enabled = true;
+        serialization::buffer_pool::global().set_watermarks(
+            config_.flow.pool_soft_bytes, config_.flow.pool_critical_bytes,
+            config_.flow.pool_fallback_cap_bytes);
+    }
+
     timers_ = std::make_unique<timing::deadline_timer_service>();
     barrier_ = std::make_unique<help_barrier>(config_.num_localities);
 
@@ -53,7 +64,7 @@ runtime::runtime(runtime_config config)
         sched.name = "locality#" + std::to_string(i);
         localities_.push_back(std::make_unique<locality>(*this,
             agas::locality_id{i}, sched, *transport_, *timers_,
-            config_.reliability));
+            config_.reliability, config_.flow));
     }
 
     // Component actions resolve their target objects through AGAS.
@@ -278,6 +289,11 @@ void runtime::stop()
     for (auto const& loc : localities_)
         loc->scheduler().stop();
     timers_->shutdown();
+
+    // The buffer pool outlives every runtime (it is process-global); do
+    // not let this run's watermarks shed traffic of the next one.
+    if (config_.flow.enabled)
+        serialization::buffer_pool::global().set_watermarks(0, 0, 0);
 }
 
 threading::scheduler_snapshot runtime::aggregate_snapshot() const

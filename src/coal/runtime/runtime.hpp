@@ -57,6 +57,11 @@ struct runtime_config
     /// active fault plan but can also be set on its own (e.g. to measure
     /// the reliability overhead on a lossless link).
     parcel::reliability_params reliability{};
+
+    /// Flow control / overload protection tunables.  Enabling forces the
+    /// reliability layer on (credits travel in the ack fields) and applies
+    /// the pool watermarks to the global buffer pool at startup.
+    parcel::flow_params flow{};
 };
 
 class runtime

@@ -70,12 +70,26 @@ buffer_pool& buffer_pool::global()
 
 detail::slab* buffer_pool::acquire(std::size_t min_bytes)
 {
-    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    return acquire_impl(min_bytes, /*capped=*/false);
+}
 
+detail::slab* buffer_pool::try_acquire(std::size_t min_bytes)
+{
+    return acquire_impl(min_bytes, /*capped=*/true);
+}
+
+detail::slab* buffer_pool::acquire_impl(std::size_t min_bytes, bool capped)
+{
     for (std::size_t cls = 0; cls < num_classes; ++cls)
     {
         if (class_capacity(cls) < min_bytes)
             continue;
+
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        raise_peak(resident_bytes_peak_,
+            resident_bytes_.fetch_add(
+                class_capacity(cls), std::memory_order_relaxed) +
+                class_capacity(cls));
 
         {
             std::lock_guard<spinlock> guard(classes_[cls].lock);
@@ -95,7 +109,27 @@ detail::slab* buffer_pool::acquire(std::size_t min_bytes)
     }
 
     // Larger than the top class: plain heap slab, recycled straight to
-    // the heap on release.  The pool never fails an acquire.
+    // the heap on release.  `acquire` never fails; `try_acquire` enforces
+    // the fallback byte cap here (the only unpooled, otherwise-unbounded
+    // allocation path) and reports the refusal instead.
+    std::uint64_t const fallback_after =
+        fallback_bytes_.fetch_add(min_bytes, std::memory_order_relaxed) +
+        min_bytes;
+    if (capped)
+    {
+        std::uint64_t const cap = fallback_cap_.load(std::memory_order_relaxed);
+        if (cap != 0 && fallback_after > cap)
+        {
+            fallback_bytes_.fetch_sub(min_bytes, std::memory_order_relaxed);
+            fallback_cap_hits_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+    }
+    raise_peak(fallback_bytes_peak_, fallback_after);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    raise_peak(resident_bytes_peak_,
+        resident_bytes_.fetch_add(min_bytes, std::memory_order_relaxed) +
+            min_bytes);
     misses_.fetch_add(1, std::memory_order_relaxed);
     heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     return detail::allocate_slab(this, min_bytes, heap_class);
@@ -104,6 +138,7 @@ detail::slab* buffer_pool::acquire(std::size_t min_bytes)
 void buffer_pool::recycle(detail::slab* s) noexcept
 {
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(s->capacity, std::memory_order_relaxed);
 
     if (s->size_class != heap_class)
     {
@@ -114,6 +149,10 @@ void buffer_pool::recycle(detail::slab* s) noexcept
             cls.free.push_back(s);
             return;
         }
+    }
+    else
+    {
+        fallback_bytes_.fetch_sub(s->capacity, std::memory_order_relaxed);
     }
     detail::free_slab(s);
 }
@@ -130,6 +169,13 @@ buffer_pool_stats buffer_pool::stats() const
     out.bytes_referenced = bytes_referenced_.load(std::memory_order_relaxed);
     out.flattens = flattens_.load(std::memory_order_relaxed);
     out.bytes_flattened = bytes_flattened_.load(std::memory_order_relaxed);
+    out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+    out.resident_bytes_peak =
+        resident_bytes_peak_.load(std::memory_order_relaxed);
+    out.fallback_bytes = fallback_bytes_.load(std::memory_order_relaxed);
+    out.fallback_bytes_peak =
+        fallback_bytes_peak_.load(std::memory_order_relaxed);
+    out.fallback_cap_hits = fallback_cap_hits_.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -17,7 +17,21 @@
 /// *referenced* (moved by bumping a refcount), and the one permitted
 /// gather-copy at the wire boundary (`wire_message::flatten`) is counted
 /// separately.  The `/coal/pool/*` performance counters read these stats.
+///
+/// Memory-pressure watermarks: the pool tracks the bytes held by *live*
+/// slabs (resident_bytes, free-listed slabs excluded) and the subset that
+/// came from the counted heap-fallback path, and reports a three-state
+/// `pressure()` signal against configurable soft/critical byte watermarks.
+/// Admission control in the parcel layer consumes that signal, so the
+/// pool itself never fails an `acquire()` — but it reports `critical`
+/// slightly *below* the configured ceiling (one headroom's worth, default
+/// critical/8) so upstream shedding stops growth before resident bytes
+/// ever cross the watermark itself.  The heap-fallback path is capped the
+/// same way: crossing `fallback_cap_bytes` forces `critical`, and
+/// `try_acquire()` refuses (returns nullptr) instead of allocating an
+/// over-cap fallback slab, for callers that can degrade.
 
+#include <coal/common/pressure.hpp>
 #include <coal/common/spinlock.hpp>
 
 #include <atomic>
@@ -71,6 +85,12 @@ struct buffer_pool_stats
     std::uint64_t bytes_referenced = 0;  ///< payload bytes shared by refcount
     std::uint64_t flattens = 0;          ///< wire-boundary gather copies
     std::uint64_t bytes_flattened = 0;   ///< bytes moved by those gathers
+    // Memory-pressure watermarks (flow control):
+    std::uint64_t resident_bytes = 0;    ///< bytes held by live slabs (gauge)
+    std::uint64_t resident_bytes_peak = 0;    ///< high-water mark of the above
+    std::uint64_t fallback_bytes = 0;    ///< live heap-fallback bytes (gauge)
+    std::uint64_t fallback_bytes_peak = 0;    ///< high-water mark of the above
+    std::uint64_t fallback_cap_hits = 0;      ///< try_acquire over-cap refusals
 };
 
 class buffer_pool
@@ -99,6 +119,47 @@ public:
     /// A slab with capacity >= min_bytes and refcount 1.  Never fails:
     /// oversized requests come from the heap (counted as a fallback).
     [[nodiscard]] detail::slab* acquire(std::size_t min_bytes);
+
+    /// Like acquire(), but refuses (nullptr) when serving the request
+    /// would need a heap-fallback slab that pushes live fallback bytes
+    /// past the configured cap.  Pooled size classes always succeed.
+    [[nodiscard]] detail::slab* try_acquire(std::size_t min_bytes);
+
+    /// Configure the memory-pressure watermarks (bytes of *live* slab
+    /// payload; 0 disables the respective threshold).  pressure() reports
+    /// `soft` at soft_bytes, and `critical` one headroom (critical/8)
+    /// *below* critical_bytes — so admission control that sheds on
+    /// `critical` keeps resident bytes under the configured ceiling —
+    /// or whenever live heap-fallback bytes reach fallback_cap_bytes.
+    void set_watermarks(std::uint64_t soft_bytes, std::uint64_t critical_bytes,
+        std::uint64_t fallback_cap_bytes) noexcept
+    {
+        soft_watermark_.store(soft_bytes, std::memory_order_relaxed);
+        critical_watermark_.store(critical_bytes, std::memory_order_relaxed);
+        fallback_cap_.store(fallback_cap_bytes, std::memory_order_relaxed);
+    }
+
+    /// Current memory-pressure state against the configured watermarks.
+    /// A handful of relaxed atomic loads — cheap enough for per-parcel
+    /// admission checks.
+    [[nodiscard]] pressure_state pressure() const noexcept
+    {
+        std::uint64_t const critical =
+            critical_watermark_.load(std::memory_order_relaxed);
+        std::uint64_t const resident =
+            resident_bytes_.load(std::memory_order_relaxed);
+        if (critical != 0 && resident + critical / 8 >= critical)
+            return pressure_state::critical;
+        std::uint64_t const cap = fallback_cap_.load(std::memory_order_relaxed);
+        if (cap != 0 &&
+            fallback_bytes_.load(std::memory_order_relaxed) >= cap)
+            return pressure_state::critical;
+        std::uint64_t const soft =
+            soft_watermark_.load(std::memory_order_relaxed);
+        if (soft != 0 && resident >= soft)
+            return pressure_state::soft;
+        return pressure_state::ok;
+    }
 
     [[nodiscard]] buffer_pool_stats stats() const;
 
@@ -134,6 +195,22 @@ private:
         std::vector<detail::slab*> free;
     };
 
+    /// Shared body of acquire()/try_acquire(); `capped` refuses over-cap
+    /// heap fallbacks instead of allocating them.
+    [[nodiscard]] detail::slab* acquire_impl(std::size_t min_bytes, bool capped);
+
+    /// Bump a relaxed high-water-mark atomic to at least `observed`.
+    static void raise_peak(
+        std::atomic<std::uint64_t>& peak, std::uint64_t observed) noexcept
+    {
+        std::uint64_t prev = peak.load(std::memory_order_relaxed);
+        while (prev < observed &&
+            !peak.compare_exchange_weak(
+                prev, observed, std::memory_order_relaxed))
+        {
+        }
+    }
+
     std::size_t max_free_per_class_;
     size_class_state classes_[num_classes];
 
@@ -145,6 +222,15 @@ private:
     std::atomic<std::uint64_t> bytes_referenced_{0};
     std::atomic<std::uint64_t> flattens_{0};
     std::atomic<std::uint64_t> bytes_flattened_{0};
+    // Watermark state (all byte figures cover *live* slabs only).
+    std::atomic<std::uint64_t> resident_bytes_{0};
+    std::atomic<std::uint64_t> resident_bytes_peak_{0};
+    std::atomic<std::uint64_t> fallback_bytes_{0};
+    std::atomic<std::uint64_t> fallback_bytes_peak_{0};
+    std::atomic<std::uint64_t> fallback_cap_hits_{0};
+    std::atomic<std::uint64_t> soft_watermark_{0};
+    std::atomic<std::uint64_t> critical_watermark_{0};
+    std::atomic<std::uint64_t> fallback_cap_{0};
 };
 
 }    // namespace coal::serialization

@@ -96,6 +96,14 @@ char const* to_string(event_kind kind) noexcept
         return "message-sent";
     case event_kind::message_received:
         return "message-received";
+    case event_kind::pressure_changed:
+        return "pressure-changed";
+    case event_kind::parcel_shed:
+        return "parcel-shed";
+    case event_kind::send_deferred:
+        return "send-deferred";
+    case event_kind::link_down:
+        return "link-down";
     }
     return "?";
 }

@@ -38,6 +38,11 @@ enum class event_kind : std::uint8_t
     flush_forced,        ///< explicit flush (a=action, b=batch size)
     message_sent,        ///< frame handed to the transport (a=parcel count, b=bytes)
     message_received,    ///< frame decoded at receiver (a=parcel count, b=bytes)
+    // Flow control / overload protection (DESIGN.md "Flow control"):
+    pressure_changed,    ///< memory-pressure state transition (a=old, b=new)
+    parcel_shed,         ///< admission control shed a parcel (a=action, b=dest)
+    send_deferred,       ///< send deferred on an exhausted credit window (a=dest, b=deferred bytes after)
+    link_down,           ///< sends failed on a capped dark link (a=dest, b=parcels failed)
 };
 
 struct event

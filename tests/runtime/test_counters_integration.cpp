@@ -320,6 +320,70 @@ TEST(CountersIntegration, PoolCountersListedInDiscovery)
     rt.stop();
 }
 
+TEST(CountersIntegration, FlowCountersListedInDiscovery)
+{
+    runtime rt(loopback());
+    auto const types = rt.counters().discover();
+    auto has = [&](std::string const& path) {
+        for (auto const& [p, d] : types)
+        {
+            if (p == path)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("/net/flow/count/shed"));
+    EXPECT_TRUE(has("/net/flow/count/deferrals"));
+    EXPECT_TRUE(has("/net/flow/count/releases"));
+    EXPECT_TRUE(has("/net/flow/count/credit-updates"));
+    EXPECT_TRUE(has("/net/flow/count/link-down"));
+    EXPECT_TRUE(has("/net/flow/count/pressure-transitions"));
+    EXPECT_TRUE(has("/net/flow/count/starvation-trips"));
+    EXPECT_TRUE(has("/net/flow/pressure"));
+    EXPECT_TRUE(has("/coal/pool/resident-bytes"));
+    EXPECT_TRUE(has("/coal/pool/resident-bytes-peak"));
+    EXPECT_TRUE(has("/coal/pool/fallback-bytes"));
+    EXPECT_TRUE(has("/coal/pool/fallback-bytes-peak"));
+    EXPECT_TRUE(has("/coal/pool/count/fallback-cap-hits"));
+    rt.stop();
+}
+
+// Flow control live: a small credit window makes real traffic defer and
+// release, credits flow back on acks, and a low soft watermark makes the
+// pressure gauge move (transitions are counted and traced).
+TEST(CountersIntegration, FlowCountersObserveBackpressure)
+{
+    runtime_config cfg = loopback();
+    cfg.flow.enabled = true;
+    cfg.flow.initial_window_bytes = 256;
+    cfg.flow.window_bytes = 512;
+    cfg.flow.min_window_bytes = 256;
+    cfg.flow.pool_soft_bytes = 1;    // any live slab counts as soft pressure
+    cfg.flow.pool_critical_bytes = 64u << 20;    // never critical: no shedding
+    runtime rt(cfg);
+
+    round_trips(rt, 300);
+    rt.quiesce();
+
+    auto& c = rt.counters();
+    double const deferrals = c.query("/net/flow/count/deferrals").value;
+    EXPECT_GT(deferrals, 0.0);
+    // Nothing failed, so every deferral was eventually released.
+    EXPECT_DOUBLE_EQ(c.query("/net/flow/count/releases").value, deferrals);
+    EXPECT_GT(c.query("/net/flow/count/credit-updates").value, 0.0);
+    EXPECT_GT(c.query("/net/flow/count/pressure-transitions").value, 0.0);
+    EXPECT_DOUBLE_EQ(c.query("/net/flow/count/shed").value, 0.0);
+    EXPECT_DOUBLE_EQ(c.query("/net/flow/count/link-down").value, 0.0);
+
+    auto const pressure = c.query("/net/flow/pressure");
+    ASSERT_TRUE(pressure.valid);
+    EXPECT_LT(pressure.value, 2.0);    // never critical in this test
+
+    EXPECT_GE(c.query("/coal/pool/resident-bytes-peak").value,
+        c.query("/coal/pool/resident-bytes").value);
+    rt.stop();
+}
+
 TEST(CountersIntegration, TimerCountersTrackFlushTimers)
 {
     runtime rt(loopback());

@@ -169,6 +169,83 @@ TEST(SharedBuffer, RetainedFrameSurvivesPoolChurn)
         0);
 }
 
+TEST(BufferPool, ResidentBytesTrackLiveSlabsNotFreeLists)
+{
+    buffer_pool pool;
+    EXPECT_EQ(pool.stats().resident_bytes, 0u);
+
+    slab* a = pool.acquire(100);     // 256 B class
+    slab* b = pool.acquire(5000);    // 16 KiB class
+    EXPECT_EQ(pool.stats().resident_bytes, 256u + 16384u);
+    EXPECT_EQ(pool.stats().resident_bytes_peak, 256u + 16384u);
+
+    slab_release(a);
+    slab_release(b);
+    // Free-listed slabs are cached, not resident; the peak stays.
+    EXPECT_EQ(pool.stats().resident_bytes, 0u);
+    EXPECT_EQ(pool.stats().resident_bytes_peak, 256u + 16384u);
+}
+
+TEST(BufferPool, PressureStatesFollowTheWatermarks)
+{
+    buffer_pool pool;
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::ok);
+
+    // soft 1 KiB, critical 32 KiB: critical is *reported* one headroom
+    // (critical/8 = 4 KiB) early, i.e. at resident >= 28 KiB.
+    pool.set_watermarks(1024, 32 * 1024, 0);
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::ok);
+
+    slab* a = pool.acquire(1024);
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::soft);
+
+    slab* b = pool.acquire(40 * 1024);    // 64 KiB class: over the line
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::critical);
+
+    slab_release(b);
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::soft);
+    slab_release(a);
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::ok);
+
+    pool.set_watermarks(0, 0, 0);    // disabled again
+}
+
+TEST(BufferPool, FallbackCapRefusesTryAcquireAndForcesCritical)
+{
+    buffer_pool pool;
+    std::size_t const huge = (1u << 20) + 1;    // above the top class
+    pool.set_watermarks(0, 0, 2 * huge);
+
+    slab* a = pool.try_acquire(huge);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->size_class, buffer_pool::heap_class);
+    EXPECT_EQ(pool.stats().fallback_bytes, huge);
+
+    slab* b = pool.try_acquire(huge);    // 2*huge live: at the cap now
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::critical);
+    EXPECT_EQ(pool.stats().fallback_bytes_peak, 2 * huge);
+
+    // Over the cap: try_acquire refuses, the refusal is counted, and the
+    // uncapped acquire() still never fails.
+    EXPECT_EQ(pool.try_acquire(huge), nullptr);
+    EXPECT_EQ(pool.stats().fallback_cap_hits, 1u);
+    slab* c = pool.acquire(huge);
+    ASSERT_NE(c, nullptr);
+
+    // Pooled size classes are never refused, even at the fallback cap.
+    slab* d = pool.try_acquire(100);
+    ASSERT_NE(d, nullptr);
+
+    slab_release(a);
+    slab_release(b);
+    slab_release(c);
+    slab_release(d);
+    EXPECT_EQ(pool.stats().fallback_bytes, 0u);
+    EXPECT_EQ(pool.stats().fallback_bytes_peak, 3 * huge);
+    EXPECT_EQ(pool.pressure(), coal::pressure_state::ok);
+}
+
 TEST(SharedBuffer, SerializesAsLengthPrefixedBytes)
 {
     shared_buffer const in(byte_buffer{9, 8, 7, 6});
