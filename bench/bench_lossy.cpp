@@ -131,6 +131,7 @@ struct overload_measurement
     std::uint64_t delivered = 0;
     std::uint64_t shed = 0;
     std::uint64_t link_down = 0;
+    std::uint64_t peer_failed = 0;
     std::uint64_t deferrals = 0;
     double elapsed_s = 0.0;
 };
@@ -184,12 +185,22 @@ overload_measurement measure_overload(std::uint64_t offered)
     parcelhandler ph0(0, faulty, sched0, rel, flow);
     parcelhandler ph1(1, faulty, sched1, rel, flow);
 
-    std::atomic<std::uint64_t> shed{0}, failed{0};
+    // The unified delivery-failure taxonomy: count each cause separately
+    // so the report shows the split, not one lumped "failed" number.
+    std::atomic<std::uint64_t> shed{0}, link_down{0}, peer_failed{0};
     ph0.set_delivery_error_handler([&](delivery_error err, parcel&&) {
-        if (err == delivery_error::shed_overload)
+        switch (err)
+        {
+        case delivery_error::shed_overload:
             shed.fetch_add(1);
-        else
-            failed.fetch_add(1);
+            break;
+        case delivery_error::link_down:
+            link_down.fetch_add(1);
+            break;
+        case delivery_error::peer_failed:
+            peer_failed.fetch_add(1);
+            break;
+        }
     });
 
     g_overload_delivered = 0;
@@ -232,7 +243,8 @@ overload_measurement measure_overload(std::uint64_t offered)
 
     out.delivered = g_overload_delivered.load();
     out.shed = shed.load();
-    out.link_down = failed.load();
+    out.link_down = link_down.load();
+    out.peer_failed = peer_failed.load();
     out.deferrals = ph0.counters().sends_deferred.load();
 
     ph0.stop();
@@ -304,8 +316,9 @@ int main(int argc, char** argv)
     // (admission shed or link_down), never by silent buffer growth.
     std::printf("\noverload (flow control: 3 MiB critical watermark, "
                 "1.5 MiB link cap, 100 ms stall):\n");
-    std::printf("%-10s %-11s %-11s %-11s %-11s %-11s\n", "offered",
-        "delivered", "shed-rate", "link-down", "deferrals", "goodput/s");
+    std::printf("%-10s %-11s %-11s %-11s %-11s %-11s %-11s\n", "offered",
+        "delivered", "shed-rate", "link-down", "peer-fail", "deferrals",
+        "goodput/s");
     for (std::uint64_t const offered : {1000u, 2000u, 4000u, 8000u})
     {
         auto const m = measure_overload(offered);
@@ -315,18 +328,20 @@ int main(int argc, char** argv)
             m.elapsed_s > 0.0 ? static_cast<double>(m.delivered) / m.elapsed_s
                               : 0.0;
         std::printf("%-10" PRIu64 " %-11" PRIu64 " %-11.3f %-11" PRIu64
-                    " %-11" PRIu64 " %-11.0f\n",
-            offered, m.delivered, shed_rate, m.link_down, m.deferrals,
-            goodput);
+                    " %-11" PRIu64 " %-11" PRIu64 " %-11.0f\n",
+            offered, m.delivered, shed_rate, m.link_down, m.peer_failed,
+            m.deferrals, goodput);
         std::printf("BENCH {\"bench\":\"lossy-overload\",\"offered\":%" PRIu64
                     ",\"delivered\":%" PRIu64 ",\"shed_rate\":%.4f"
-                    ",\"link_down\":%" PRIu64 ",\"deferrals\":%" PRIu64
+                    ",\"link_down\":%" PRIu64 ",\"peer_failed\":%" PRIu64
+                    ",\"deferrals\":%" PRIu64
                     ",\"goodput_pps\":%.0f,\"elapsed_s\":%.3f}\n",
-            offered, m.delivered, shed_rate, m.link_down, m.deferrals,
-            goodput, m.elapsed_s);
+            offered, m.delivered, shed_rate, m.link_down, m.peer_failed,
+            m.deferrals, goodput, m.elapsed_s);
     }
-    std::printf("\nexpectation: refusals (shed + link_down) absorb the "
-                "excess as offered load rises; delivered + shed + "
-                "link_down == offered at every row, never silent loss.\n");
+    std::printf("\nexpectation: refusals (shed + link_down + peer_failed) "
+                "absorb the excess as offered load rises; delivered + shed + "
+                "link_down + peer_failed == offered at every row, never "
+                "silent loss (no peer dies here, so peer_failed stays 0).\n");
     return 0;
 }

@@ -25,6 +25,9 @@ int main()
     cfg.flow.min_window_bytes = 4 * 1024;
     cfg.flow.pool_soft_bytes = 64 * 1024;
     cfg.flow.pool_critical_bytes = 64u << 20;    // far away: nothing shed
+    // Membership on so the /net/health gauges are live (idle-link
+    // heartbeats tick while the app runs; nobody dies in this tour).
+    cfg.membership.enabled = true;
     coal::runtime rt(cfg);
 
     std::printf("registered counter types:\n");
@@ -81,6 +84,19 @@ int main()
              "/net/flow/count/pressure-transitions",
              "/net/flow/count/starvation-trips",
              "/net/flow/pressure",
+             "/net/health/count/heartbeats",
+             "/net/health/count/suspected",
+             "/net/health/count/deaths",
+             "/net/health/count/rejoins",
+             "/net/health/count/stale-epoch-frames",
+             "/net/health/count/refutes",
+             "/net/health/count/confirmed-parcels",
+             "/net/health/known-peers",
+             "/net/health/suspected-peers",
+             "/net/health/dead-peers",
+             "/net/count/delivery-errors/shed-overload",
+             "/net/count/delivery-errors/link-down",
+             "/net/count/delivery-errors/peer-failed",
          })
     {
         auto const v = counters.query(name);

@@ -259,6 +259,33 @@ void coalescing_message_handler::flush()
     }
 }
 
+std::vector<parcel::parcel> coalescing_message_handler::purge()
+{
+    std::vector<parcel::parcel> purged;
+    for (auto& shard : shards_)
+    {
+        std::lock_guard lock(shard.lock);
+        for (auto& [dst, queue] : shard.queues)
+        {
+            if (queue.parcels.empty())
+                continue;
+            if (queue.timer.valid())
+            {
+                timers_.cancel(queue.timer);
+                queue.timer = {};
+            }
+            ++queue.epoch;    // a pending timer for the old epoch no-ops
+            queue.queued_bytes = 0;
+            shard.gauge.fetch_sub(
+                queue.parcels.size(), std::memory_order_release);
+            for (auto& p : queue.parcels)
+                purged.push_back(std::move(p));
+            queue.parcels.clear();
+        }
+    }
+    return purged;
+}
+
 std::size_t coalescing_message_handler::queued_parcels() const
 {
     std::size_t total = 0;

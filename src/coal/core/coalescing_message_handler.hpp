@@ -75,6 +75,13 @@ public:
     void flush() override;
     [[nodiscard]] std::size_t queued_parcels() const override;
 
+    /// Chaos hook: drop every queued parcel without sending it (a crashed
+    /// locality's coalescing queues die with the incarnation).  Returns
+    /// the parcels so the caller can surface them through the
+    /// delivery-error path.  Ordering tickets are NOT consumed — the
+    /// sequencer streams stay contiguous across the purge.
+    [[nodiscard]] std::vector<parcel::parcel> purge();
+
     [[nodiscard]] coalescing_params params() const
     {
         return params_->get();

@@ -144,6 +144,29 @@ void coalescing_registry::flush_all()
         h->flush();
 }
 
+std::vector<parcel::parcel> coalescing_registry::purge_all()
+{
+    std::vector<std::shared_ptr<coalescing_message_handler>> handlers;
+    {
+        std::lock_guard lock(mutex_);
+        for (auto const& [name, entry] : entries_)
+        {
+            if (entry.request_handler)
+                handlers.push_back(entry.request_handler);
+            if (entry.response_handler)
+                handlers.push_back(entry.response_handler);
+        }
+    }
+    std::vector<parcel::parcel> purged;
+    for (auto const& h : handlers)
+    {
+        auto batch = h->purge();
+        for (auto& p : batch)
+            purged.push_back(std::move(p));
+    }
+    return purged;
+}
+
 std::size_t coalescing_registry::queued_parcels() const
 {
     std::vector<std::shared_ptr<coalescing_message_handler>> handlers;

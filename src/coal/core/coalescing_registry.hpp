@@ -57,6 +57,12 @@ public:
     /// Flush every handler's queues (phase boundaries, quiesce).
     void flush_all();
 
+    /// Chaos hook: drop every queued parcel across all handlers without
+    /// sending, returning them for delivery-error accounting.  Used by
+    /// runtime::kill_locality to model coalescing queues dying with a
+    /// crashed incarnation.
+    [[nodiscard]] std::vector<parcel::parcel> purge_all();
+
     /// Total parcels currently held back across all handlers.
     [[nodiscard]] std::size_t queued_parcels() const;
 

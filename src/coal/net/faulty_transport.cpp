@@ -5,6 +5,7 @@
 #include <coal/common/logging.hpp>
 #include <coal/common/stopwatch.hpp>
 
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -57,11 +58,27 @@ double fault_plan::drop_for(
     return drop_probability;
 }
 
+std::uint64_t fault_plan::resolve_seed(std::uint64_t fallback) noexcept
+{
+    char const* env = std::getenv("COAL_FAULT_SEED");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    char* end = nullptr;
+    unsigned long long const v = std::strtoull(env, &end, 0);
+    if (end == env)
+    {
+        COAL_LOG_WARN(
+            "net", "ignoring unparsable COAL_FAULT_SEED='%s'", env);
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
 fault_plan fault_plan::from_config(config const& cfg)
 {
     fault_plan plan;
-    plan.seed = static_cast<std::uint64_t>(
-        cfg.get_int("fault.seed", static_cast<std::int64_t>(plan.seed)));
+    plan.seed = resolve_seed(static_cast<std::uint64_t>(
+        cfg.get_int("fault.seed", static_cast<std::int64_t>(plan.seed))));
     plan.drop_probability = cfg.get_double("fault.drop", 0.0);
     plan.duplicate_probability = cfg.get_double("fault.duplicate", 0.0);
     plan.reorder_probability = cfg.get_double("fault.reorder", 0.0);
@@ -83,11 +100,29 @@ fault_plan fault_plan::from_config(config const& cfg)
     return plan;
 }
 
+namespace {
+
+    /// Every fault schedule announces its seed up front, so a failing
+    /// test's log always carries what COAL_FAULT_SEED needs for an exact
+    /// replay.
+    fault_plan announce(fault_plan plan)
+    {
+        plan.seed = fault_plan::resolve_seed(plan.seed);
+        if (plan.active())
+            COAL_LOG_INFO("net",
+                "fault plan seed=%llu (set COAL_FAULT_SEED=%llu to replay)",
+                static_cast<unsigned long long>(plan.seed),
+                static_cast<unsigned long long>(plan.seed));
+        return plan;
+    }
+
+}    // namespace
+
 faulty_transport::faulty_transport(
     std::unique_ptr<transport> inner, fault_plan plan)
   : owned_(std::move(inner))
   , inner_(owned_.get())
-  , plan_(plan)
+  , plan_(announce(std::move(plan)))
   , epoch_ns_(now_ns())
 {
     COAL_ASSERT(inner_ != nullptr);
@@ -95,7 +130,7 @@ faulty_transport::faulty_transport(
 
 faulty_transport::faulty_transport(transport& inner, fault_plan plan)
   : inner_(&inner)
-  , plan_(plan)
+  , plan_(announce(std::move(plan)))
   , epoch_ns_(now_ns())
 {
 }
@@ -128,7 +163,7 @@ void faulty_transport::send(std::uint32_t src, std::uint32_t dst,
     bool duplicate = false;
     {
         std::lock_guard lock(mutex_);
-        if (stopped_)
+        if (stopped_ || is_down(src) || is_down(dst))
         {
             messages_sent_.fetch_add(1, std::memory_order_relaxed);
             bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
@@ -196,7 +231,7 @@ void faulty_transport::on_deliver(std::uint32_t src, std::uint32_t dst,
     held_message released;
     {
         std::lock_guard lock(mutex_);
-        if (stopped_)
+        if (stopped_ || is_down(src) || is_down(dst))
         {
             messages_dropped_.fetch_add(1, std::memory_order_relaxed);
             return;
@@ -283,6 +318,48 @@ std::size_t faulty_transport::release_held()
         }
     }
     return out.size();
+}
+
+bool faulty_transport::set_locality_down(std::uint32_t locality, bool down)
+{
+    std::size_t dropped_parked = 0;
+    {
+        std::lock_guard lock(mutex_);
+        if (locality >= down_.size())
+            down_.resize(static_cast<std::size_t>(locality) + 1, 0);
+        down_[locality] = down ? 1 : 0;
+        if (down)
+        {
+            // Reorder-parked frames on the crashed locality's links die
+            // with it.
+            for (auto it = held_.begin(); it != held_.end();)
+            {
+                auto const src =
+                    static_cast<std::uint32_t>(it->first >> 32);
+                auto const dst =
+                    static_cast<std::uint32_t>(it->first & 0xffffffffu);
+                if (src == locality || dst == locality)
+                {
+                    it = held_.erase(it);
+                    ++dropped_parked;
+                }
+                else
+                {
+                    ++it;
+                }
+            }
+            held_count_.fetch_sub(dropped_parked, std::memory_order_acq_rel);
+        }
+    }
+    if (dropped_parked != 0)
+        messages_dropped_.fetch_add(
+            dropped_parked, std::memory_order_relaxed);
+
+    // Forward so an inner sim_network purges its wire heap as well; the
+    // decorator's own blackhole covers inner transports without chaos
+    // support (loopback delivers through on_deliver, which now drops).
+    inner_->set_locality_down(locality, down);
+    return true;
 }
 
 void faulty_transport::drain()

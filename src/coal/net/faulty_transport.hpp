@@ -86,6 +86,12 @@ struct fault_plan
     /// fault.reorder, and one optional blackout via fault.blackout.start_us
     /// / fault.blackout.end_us / fault.blackout.src / fault.blackout.dst.
     [[nodiscard]] static fault_plan from_config(config const& cfg);
+
+    /// Reproducibility hook shared by every fault/chaos schedule: returns
+    /// the `COAL_FAULT_SEED` environment override when set (so a flaky
+    /// run's logged seed can be replayed exactly), `fallback` otherwise.
+    [[nodiscard]] static std::uint64_t resolve_seed(
+        std::uint64_t fallback) noexcept;
 };
 
 class faulty_transport final : public transport
@@ -130,6 +136,14 @@ public:
 
     void shutdown() override;
 
+    /// Chaos API: while a locality is down the decorator drops every
+    /// message to or from it — outbound in send(), inbound in the inner
+    /// transport's delivery callback, and anything reorder-parked on its
+    /// links — so the chaos API works over *any* inner transport.  Also
+    /// forwarded to the inner transport when it implements the API
+    /// (sim_network purges its wire heap too).
+    bool set_locality_down(std::uint32_t locality, bool down) override;
+
 private:
     void on_deliver(std::uint32_t src, std::uint32_t dst,
         serialization::shared_buffer&& buffer);
@@ -159,7 +173,13 @@ private:
     std::unordered_map<std::uint64_t, std::uint64_t> send_ordinal_;
     std::unordered_map<std::uint64_t, std::uint64_t> recv_ordinal_;
     std::unordered_map<std::uint64_t, held_message> held_;
+    std::vector<char> down_;    // chaos API: crashed localities (grown lazily)
     bool stopped_ = false;
+
+    [[nodiscard]] bool is_down(std::uint32_t locality) const noexcept
+    {
+        return locality < down_.size() && down_[locality] != 0;
+    }
 
     std::atomic<std::uint64_t> held_count_{0};
     std::atomic<std::uint64_t> messages_sent_{0};

@@ -7,6 +7,7 @@ namespace coal::net {
 loopback_transport::loopback_transport(std::uint32_t num_localities)
   : num_localities_(num_localities)
   , handlers_(num_localities)
+  , down_(num_localities, 0)
 {
     COAL_ASSERT(num_localities > 0);
 }
@@ -31,7 +32,7 @@ void loopback_transport::send(std::uint32_t src, std::uint32_t dst,
     bool dropped = false;
     {
         std::lock_guard lock(mutex_);
-        if (stopped_)
+        if (stopped_ || down_[src] != 0 || down_[dst] != 0)
             dropped = true;
         else
             handler = handlers_[dst];
@@ -69,6 +70,14 @@ void loopback_transport::shutdown()
 {
     std::lock_guard lock(mutex_);
     stopped_ = true;
+}
+
+bool loopback_transport::set_locality_down(std::uint32_t locality, bool down)
+{
+    COAL_ASSERT(locality < num_localities_);
+    std::lock_guard lock(mutex_);
+    down_[locality] = down ? 1 : 0;
+    return true;
 }
 
 }    // namespace coal::net

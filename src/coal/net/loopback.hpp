@@ -43,10 +43,15 @@ public:
 
     void shutdown() override;
 
+    /// Chaos API: a down locality's sends and receives are dropped
+    /// (counted), mirroring the sim_network semantics without a wire.
+    bool set_locality_down(std::uint32_t locality, bool down) override;
+
 private:
     std::uint32_t num_localities_;
     mutable std::mutex mutex_;
     std::vector<delivery_handler> handlers_;
+    std::vector<char> down_;
     bool stopped_ = false;
 
     std::atomic<std::uint64_t> messages_{0};

@@ -16,6 +16,7 @@ sim_network::sim_network(std::uint32_t num_localities, cost_model model)
   , handlers_(num_localities)
   , link_free_ns_(static_cast<std::size_t>(num_localities) * num_localities, 0)
   , link_stats_(static_cast<std::size_t>(num_localities) * num_localities)
+  , down_(num_localities, 0)
 {
     COAL_ASSERT(num_localities > 0);
     delivery_thread_ = std::thread([this] { delivery_loop(); });
@@ -59,10 +60,11 @@ void sim_network::send(std::uint32_t src, std::uint32_t dst,
 
     {
         std::lock_guard lock(mutex_);
-        if (stopping_)
+        if (stopping_ || down_[src] != 0 || down_[dst] != 0)
         {
-            // Shutdown races drop the message by design — but the drop
-            // must be visible: sent == delivered + dropped at quiescence.
+            // Shutdown races and crashed endpoints drop the message by
+            // design — but the drop must be visible:
+            // sent == delivered + dropped at quiescence.
             messages_sent_.fetch_add(1, std::memory_order_relaxed);
             bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
             messages_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -122,7 +124,8 @@ void sim_network::delivery_loop()
             const_cast<pending_message&>(heap_.top()));
         heap_.pop();
 
-        delivery_handler handler = handlers_[msg.dst];
+        bool const crashed = down_[msg.src] != 0 || down_[msg.dst] != 0;
+        delivery_handler handler = crashed ? nullptr : handlers_[msg.dst];
         lock.unlock();
 
         std::size_t const bytes = msg.payload.size();
@@ -134,9 +137,10 @@ void sim_network::delivery_loop()
         }
         else
         {
-            COAL_LOG_WARN("net", "dropping message to locality %u "
-                                 "(no delivery handler)",
-                msg.dst);
+            if (!crashed)
+                COAL_LOG_WARN("net", "dropping message to locality %u "
+                                     "(no delivery handler)",
+                    msg.dst);
             messages_dropped_.fetch_add(1, std::memory_order_relaxed);
         }
 
@@ -171,6 +175,56 @@ link_stats sim_network::link(std::uint32_t src, std::uint32_t dst) const
     COAL_ASSERT(src < num_localities_ && dst < num_localities_);
     std::lock_guard lock(mutex_);
     return link_stats_[link_index(src, dst)];
+}
+
+bool sim_network::set_locality_down(std::uint32_t locality, bool down)
+{
+    COAL_ASSERT(locality < num_localities_);
+    std::size_t purged = 0;
+    {
+        std::lock_guard lock(mutex_);
+        down_[locality] = down ? 1 : 0;
+        if (down)
+        {
+            // In-flight messages to or from the crashed locality vanish
+            // with it.  Rebuild the heap without them; the drops stay
+            // visible so sent == delivered + dropped keeps holding.
+            std::vector<pending_message> keep;
+            keep.reserve(heap_.size());
+            while (!heap_.empty())
+            {
+                pending_message msg =
+                    std::move(const_cast<pending_message&>(heap_.top()));
+                heap_.pop();
+                if (msg.src == locality || msg.dst == locality)
+                    ++purged;
+                else
+                    keep.push_back(std::move(msg));
+            }
+            for (auto& msg : keep)
+                heap_.push(std::move(msg));
+        }
+        else
+        {
+            // The restarted incarnation's links start fresh: no backlog
+            // of modeled transmission time from before the crash.
+            for (std::uint32_t peer = 0; peer != num_localities_; ++peer)
+            {
+                link_free_ns_[link_index(locality, peer)] = 0;
+                link_free_ns_[link_index(peer, locality)] = 0;
+            }
+        }
+    }
+    if (purged != 0)
+    {
+        COAL_LOG_INFO("net", "kill_locality(%u) dropped %zu in-flight "
+                             "message(s)",
+            locality, purged);
+        messages_dropped_.fetch_add(purged, std::memory_order_relaxed);
+        in_flight_.fetch_sub(purged, std::memory_order_acq_rel);
+        drain_cv_.notify_all();
+    }
+    return true;
 }
 
 void sim_network::shutdown()

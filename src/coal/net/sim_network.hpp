@@ -109,6 +109,13 @@ public:
 
     void shutdown() override;
 
+    /// Chaos API: while a locality is down the sim drops every message to
+    /// or from it — including those already on the wire (in the delivery
+    /// heap), which vanish immediately, as a crashed NIC's in-flight
+    /// packets would.  Restart lifts the blackhole; the locality's links
+    /// start fresh (no queued backlog from its dead incarnation).
+    bool set_locality_down(std::uint32_t locality, bool down) override;
+
 private:
     struct pending_message
     {
@@ -149,6 +156,7 @@ private:
     std::vector<delivery_handler> handlers_;
     std::vector<std::int64_t> link_free_ns_;    // per-link tail of transmission
     std::vector<link_stats> link_stats_;
+    std::vector<char> down_;    // chaos API: localities currently crashed
     std::uint64_t next_seq_ = 0;
     bool stopping_ = false;
 

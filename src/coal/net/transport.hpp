@@ -75,6 +75,29 @@ public:
 
     /// Stop delivery; further sends are dropped.  Idempotent.
     virtual void shutdown() = 0;
+
+    /// Chaos API: mark a locality as crashed (`down = true`) or back up
+    /// (`down = false`).  While down, every message to *or* from that
+    /// locality is dropped (counted in messages_dropped), modeling a
+    /// crashed process whose NIC went silent.  Returns false when the
+    /// transport does not implement the chaos API (the default).
+    virtual bool set_locality_down(std::uint32_t locality, bool down)
+    {
+        (void) locality;
+        (void) down;
+        return false;
+    }
+
+    /// Convenience wrappers over set_locality_down for chaos schedules.
+    bool kill_locality(std::uint32_t locality)
+    {
+        return set_locality_down(locality, true);
+    }
+
+    bool restart_locality(std::uint32_t locality)
+    {
+        return set_locality_down(locality, false);
+    }
 };
 
 }    // namespace coal::net

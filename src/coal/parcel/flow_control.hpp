@@ -55,7 +55,17 @@ enum class delivery_error : std::uint8_t
     /// byte cap is exhausted: the link is treated as down and the parcel
     /// will not be queued behind an unbounded blackout.
     link_down,
+
+    /// The membership layer declared the destination locality dead (or it
+    /// rejoined under a new incarnation epoch before this parcel was
+    /// acknowledged).  Delivery was *not confirmed*: the parcel may or
+    /// may not have executed at the dead incarnation — callers must treat
+    /// it as at-most-once (DESIGN.md "Failure model").
+    peer_failed,
 };
+
+/// Number of delivery_error causes (per-cause counter array bound).
+inline constexpr std::size_t delivery_error_causes = 3;
 
 [[nodiscard]] constexpr char const* to_string(delivery_error e) noexcept
 {
@@ -65,6 +75,8 @@ enum class delivery_error : std::uint8_t
         return "shed-overload";
     case delivery_error::link_down:
         return "link-down";
+    case delivery_error::peer_failed:
+        return "peer-failed";
     }
     return "?";
 }

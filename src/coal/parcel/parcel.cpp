@@ -45,6 +45,8 @@ wire_message encode_message(
     msg.write_value(header.ack);
     msg.write_value(header.sack);
     msg.write_value(header.credit);
+    msg.write_value(header.src_epoch);
+    msg.write_value(header.dst_epoch);
     for (auto const& p : parcels)
     {
         msg.write_value(p.source);
@@ -73,7 +75,8 @@ std::vector<parcel> decode_message(
     ar & count;
 
     frame_header hdr;
-    ar & hdr.seq & hdr.ack & hdr.sack & hdr.credit;
+    ar & hdr.seq & hdr.ack & hdr.sack & hdr.credit & hdr.src_epoch &
+        hdr.dst_epoch;
     if (header != nullptr)
         *header = hdr;
 
@@ -106,7 +109,7 @@ frame_info peek_frame(shared_buffer const& buffer)
 
     frame_info info;
     ar & info.count & info.header.seq & info.header.ack & info.header.sack &
-        info.header.credit;
+        info.header.credit & info.header.src_epoch & info.header.dst_epoch;
     if (info.count > ar.remaining())    // each parcel needs >= 1 byte
         throw serialization_error("parcel count exceeds message size");
     return info;

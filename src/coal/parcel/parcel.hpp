@@ -19,16 +19,26 @@
 /// parcel images (message coalescing packs several), prefixed by the
 /// reliability header (see DESIGN.md "Reliability & fault injection"):
 ///     u32 magic | u32 count | u64 seq | u64 ack | u64 sack | u64 credit |
-///     count * parcel image
+///     u32 src_epoch | u32 dst_epoch | count * parcel image
 ///
 /// `seq` is the per-(peer, direction) sequence number (0 = unsequenced,
 /// used when the reliability layer is off).  `ack` is the cumulative
 /// sequence received from the peer; `sack` is a bitmap of seq ack+1+i
-/// received out of order.  A frame with count == 0 is a standalone ack.
+/// received out of order.  A frame with count == 0 is a standalone ack
+/// (also the membership layer's heartbeat/probe control frame).
 /// `credit` is the flow-control window grant piggybacked on every frame
 /// (DESIGN.md "Flow control"): 0 means "no advertisement", any other
 /// value means "the receiver of this frame may keep credit−1 bytes of
 /// unacknowledged data in flight toward me".
+///
+/// `src_epoch` / `dst_epoch` carry the membership layer's incarnation
+/// epochs (DESIGN.md "Failure model"): the sender's own epoch and the
+/// sender's belief of the destination's epoch at encode time.  They are
+/// deliberately *not* patched on retransmit — a frame addressed to a dead
+/// incarnation must keep saying so, which is what lets the restarted
+/// receiver discard it and the sender fence it with
+/// `delivery_error::peer_failed`.  0 means "epoch unknown" (membership
+/// layer off, or a hand-crafted test frame) and disables fencing.
 
 #include <coal/serialization/archive.hpp>
 #include <coal/serialization/buffer.hpp>
@@ -83,11 +93,18 @@ struct frame_header
     /// every frame: 0 = no advertisement (flow control off), otherwise
     /// the sender of this frame allows credit−1 in-flight bytes.
     std::uint64_t credit = 0;
+    /// Sender's incarnation epoch (membership layer); 0 = unknown.
+    std::uint32_t src_epoch = 0;
+    /// Sender's belief of the destination's incarnation epoch at encode
+    /// time; 0 = unknown (fencing disabled for this frame).
+    std::uint32_t dst_epoch = 0;
 };
 
-/// Frame prefix: magic + count + the four reliability/flow fields.
+/// Frame prefix: magic + count + the four reliability/flow fields + the
+/// two membership epochs.
 inline constexpr std::size_t frame_prefix_bytes =
-    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 4;
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 4 +
+    sizeof(std::uint32_t) * 2;
 
 /// Byte offsets of the patchable reliability/flow fields inside a frame.
 inline constexpr std::size_t frame_ack_offset = 16;

@@ -8,6 +8,7 @@
 #include <coal/trace/tracer.hpp>
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 namespace coal::parcel {
@@ -53,16 +54,18 @@ namespace {
 
 parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
     threading::scheduler& scheduler, reliability_params reliability,
-    flow_params flow)
+    flow_params flow, membership_params membership)
   : here_(here)
   , transport_(transport)
   , scheduler_(scheduler)
   , reliability_(reliability)
   , flow_(flow)
+  , membership_(membership)
 {
     // Credits travel in the frame's ack fields, so flow control requires
-    // the reliability layer underneath it.
-    if (flow_.enabled)
+    // the reliability layer underneath it.  Membership likewise: epochs
+    // and heartbeats ride the reliability prefix.
+    if (flow_.enabled || membership_.enabled)
         reliability_.enabled = true;
 
     // One shared invocation context for every parcel this handler ever
@@ -94,11 +97,35 @@ void parcelhandler::put_parcel(parcel&& p)
     COAL_ASSERT_MSG(p.action != 0, "parcel without action");
     p.source = here_;
 
+    // A crashed incarnation delivers and executes nothing; surface the
+    // parcel through the failure path so producer-side accounting still
+    // balances (offered == confirmed + failed + shed).
+    if (crashed_.load(std::memory_order_acquire))
+    {
+        std::vector<parcel> failed;
+        failed.push_back(std::move(p));
+        fail_parcels(delivery_error::peer_failed, std::move(failed));
+        return;
+    }
+
     if (p.dest == here_)
     {
         trace::tracer::global().record(
             here_, trace::event_kind::parcel_local, p.action);
         deliver_local(std::move(p));
+        return;
+    }
+
+    // A parcel toward a peer the failure detector declared dead fails
+    // immediately instead of queueing behind a link that will never ack.
+    // (A rejoin under a new incarnation epoch clears the dead mark and
+    // traffic resumes.)  Steady state costs one relaxed load.
+    if (membership_.enabled &&
+        dead_peers_.load(std::memory_order_acquire) != 0 && peer_dead(p.dest))
+    {
+        std::vector<parcel> failed;
+        failed.push_back(std::move(p));
+        fail_parcels(delivery_error::peer_failed, std::move(failed));
         return;
     }
 
@@ -111,11 +138,9 @@ void parcelhandler::put_parcel(parcel&& p)
     if (flow_.enabled && p.continuation == 0 &&
         flow_pressure(p.dest) == pressure_state::critical)
     {
-        counters_.parcels_shed.fetch_add(1, std::memory_order_relaxed);
-        trace::tracer::global().record(
-            here_, trace::event_kind::parcel_shed, p.action, p.dest);
-        if (on_delivery_error_)
-            on_delivery_error_(delivery_error::shed_overload, std::move(p));
+        std::vector<parcel> shed;
+        shed.push_back(std::move(p));
+        fail_parcels(delivery_error::shed_overload, std::move(shed));
         return;
     }
 
@@ -291,6 +316,11 @@ void parcelhandler::execute_parcel(parcel&& p)
 bool parcelhandler::progress_send()
 {
     in_progress_guard guard(sends_in_progress_);
+    // Re-checked under the guard: simulate_crash() waits for in-progress
+    // counts to reach zero before tearing state down, so a worker that
+    // raced past progress()'s check must not pop a job here.
+    if (crashed_.load(std::memory_order_acquire))
+        return false;
     auto job = outbound_.try_pop();
     if (!job)
         return false;
@@ -305,12 +335,20 @@ bool parcelhandler::progress_send()
         std::size_t const est = message_wire_size(job->parcels);
         std::uint32_t const dst = job->dst;
         bool down = false;
+        bool dead = false;
         bool deferred = false;
+        std::uint64_t gen = 0;
         std::uint64_t deferred_bytes_after = 0;
         {
             std::lock_guard lock(peers_lock_);
             auto& peer = peers_[dst];
-            if (flow_.enabled)
+            if (membership_.enabled && peer.status == peer_status::dead)
+            {
+                // Jobs already queued when the peer was declared dead (or
+                // flushed out of coalescing queues by the death) fail here.
+                dead = true;
+            }
+            else if (flow_.enabled)
             {
                 if (link_down_locked(peer))
                 {
@@ -335,15 +373,23 @@ bool parcelhandler::progress_send()
                     deferred = true;
                 }
             }
-            if (!down && !deferred)
+            if (!down && !dead && !deferred)
             {
+                gen = peer.stream_gen;
                 hdr.seq = peer.next_seq++;
                 hdr.ack = peer.cum_received;
                 hdr.sack = sack_bits_locked(peer);
                 if (flow_.enabled)
                     hdr.credit = advertised_credit_wire();
+                stamp_epochs_locked(peer, hdr);
                 peer.ack_pending = false;    // this frame carries the ack
+                peer.last_sent_ns = now;
             }
+        }
+        if (dead)
+        {
+            fail_job(delivery_error::peer_failed, std::move(*job));
+            return true;
         }
         if (down)
         {
@@ -363,11 +409,27 @@ bool parcelhandler::progress_send()
             // synchronous loopback ack always finds its entry.
             std::lock_guard lock(peers_lock_);
             auto& peer = peers_[dst];
+            if (membership_.enabled &&
+                (peer.status == peer_status::dead || peer.stream_gen != gen))
+            {
+                // Declared dead — or fenced by a death/rejoin — between the
+                // two lock sections.  Registering here would inject a frame
+                // of the fenced stream into the fresh one: its sequence
+                // number was reset and will be re-issued, so the emplace
+                // below would silently collide, and its stale epoch stamp
+                // makes the receiver discard every retransmit — a permanent
+                // hole that wedges the link.  Fail the job instead, exactly
+                // as the fence failed its siblings.
+                dead = true;
+            }
+            else
+            {
             unacked_frame u;
             // Retained by reference: the retransmission table shares the
             // frame's fragments instead of deep-copying the wire image.
             u.frame = std::move(frame);
             u.bytes = est;
+            u.parcels = static_cast<std::uint32_t>(job->parcels.size());
             u.first_send_ns = now;
             u.rto_ns = initial_rto_ns_locked(peer);
             u.deadline_ns = now + u.rto_ns;
@@ -382,6 +444,12 @@ bool parcelhandler::progress_send()
             maybe_trip_breaker_locked(dst, peer);
             if (flow_.enabled)
                 update_link_pressure_locked(peer);
+            }
+        }
+        if (dead)
+        {
+            fail_job(delivery_error::peer_failed, std::move(*job));
+            return true;
         }
         wire = serialization::wire_message(std::move(flat));
     }
@@ -405,6 +473,8 @@ bool parcelhandler::progress_send()
 bool parcelhandler::progress_receive()
 {
     in_progress_guard guard(receives_in_progress_);
+    if (crashed_.load(std::memory_order_acquire))
+        return false;
 
     // Budgeted multi-frame drain: amortize the poll (and, under load, the
     // wake-up that led here) over up to receive_drain_budget frames
@@ -447,6 +517,14 @@ void parcelhandler::receive_one(inbound_message&& msg)
     trace::tracer::global().record(here_,
         trace::event_kind::message_received, info.count, msg.payload.size());
 
+    // Membership gate, BEFORE any ack/credit/dedup processing: a frame
+    // from a fenced incarnation (or addressed to a previous incarnation of
+    // this locality) must not touch the live link state — cross-epoch acks
+    // applied to fresh sequence numbers would corrupt exactly-once
+    // delivery.
+    if (!membership_admit(msg.src, info.header))
+        return;
+
     if (reliability_.enabled && info.header.seq != 0)
     {
         // Duplicate check from the O(1) prefix peek, BEFORE the modeled
@@ -455,17 +533,32 @@ void parcelhandler::receive_one(inbound_message&& msg)
         // check is only an optimization — the authoritative one happens
         // again at insertion below, under the same lock.
         bool duplicate = false;
+        bool stale = false;
         {
             std::int64_t const now = now_ns();
             std::lock_guard lock(peers_lock_);
             auto& peer = peers_[msg.src];
-            if (info.header.seq <= peer.cum_received ||
+            if (membership_.enabled && info.header.src_epoch != 0 &&
+                info.header.src_epoch != peer.epoch)
+            {
+                // A fence slid in after membership_admit released the lock:
+                // this frame belongs to the fenced incarnation now.  Its
+                // seq/ack state must not touch the fresh stream.
+                stale = true;
+            }
+            else if (info.header.seq <= peer.cum_received ||
                 peer.held.count(info.header.seq) != 0)
             {
                 duplicate = true;
                 // Re-ack immediately-ish so the sender stops resending.
                 schedule_ack_locked(peer, now);
             }
+        }
+        if (stale)
+        {
+            counters_.stale_epoch_frames.fetch_add(
+                1, std::memory_order_relaxed);
+            return;
         }
         if (duplicate)
         {
@@ -502,6 +595,17 @@ void parcelhandler::receive_one(inbound_message&& msg)
         std::int64_t const now = now_ns();
         std::lock_guard lock(peers_lock_);
         auto& peer = peers_[msg.src];
+        if (membership_.enabled && info.header.src_epoch != 0 &&
+            info.header.src_epoch != peer.epoch)
+        {
+            // Fenced while this thread was between lock holds: parking the
+            // frame would leave a hold-out of the dead incarnation in the
+            // fresh stream's reorder buffer — a seq the new stream may
+            // never fill.  Drop it undecoded.
+            counters_.stale_epoch_frames.fetch_add(
+                1, std::memory_order_relaxed);
+            return;
+        }
         if (info.header.seq <= peer.cum_received ||
             peer.held.count(info.header.seq) != 0)
         {
@@ -617,6 +721,14 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
         std::lock_guard lock(peers_lock_);
         auto& peer = peers_[src];
 
+        // membership_admit runs under a separate lock hold; a fence can
+        // slide in between.  Acks of the fenced incarnation applied to the
+        // fresh stream's (recycled) sequence numbers would release frames
+        // the new incarnation never received — silent loss.
+        if (membership_.enabled && hdr.src_epoch != 0 &&
+            hdr.src_epoch != peer.epoch)
+            return;
+
         auto release =
             [&](std::map<std::uint64_t, unacked_frame>::iterator it) {
                 unacked_frame const& u = it->second;
@@ -625,6 +737,8 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
                     std::memory_order_relaxed);
                 counters_.acked_messages.fetch_add(
                     1, std::memory_order_relaxed);
+                counters_.parcels_confirmed.fetch_add(
+                    u.parcels, std::memory_order_relaxed);
                 if (u.attempts == 1)
                 {
                     // Karn's rule: only never-retransmitted frames give an
@@ -768,6 +882,8 @@ bool parcelhandler::progress_reliability()
                 hdr.sack = sack_bits_locked(peer);
                 if (flow_.enabled)
                     hdr.credit = advertised_credit_wire();
+                stamp_epochs_locked(peer, hdr);
+                peer.last_sent_ns = now;
                 acks.push_back(ack_job{dst, hdr});
             }
 
@@ -855,6 +971,7 @@ bool parcelhandler::progress_reliability()
                     sack_bits_locked(peer),
                     flow_.enabled ? advertised_credit_wire() : 0);
                 peer.ack_pending = false;    // the retransmit carries the ack
+                peer.last_sent_ns = now;
                 resends.emplace_back(dst, u.frame.flatten_copy());
                 counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
             }
@@ -901,15 +1018,18 @@ std::size_t parcelhandler::pending_reliability() const
 
 bool parcelhandler::link_degraded(std::uint32_t dst) const
 {
-    // Fast path for the coalescer's enqueue: with no breaker open
-    // anywhere (the steady state), answer from one atomic load without
-    // touching the shared peers lock.
+    // Fast path for the coalescer's enqueue: with no breaker open and no
+    // peer suspected anywhere (the steady state), answer from atomic
+    // loads without touching the shared peers lock.
     if (!reliability_.enabled ||
-        open_breakers_.load(std::memory_order_acquire) == 0)
+        (open_breakers_.load(std::memory_order_acquire) == 0 &&
+            suspected_peers_.load(std::memory_order_acquire) == 0))
         return false;
     std::lock_guard lock(peers_lock_);
     auto const it = peers_.find(dst);
-    return it != peers_.end() && it->second.breaker_open;
+    return it != peers_.end() &&
+        (it->second.breaker_open ||
+            it->second.status == peer_status::suspected);
 }
 
 pressure_state parcelhandler::flow_pressure(std::uint32_t dst) const
@@ -1035,20 +1155,552 @@ void parcelhandler::fail_job(delivery_error err, send_job&& job)
 {
     if (err == delivery_error::link_down)
     {
-        counters_.link_down_failures.fetch_add(
-            job.parcels.size(), std::memory_order_relaxed);
-        trace::tracer::global().record(here_, trace::event_kind::link_down,
-            job.dst, job.parcels.size());
         COAL_LOG_WARN("parcel",
             "link %u->%u down: %zu parcels failed (breaker open, in-flight "
             "cap exhausted)",
             here_, job.dst, job.parcels.size());
     }
+    fail_parcels(err, std::move(job.parcels));
+}
+
+void parcelhandler::fail_parcels(
+    delivery_error err, std::vector<parcel>&& parcels)
+{
+    if (parcels.empty())
+        return;
+    // The one funnel every undeliverable parcel passes through: per-cause
+    // counter (the /net/count/delivery-errors/* family), the matching
+    // trace event, then the delivery-error handler for each parcel.
+    switch (err)
+    {
+    case delivery_error::shed_overload:
+        counters_.parcels_shed.fetch_add(
+            parcels.size(), std::memory_order_relaxed);
+        for (auto const& p : parcels)
+            trace::tracer::global().record(
+                here_, trace::event_kind::parcel_shed, p.action, p.dest);
+        break;
+    case delivery_error::link_down:
+        counters_.link_down_failures.fetch_add(
+            parcels.size(), std::memory_order_relaxed);
+        trace::tracer::global().record(here_, trace::event_kind::link_down,
+            parcels.front().dest, parcels.size());
+        break;
+    case delivery_error::peer_failed:
+        counters_.peer_failed_failures.fetch_add(
+            parcels.size(), std::memory_order_relaxed);
+        // The peer_failed trace event is emitted once where the death (or
+        // crash) is declared, carrying the fenced total; a per-batch event
+        // here would double-count it.
+        break;
+    }
     if (on_delivery_error_)
     {
-        for (auto& p : job.parcels)
+        for (auto& p : parcels)
             on_delivery_error_(err, std::move(p));
     }
+}
+
+// -- membership / failure detection ----------------------------------------
+
+void parcelhandler::stamp_epochs_locked(
+    peer_state const& peer, frame_header& hdr) const
+{
+    if (!membership_.enabled)
+        return;    // epoch 0 on the wire = membership checks bypassed
+    hdr.src_epoch = self_epoch_.load(std::memory_order_relaxed);
+    // Until the peer's epoch is observed, assume the initial incarnation.
+    hdr.dst_epoch = peer.epoch == 0 ? 1 : peer.epoch;
+}
+
+bool parcelhandler::peer_dead(std::uint32_t dst) const
+{
+    std::lock_guard lock(peers_lock_);
+    auto const it = peers_.find(dst);
+    return it != peers_.end() && it->second.status == peer_status::dead;
+}
+
+void parcelhandler::fence_peer_locked(
+    std::uint32_t dst, peer_state& peer, fenced_state& out)
+{
+    out.dst = dst;
+    out.unacked.reserve(out.unacked.size() + peer.unacked.size());
+    for (auto& [seq, u] : peer.unacked)
+        out.unacked.push_back(std::move(u));
+    peer.unacked.clear();
+    peer.unacked_bytes = 0;
+    out.deferred.reserve(out.deferred.size() + peer.deferred.size());
+    for (auto& job : peer.deferred)
+        out.deferred.push_back(std::move(job));
+    peer.deferred.clear();
+    peer.deferred_bytes = 0;
+    peer.starved_since_ns = 0;
+    // Sender protocol state restarts from scratch.  The generation bump
+    // voids any send job that already drew a sequence number from the old
+    // stream but has not registered its frame yet.
+    ++peer.stream_gen;
+    peer.next_seq = 1;
+    peer.srtt_us = 0.0;
+    peer.credit_window = 0;
+    peer.has_credit = false;
+    // Receiver side: out-of-order frames from the fenced incarnation are
+    // dropped undecoded, and the dedup window resets with the epoch.
+    peer.cum_received = 0;
+    peer.held.clear();
+    peer.ack_pending = false;
+    if (peer.breaker_open)
+    {
+        peer.breaker_open = false;
+        open_breakers_.fetch_sub(1, std::memory_order_release);
+    }
+    if (flow_.enabled)
+        update_link_pressure_locked(peer);
+}
+
+std::size_t parcelhandler::fail_fenced(fenced_state&& fenced)
+{
+    std::vector<parcel> parcels;
+    for (auto& u : fenced.unacked)
+    {
+        // The retransmission table holds encoded frame images; decode them
+        // back to parcels so the delivery-error handler sees what callers
+        // handed to put_parcel.
+        try
+        {
+            auto batch = decode_message(u.frame);
+            for (auto& p : batch)
+                parcels.push_back(std::move(p));
+        }
+        catch (serialization::serialization_error const& e)
+        {
+            COAL_LOG_ERROR("parcel",
+                "fenced frame toward locality %u undecodable: %s "
+                "(parcels lost to accounting)",
+                fenced.dst, e.what());
+        }
+    }
+    std::size_t const deferred_jobs = fenced.deferred.size();
+    for (auto& job : fenced.deferred)
+        for (auto& p : job.parcels)
+            parcels.push_back(std::move(p));
+    std::size_t const failed = parcels.size();
+    fail_parcels(delivery_error::peer_failed, std::move(parcels));
+    for (std::size_t i = 0; i != deferred_jobs; ++i)
+        deferred_sends_.fetch_sub(1, std::memory_order_release);
+    return failed;
+}
+
+bool parcelhandler::membership_admit(
+    std::uint32_t src, frame_header const& hdr)
+{
+    if (!membership_.enabled)
+        return true;
+
+    std::int64_t const now = now_ns();
+    fenced_state fenced;
+    std::vector<fenced_state> refute_fenced;
+    bool rejoined = false;
+    bool admit = true;
+    std::uint32_t rejoin_epoch = 0;
+    std::uint32_t refuted_epoch = 0;
+    {
+        std::lock_guard lock(peers_lock_);
+        auto& peer = peers_[src];
+
+        // Source-epoch rules (0 = sender without membership: bypass).
+        if (hdr.src_epoch != 0)
+        {
+            if (peer.epoch == 0)
+            {
+                peer.epoch = hdr.src_epoch;    // first observation
+            }
+            else if (hdr.src_epoch < peer.epoch)
+            {
+                // Ghost from an incarnation that already rejoined under a
+                // newer epoch: drop, and do NOT count it as a liveness
+                // signal.
+                counters_.stale_epoch_frames.fetch_add(
+                    1, std::memory_order_relaxed);
+                return false;
+            }
+            else if (hdr.src_epoch > peer.epoch)
+            {
+                // The peer restarted: fence every byte of state tied to
+                // its previous incarnation, then admit the frame under the
+                // new epoch.
+                fence_peer_locked(src, peer, fenced);
+                if (peer.status == peer_status::suspected)
+                    suspected_peers_.fetch_sub(1, std::memory_order_release);
+                else if (peer.status == peer_status::dead)
+                    dead_peers_.fetch_sub(1, std::memory_order_release);
+                peer.status = peer_status::alive;
+                peer.epoch = hdr.src_epoch;
+                peer.ewma_interarrival_us = 0.0;
+                counters_.peer_rejoins.fetch_add(
+                    1, std::memory_order_relaxed);
+                rejoined = true;
+                rejoin_epoch = hdr.src_epoch;
+            }
+            else if (peer.status == peer_status::dead)
+            {
+                // Same epoch as when we declared it dead: the incarnation
+                // stays quarantined — only a restart under a higher epoch
+                // readmits the peer (a false-positive death heals through
+                // rejoin, never silently).
+                counters_.stale_epoch_frames.fetch_add(
+                    1, std::memory_order_relaxed);
+                return false;
+            }
+        }
+
+        // Liveness: any admitted frame is a heartbeat.
+        if (peer.last_heard_ns != 0)
+        {
+            double const sample_us =
+                static_cast<double>(now - peer.last_heard_ns) / 1000.0;
+            peer.ewma_interarrival_us = peer.ewma_interarrival_us <= 0.0 ?
+                sample_us :
+                (1.0 - membership_.interarrival_gain) *
+                        peer.ewma_interarrival_us +
+                    membership_.interarrival_gain * sample_us;
+        }
+        peer.last_heard_ns = now;
+        if (peer.status == peer_status::suspected)
+        {
+            peer.status = peer_status::alive;
+            suspected_peers_.fetch_sub(1, std::memory_order_release);
+            COAL_LOG_INFO("parcel",
+                "peer %u heard from again: suspicion cleared", src);
+        }
+
+        // Destination-epoch rules.
+        std::uint32_t const self =
+            self_epoch_.load(std::memory_order_relaxed);
+        if (hdr.dst_epoch != 0 && hdr.dst_epoch > self)
+        {
+            // A frame addressed PAST our incarnation: some peer declared
+            // us dead and will only readmit a newer epoch (its dead-peer
+            // probes say so explicitly).  Refute the false positive by
+            // adopting that epoch — a virtual restart.  Every link is
+            // fenced exactly as a real crash would: the in-flight window
+            // fails as peer_failed, streams restart from seq 1, and each
+            // peer re-fences its own side when it observes the new epoch
+            // through the normal rejoin rule.  Without this, a
+            // false-positive death never heals: the accuser quarantines
+            // our epoch forever while we retransmit into the void.
+            self_epoch_.store(hdr.dst_epoch, std::memory_order_relaxed);
+            refuted_epoch = hdr.dst_epoch;
+            for (auto& [dst, p] : peers_)
+            {
+                fenced_state f;
+                fence_peer_locked(dst, p, f);
+                refute_fenced.push_back(std::move(f));
+            }
+            counters_.epoch_refutes.fetch_add(1, std::memory_order_relaxed);
+        }
+        else if (hdr.dst_epoch != 0 && hdr.dst_epoch < self)
+        {
+            // Addressed to a previous incarnation of THIS locality: the
+            // payload, acks and credit all belong to state that died with
+            // it — discard wholesale, and reply with an immediate
+            // heartbeat so the sender learns the current epoch and fences
+            // its side.
+            counters_.stale_epoch_frames.fetch_add(
+                1, std::memory_order_relaxed);
+            peer.ack_pending = true;
+            peer.ack_deadline_ns = now;    // emit on the next tick
+            admit = false;
+        }
+    }
+
+    if (rejoined)
+    {
+        trace::tracer::global().record(
+            here_, trace::event_kind::peer_rejoined, src, rejoin_epoch);
+        std::size_t const failed = fail_fenced(std::move(fenced));
+        COAL_LOG_INFO("parcel",
+            "peer %u rejoined as incarnation epoch %u (%zu parcels toward "
+            "its previous incarnation failed)",
+            src, rejoin_epoch, failed);
+    }
+    if (refuted_epoch != 0)
+    {
+        std::size_t failed = 0;
+        for (auto& f : refute_fenced)
+            failed += fail_fenced(std::move(f));
+        COAL_LOG_WARN("parcel",
+            "locality %u was falsely declared dead by peer %u: refuted by "
+            "adopting incarnation epoch %u (virtual restart, %zu in-flight "
+            "parcels failed)",
+            here_, src, refuted_epoch, failed);
+    }
+    return admit;
+}
+
+bool parcelhandler::progress_membership(std::int64_t now)
+{
+    if (!membership_.enabled || crashed_.load(std::memory_order_acquire))
+        return false;
+
+    struct beat_job
+    {
+        std::uint32_t dst;
+        frame_header hdr;
+    };
+    std::vector<beat_job> beats;
+    std::vector<fenced_state> deaths;
+    {
+        std::lock_guard lock(peers_lock_);
+        for (auto& [dst, peer] : peers_)
+        {
+            if (peer.status == peer_status::dead)
+            {
+                // Probe the dead peer occasionally: a restarted
+                // incarnation answers (or just talks) with a higher
+                // src_epoch, which readmits it through membership_admit.
+                if (now - peer.last_probe_ns >=
+                    membership_.probe_interval_us * 1000)
+                {
+                    peer.last_probe_ns = now;
+                    peer.last_sent_ns = now;
+                    frame_header hdr;
+                    stamp_epochs_locked(peer, hdr);
+                    // Poison probe: address the NEXT incarnation, not the
+                    // fenced one.  A genuinely restarted peer carries a
+                    // higher epoch anyway; a falsely-declared-dead peer
+                    // sees a frame addressed past its own incarnation and
+                    // learns it has been quarantined — it refutes by
+                    // adopting the higher epoch (a virtual restart), which
+                    // is the only way a false-positive death can heal:
+                    // without it the victim retransmits into the
+                    // quarantine forever while these very probes keep
+                    // refreshing its liveness view of us.
+                    ++hdr.dst_epoch;
+                    beats.push_back(beat_job{dst, hdr});
+                }
+                continue;
+            }
+
+            // Phi-accrual suspicion: how many expected inter-arrival
+            // gaps have elapsed since the peer was last heard?
+            if (peer.last_heard_ns == 0)
+                peer.last_heard_ns = now;    // start the silence clock
+            double const elapsed_us =
+                static_cast<double>(now - peer.last_heard_ns) / 1000.0;
+            double const mean_us = std::max(peer.ewma_interarrival_us,
+                static_cast<double>(membership_.heartbeat_interval_us));
+            double const phi = elapsed_us / mean_us;
+
+            if (peer.status == peer_status::alive &&
+                phi >= membership_.suspect_phi)
+            {
+                peer.status = peer_status::suspected;
+                suspected_peers_.fetch_add(1, std::memory_order_release);
+                counters_.peers_suspected.fetch_add(
+                    1, std::memory_order_relaxed);
+                trace::tracer::global().record(here_,
+                    trace::event_kind::peer_suspected, dst,
+                    static_cast<std::uint64_t>(phi * 1000.0));
+                COAL_LOG_WARN("parcel",
+                    "peer %u suspected (phi %.1f, silent %.0f us): "
+                    "coalescing bypassed",
+                    dst, phi, elapsed_us);
+            }
+
+            if (phi >= membership_.dead_phi &&
+                elapsed_us >= static_cast<double>(membership_.min_dead_us))
+            {
+                if (peer.status == peer_status::suspected)
+                    suspected_peers_.fetch_sub(1, std::memory_order_release);
+                peer.status = peer_status::dead;
+                dead_peers_.fetch_add(1, std::memory_order_release);
+                counters_.peers_declared_dead.fetch_add(
+                    1, std::memory_order_relaxed);
+                fenced_state f;
+                fence_peer_locked(dst, peer, f);
+                deaths.push_back(std::move(f));
+                peer.last_probe_ns = now;
+                continue;
+            }
+
+            // Keep the link's liveness signal alive when it is otherwise
+            // idle: a standalone heartbeat doubles as an ack/credit
+            // carrier, so a quiet link still converges its flow state.
+            if (now - peer.last_sent_ns >=
+                membership_.heartbeat_interval_us * 1000)
+            {
+                peer.last_sent_ns = now;
+                frame_header hdr;
+                hdr.ack = peer.cum_received;
+                hdr.sack = sack_bits_locked(peer);
+                if (flow_.enabled)
+                    hdr.credit = advertised_credit_wire();
+                stamp_epochs_locked(peer, hdr);
+                peer.ack_pending = false;    // the beat carries the ack
+                beats.push_back(beat_job{dst, hdr});
+            }
+        }
+    }
+
+    for (auto& b : beats)
+    {
+        counters_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+        transport_.send(here_, b.dst, encode_message({}, b.hdr));
+    }
+    for (auto& f : deaths)
+    {
+        std::uint32_t const dst = f.dst;
+        std::size_t const failed = fail_fenced(std::move(f));
+        trace::tracer::global().record(
+            here_, trace::event_kind::peer_failed, dst, failed);
+        COAL_LOG_WARN("parcel",
+            "peer %u declared dead: link fenced, %zu parcels failed "
+            "(peer_failed)",
+            dst, failed);
+    }
+    if (!deaths.empty())
+    {
+        // Parcels coalesced toward the dead peer must not sit in its
+        // queues until the batch/delay trigger fires: flush now so they
+        // reach progress_send and fail promptly.
+        flush_message_handlers();
+    }
+    return !beats.empty() || !deaths.empty();
+}
+
+parcelhandler::health_snapshot parcelhandler::health() const
+{
+    health_snapshot s;
+    std::lock_guard lock(peers_lock_);
+    s.known_peers = peers_.size();
+    s.suspected_peers = suspected_peers_.load(std::memory_order_relaxed);
+    s.dead_peers = dead_peers_.load(std::memory_order_relaxed);
+    return s;
+}
+
+peer_status parcelhandler::peer_liveness(std::uint32_t dst) const
+{
+    std::lock_guard lock(peers_lock_);
+    auto const it = peers_.find(dst);
+    return it == peers_.end() ? peer_status::alive : it->second.status;
+}
+
+parcelhandler::peer_debug parcelhandler::debug_peer(std::uint32_t dst) const
+{
+    peer_debug d;
+    std::lock_guard lock(peers_lock_);
+    auto const it = peers_.find(dst);
+    if (it == peers_.end())
+        return d;
+    peer_state const& peer = it->second;
+    d.known = true;
+    d.status = peer.status;
+    d.epoch = peer.epoch;
+    d.unacked_frames = peer.unacked.size();
+    d.held_frames = peer.held.size();
+    d.deferred_jobs = peer.deferred.size();
+    d.unacked_bytes = peer.unacked_bytes;
+    d.deferred_bytes = peer.deferred_bytes;
+    d.next_seq = peer.next_seq;
+    d.cum_received = peer.cum_received;
+    if (!peer.unacked.empty())
+        d.lowest_unacked_seq = peer.unacked.begin()->first;
+    if (!peer.held.empty())
+        d.lowest_held_seq = peer.held.begin()->first;
+    return d;
+}
+
+void parcelhandler::simulate_crash()
+{
+    bool expected = false;
+    if (!crashed_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+        return;
+
+    COAL_LOG_WARN("parcel", "locality %u: simulated crash of incarnation "
+                            "epoch %u",
+        here_, epoch());
+
+    auto wait_idle = [this] {
+        while (sends_in_progress_.load(std::memory_order_acquire) != 0 ||
+            receives_in_progress_.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    };
+
+    std::vector<parcel> destroyed;
+    std::vector<fenced_state> fenced_all;
+    auto drain = [&] {
+        // Queued-but-unsent messages die with the incarnation.  (The
+        // ticket sequencer is deliberately left intact: batches detached
+        // by the coalescer before the crash still arrive with allocated
+        // tickets, and a cleared stream would park them forever.  They
+        // surface in outbound_ and are handled post-restart.)
+        while (auto job = outbound_.try_pop())
+        {
+            for (auto& p : job->parcels)
+                destroyed.push_back(std::move(p));
+        }
+        // Undelivered inbound frames are lost memory of a dead process.
+        while (auto msg = inbox_.try_pop())
+        {
+        }
+        std::lock_guard lock(peers_lock_);
+        for (auto& [dst, peer] : peers_)
+        {
+            fenced_state f;
+            fence_peer_locked(dst, peer, f);
+            if (!f.unacked.empty() || !f.deferred.empty())
+                fenced_all.push_back(std::move(f));
+            if (peer.status == peer_status::suspected)
+                suspected_peers_.fetch_sub(1, std::memory_order_release);
+            else if (peer.status == peer_status::dead)
+                dead_peers_.fetch_sub(1, std::memory_order_release);
+        }
+        peers_.clear();
+    };
+
+    // Two wait+drain rounds close the race with workers that passed
+    // progress()'s crashed check before the flag landed: round one drains
+    // the bulk, round two collects anything such a straggler registered.
+    wait_idle();
+    drain();
+    wait_idle();
+    drain();
+
+    // Response callbacks of the dead incarnation can never complete.
+    {
+        std::lock_guard lock(responses_lock_);
+        responses_.clear();
+    }
+
+    std::size_t failed = destroyed.size();
+    fail_parcels(delivery_error::peer_failed, std::move(destroyed));
+    for (auto& f : fenced_all)
+        failed += fail_fenced(std::move(f));
+    trace::tracer::global().record(
+        here_, trace::event_kind::peer_failed, here_, failed);
+    COAL_LOG_WARN("parcel",
+        "locality %u crash: %zu outbound parcels destroyed (surfaced as "
+        "peer_failed)",
+        here_, failed);
+}
+
+void parcelhandler::restart_incarnation()
+{
+    // Bump the epoch BEFORE lifting the crash flag: no frame may ever
+    // leave a restarted locality stamped with the dead incarnation.
+    std::uint32_t const next =
+        self_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    bool expected = true;
+    if (!crashed_.compare_exchange_strong(
+            expected, false, std::memory_order_acq_rel))
+    {
+        COAL_LOG_WARN("parcel",
+            "locality %u: restart_incarnation without a preceding crash",
+            here_);
+    }
+    COAL_LOG_INFO("parcel",
+        "locality %u restarted as incarnation epoch %u", here_, next);
 }
 
 void parcelhandler::note_pressure_transition()
@@ -1069,14 +1721,16 @@ void parcelhandler::note_pressure_transition()
 
 bool parcelhandler::progress()
 {
-    if (stopped_.load(std::memory_order_acquire))
+    if (stopped_.load(std::memory_order_acquire) ||
+        crashed_.load(std::memory_order_acquire))
         return false;
     bool const sent = progress_send();
     bool const received = progress_receive();
     bool const pumped = progress_reliability();
+    bool const beat = progress_membership(now_ns());
     if (flow_.enabled)
         note_pressure_transition();
-    return sent || received || pumped;
+    return sent || received || pumped || beat;
 }
 
 void parcelhandler::stop()

@@ -49,6 +49,7 @@
 #include <coal/net/transport.hpp>
 #include <coal/parcel/action_registry.hpp>
 #include <coal/parcel/flow_control.hpp>
+#include <coal/parcel/membership.hpp>
 #include <coal/parcel/message_handler.hpp>
 #include <coal/parcel/parcel.hpp>
 #include <coal/threading/scheduler.hpp>
@@ -103,6 +104,21 @@ struct parcelhandler_counters
     std::atomic<std::uint64_t> link_down_failures{0};    ///< parcels failed
     std::atomic<std::uint64_t> pressure_transitions{0};
     std::atomic<std::uint64_t> starvation_trips{0};    ///< slow-peer breaker trips
+    // Membership / failure detection (/net/health/*; zero while off):
+    std::atomic<std::uint64_t> heartbeats_sent{0};    ///< standalone liveness frames
+    std::atomic<std::uint64_t> peers_suspected{0};    ///< suspicion escalations
+    std::atomic<std::uint64_t> peers_declared_dead{0};
+    std::atomic<std::uint64_t> peer_rejoins{0};
+    std::atomic<std::uint64_t> stale_epoch_frames{0};    ///< fenced-incarnation frames discarded
+    /// False-positive deaths healed: this locality saw a frame addressed
+    /// past its own incarnation (a dead-peer probe from an accuser) and
+    /// refuted by adopting the higher epoch — a virtual restart.
+    std::atomic<std::uint64_t> epoch_refutes{0};
+    std::atomic<std::uint64_t> peer_failed_failures{0};    ///< parcels failed as peer_failed
+    /// Parcels whose frame was acknowledged by the peer — the sender-side
+    /// "confirmed delivered" half of the chaos-soak conservation law
+    /// confirmed + failed + shed == offered.
+    std::atomic<std::uint64_t> parcels_confirmed{0};
 };
 
 /// Tunables of the ack/retransmit protocol.  Disabled by default: every
@@ -171,7 +187,7 @@ public:
 
     parcelhandler(std::uint32_t here, net::transport& transport,
         threading::scheduler& scheduler, reliability_params reliability = {},
-        flow_params flow = {});
+        flow_params flow = {}, membership_params membership = {});
     ~parcelhandler();
 
     parcelhandler(parcelhandler const&) = delete;
@@ -299,9 +315,86 @@ public:
     /// quiesce() waits on this so retransmits cannot outlive shutdown.
     [[nodiscard]] std::size_t pending_reliability() const;
 
-    /// True while the circuit breaker for the link to `dst` is open.  The
-    /// coalescing handler bypasses batching for degraded links.
+    /// True while the circuit breaker for the link to `dst` is open or the
+    /// membership layer suspects the peer.  The coalescing handler
+    /// bypasses batching for degraded links.
     [[nodiscard]] bool link_degraded(std::uint32_t dst) const;
+
+    [[nodiscard]] membership_params const& membership() const noexcept
+    {
+        return membership_;
+    }
+
+    /// This locality's incarnation epoch (starts at 1; restart_incarnation
+    /// bumps it).
+    [[nodiscard]] std::uint32_t epoch() const noexcept
+    {
+        return self_epoch_.load(std::memory_order_acquire);
+    }
+
+    /// True between simulate_crash() and restart_incarnation().
+    [[nodiscard]] bool crashed() const noexcept
+    {
+        return crashed_.load(std::memory_order_acquire);
+    }
+
+    /// The failure detector's current verdict on `dst` (alive when the
+    /// peer is unknown).
+    [[nodiscard]] peer_status peer_liveness(std::uint32_t dst) const;
+
+    /// Aggregate membership gauges the /net/health counters read.
+    struct health_snapshot
+    {
+        std::size_t known_peers = 0;
+        std::size_t suspected_peers = 0;
+        std::size_t dead_peers = 0;
+    };
+    [[nodiscard]] health_snapshot health() const;
+
+    /// Test/debug introspection: bytes and entries the reliability/flow
+    /// layers retain for one peer.  A fenced (dead) peer must show zero
+    /// everywhere — that is the "no per-peer state leak" invariant the
+    /// chaos soak asserts.
+    struct peer_debug
+    {
+        bool known = false;
+        peer_status status = peer_status::alive;
+        std::uint32_t epoch = 0;
+        std::size_t unacked_frames = 0;
+        std::size_t held_frames = 0;
+        std::size_t deferred_jobs = 0;
+        std::uint64_t unacked_bytes = 0;
+        std::uint64_t deferred_bytes = 0;
+        // Stream positions: a wedged link shows up as a gap between
+        // cum_received and the lowest held/unacked seq.
+        std::uint64_t next_seq = 0;
+        std::uint64_t cum_received = 0;
+        std::uint64_t lowest_unacked_seq = 0;    ///< 0 = none
+        std::uint64_t lowest_held_seq = 0;       ///< 0 = none
+    };
+    [[nodiscard]] peer_debug debug_peer(std::uint32_t dst) const;
+
+    /// Chaos hook: model a hard crash of this locality.  All queued,
+    /// in-flight and retransmit-held outbound parcels are surfaced through
+    /// the delivery-error handler as `peer_failed` (so sender-side
+    /// accounting still balances), every per-peer state table is dropped,
+    /// pending responses are abandoned, and progress() becomes a no-op
+    /// until restart_incarnation().  Call transport::kill_locality first
+    /// so no frame from the dead incarnation escapes mid-crash.
+    void simulate_crash();
+
+    /// Chaos hook: come back from simulate_crash() under a fresh
+    /// incarnation epoch (self epoch + 1).  All protocol state starts
+    /// over; peers discover the new epoch from the first frame or probe
+    /// reply they see and fence everything addressed to the old one.
+    void restart_incarnation();
+
+    /// Route parcels that will never be delivered through the unified
+    /// delivery-failure path: per-cause counter, trace event, then the
+    /// delivery-error handler for each parcel.  Public so the chaos
+    /// machinery (runtime::kill_locality) can account for parcels a crash
+    /// destroyed outside the parcelhandler, e.g. in coalescing queues.
+    void fail_parcels(delivery_error err, std::vector<parcel>&& parcels);
 
     /// Stop accepting traffic (queues close; progress drains nothing new).
     void stop();
@@ -358,6 +451,7 @@ private:
     {
         serialization::wire_message frame;
         std::size_t bytes = 0;    ///< wire size, counted in unacked_bytes
+        std::uint32_t parcels = 0;    ///< parcel count, for parcels_confirmed
         std::int64_t first_send_ns = 0;
         std::int64_t deadline_ns = 0;
         std::int64_t rto_ns = 0;
@@ -381,6 +475,14 @@ private:
         std::uint64_t next_seq = 1;
         std::map<std::uint64_t, unacked_frame> unacked;
         double srtt_us = 0.0;
+        /// Bumped by every fence.  A send job captures it with its
+        /// sequence number; if a fence (death or rejoin) slides in while
+        /// the frame is being encoded outside the lock, the stale
+        /// generation is detected at registration time and the job fails
+        /// as peer_failed instead of injecting a frame of the fenced
+        /// stream — with its already-recycled sequence number and stale
+        /// epoch stamp — into the fresh one.
+        std::uint64_t stream_gen = 0;
         // Receiver side.
         std::uint64_t cum_received = 0;
         std::map<std::uint64_t, held_frame> held;    // out of order
@@ -398,6 +500,18 @@ private:
         /// starving).  Feeds the slow-peer breaker trip.
         std::int64_t starved_since_ns = 0;
         pressure_state link_pressure = pressure_state::ok;
+        // Membership / failure detection.
+        /// The peer's incarnation epoch as last observed (0 = never heard
+        /// from it; senders then assume the initial epoch, 1).  For a dead
+        /// peer this is the *fenced* epoch: frames stamped with it stay
+        /// quarantined until the peer rejoins under a higher one.
+        std::uint32_t epoch = 0;
+        peer_status status = peer_status::alive;
+        std::int64_t last_heard_ns = 0;    ///< last valid frame from the peer
+        std::int64_t last_sent_ns = 0;     ///< last frame we emitted to it
+        std::int64_t last_probe_ns = 0;    ///< last dead-peer rejoin probe
+        /// EWMA of inter-arrival gaps, the phi-accrual denominator.
+        double ewma_interarrival_us = 0.0;
     };
 
     void deliver_local(parcel&& p);
@@ -447,6 +561,42 @@ private:
     /// changed since the last check.  Called from progress().
     void note_pressure_transition();
 
+    // -- membership / failure detection ------------------------------------
+    /// Per-peer state torn off under peers_lock_ by a fence (peer died or
+    /// rejoined under a new epoch); failed outside the lock.
+    struct fenced_state
+    {
+        std::uint32_t dst = 0;
+        std::vector<unacked_frame> unacked;
+        std::vector<send_job> deferred;
+    };
+    /// Strip every byte of sender+receiver protocol state for a peer:
+    /// unacked and deferred parcels move to `out` (to be failed as
+    /// peer_failed), held/ack/credit/seq/breaker state is reset, and the
+    /// gauges (open_breakers_, deferred_sends_, pressured_links_) are
+    /// adjusted.  The caller decides what the fence means (death vs
+    /// rejoin) and fixes status/epoch afterwards.
+    void fence_peer_locked(
+        std::uint32_t dst, peer_state& peer, fenced_state& out);
+    /// Fail everything a fence collected (decodes retained frames back to
+    /// parcels).  Returns the number of parcels failed.
+    std::size_t fail_fenced(fenced_state&& fenced);
+    /// Epoch/liveness gate for one received frame.  Returns false when the
+    /// frame must be discarded (ghost from a fenced incarnation, or
+    /// addressed to a previous incarnation of this locality).  Updates
+    /// last-heard/EWMA liveness state and handles rejoin fencing.
+    [[nodiscard]] bool membership_admit(
+        std::uint32_t src, frame_header const& hdr);
+    /// Failure-detector tick: phi-accrual scoring, suspected/dead
+    /// escalation, heartbeat and dead-peer probe scheduling.  Returns true
+    /// when it emitted work.
+    bool progress_membership(std::int64_t now);
+    /// True when `dst` is currently marked dead (cheap dead_peers_ gate
+    /// first, then the lock).
+    [[nodiscard]] bool peer_dead(std::uint32_t dst) const;
+    /// Stamp the membership epochs on an outgoing frame header for `dst`.
+    void stamp_epochs_locked(peer_state const& peer, frame_header& hdr) const;
+
     std::uint32_t here_;
     net::transport& transport_;
     threading::scheduler& scheduler_;
@@ -475,6 +625,7 @@ private:
 
     reliability_params reliability_;
     flow_params flow_;
+    membership_params membership_;
     mutable spinlock peers_lock_;
     std::unordered_map<std::uint32_t, peer_state> peers_;
     /// Links whose circuit breaker is currently open; lets
@@ -490,6 +641,16 @@ private:
     std::atomic<std::uint8_t> last_pressure_{0};
     /// Deferred send jobs across all peers (gauge for pending_sends()).
     std::atomic<std::size_t> deferred_sends_{0};
+    /// Peers currently suspected / declared dead (gauges; mutated only
+    /// under peers_lock_).  Both also serve as lock-free fast-path gates:
+    /// link_degraded() and put_parcel's dead-peer check skip the lock
+    /// while they read zero.
+    std::atomic<std::size_t> suspected_peers_{0};
+    std::atomic<std::size_t> dead_peers_{0};
+    /// This locality's incarnation epoch; starts at 1, bumped by
+    /// restart_incarnation().
+    std::atomic<std::uint32_t> self_epoch_{1};
+    std::atomic<bool> crashed_{false};
     delivery_error_handler on_delivery_error_;
 
     parcelhandler_counters counters_;

@@ -497,6 +497,111 @@ void runtime::register_counters()
             });
         });
 
+    // ---- membership / failure detection (/net/health) -------------------
+
+    counters_.register_counter_type("/net/health/count/heartbeats",
+        "standalone liveness frames emitted on idle links (and dead-peer "
+        "rejoin probes)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.heartbeats_sent.load());
+        }));
+    counters_.register_counter_type("/net/health/count/suspected",
+        "suspicion escalations (phi crossed suspect_phi)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.peers_suspected.load());
+        }));
+    counters_.register_counter_type("/net/health/count/deaths",
+        "peers declared dead by the phi-accrual failure detector",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.peers_declared_dead.load());
+        }));
+    counters_.register_counter_type("/net/health/count/rejoins",
+        "peers readmitted under a fresh incarnation epoch",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.peer_rejoins.load());
+        }));
+    counters_.register_counter_type("/net/health/count/stale-epoch-frames",
+        "frames discarded because they belonged to a fenced incarnation "
+        "(wrong src or dst epoch)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.stale_epoch_frames.load());
+        }));
+    counters_.register_counter_type("/net/health/count/refutes",
+        "false-positive deaths healed by epoch refutation (this locality "
+        "adopted the higher epoch an accuser's dead-peer probe demanded)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.epoch_refutes.load());
+        }));
+    counters_.register_counter_type("/net/health/count/confirmed-parcels",
+        "parcels whose frame the peer acknowledged (sender-side confirmed "
+        "delivery)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_confirmed.load());
+        }));
+
+    // Membership gauges: sum the selected localities' health snapshots.
+    auto health_gauge = [this](auto field) {
+        return [this, field](counter_path const& path) -> counter_ptr {
+            std::vector<locality*> selected;
+            if (auto loc = path.locality())
+            {
+                if (*loc >= num_localities())
+                    return nullptr;
+                selected.push_back(localities_[*loc].get());
+            }
+            else
+            {
+                for (auto const& l : localities_)
+                    selected.push_back(l.get());
+            }
+            return std::make_shared<perf::function_counter>(
+                [selected, field] {
+                    double total = 0.0;
+                    for (auto* l : selected)
+                        total += static_cast<double>(
+                            field(l->parcels().health()));
+                    return total;
+                });
+        };
+    };
+    counters_.register_counter_type("/net/health/known-peers",
+        "peers with membership state at this locality (gauge)",
+        health_gauge([](parcel::parcelhandler::health_snapshot const& s) {
+            return s.known_peers;
+        }));
+    counters_.register_counter_type("/net/health/suspected-peers",
+        "peers currently under suspicion (gauge)",
+        health_gauge([](parcel::parcelhandler::health_snapshot const& s) {
+            return s.suspected_peers;
+        }));
+    counters_.register_counter_type("/net/health/dead-peers",
+        "peers currently declared dead (gauge; rejoin clears)",
+        health_gauge([](parcel::parcelhandler::health_snapshot const& s) {
+            return s.dead_peers;
+        }));
+
+    // ---- unified delivery-failure taxonomy (/net/count/delivery-errors) --
+    // One counter per delivery_error cause; every undeliverable parcel is
+    // counted in exactly one of them (the fail_parcels funnel).
+
+    counters_.register_counter_type("/net/count/delivery-errors/shed-overload",
+        "parcels refused by admission control under critical pressure",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_shed.load());
+        }));
+    counters_.register_counter_type("/net/count/delivery-errors/link-down",
+        "parcels failed because the link was down (breaker open, byte cap "
+        "exhausted)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.link_down_failures.load());
+        }));
+    counters_.register_counter_type("/net/count/delivery-errors/peer-failed",
+        "parcels failed because the destination locality died (delivery "
+        "not confirmed)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.peer_failed_failures.load());
+        }));
+
     // ---- coalescing counters (the paper's §II-B additions) -------------
 
     // Collect the per-action counter blocks selected by a path: one

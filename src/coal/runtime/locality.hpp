@@ -38,7 +38,8 @@ public:
         net::transport& transport,
         timing::deadline_timer_service& timers,
         parcel::reliability_params reliability = {},
-        parcel::flow_params flow = {});
+        parcel::flow_params flow = {},
+        parcel::membership_params membership = {});
 
     locality(locality const&) = delete;
     locality& operator=(locality const&) = delete;

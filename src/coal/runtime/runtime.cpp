@@ -2,6 +2,7 @@
 
 #include <coal/common/assert.hpp>
 #include <coal/common/logging.hpp>
+#include <coal/common/stopwatch.hpp>
 #include <coal/core/coalescing_defaults.hpp>
 #include <coal/net/loopback.hpp>
 #include <coal/serialization/buffer_pool.hpp>
@@ -52,6 +53,10 @@ runtime::runtime(runtime_config config)
             config_.flow.pool_fallback_cap_bytes);
     }
 
+    // Heartbeats and incarnation epochs ride the reliability prefix.
+    if (config_.membership.enabled)
+        config_.reliability.enabled = true;
+
     timers_ = std::make_unique<timing::deadline_timer_service>();
     barrier_ = std::make_unique<help_barrier>(config_.num_localities);
 
@@ -64,7 +69,7 @@ runtime::runtime(runtime_config config)
         sched.name = "locality#" + std::to_string(i);
         localities_.push_back(std::make_unique<locality>(*this,
             agas::locality_id{i}, sched, *transport_, *timers_,
-            config_.reliability, config_.flow));
+            config_.reliability, config_.flow, config_.membership));
     }
 
     // Component actions resolve their target objects through AGAS.
@@ -216,19 +221,99 @@ void runtime::barrier()
     barrier_->arrive_and_wait();
 }
 
+void runtime::kill_locality(std::uint32_t index)
+{
+    locality& loc = get_locality(index);
+    COAL_LOG_WARN("runtime", "chaos: killing locality %u", index);
+    // The wire goes dark first so no frame of the dead incarnation
+    // escapes mid-crash; then the parcel layer crashes (queued, deferred
+    // and retransmit-held parcels fail as peer_failed); coalescing queues
+    // die with it and feed the same accounting.
+    transport_->kill_locality(index);
+    loc.parcels().simulate_crash();
+    loc.parcels().fail_parcels(
+        parcel::delivery_error::peer_failed, loc.coalescing().purge_all());
+}
+
+void runtime::restart_locality(std::uint32_t index)
+{
+    locality& loc = get_locality(index);
+    // New epoch before the wire comes back: the first frame out must
+    // already carry the fresh incarnation.
+    loc.parcels().restart_incarnation();
+    transport_->restart_locality(index);
+    COAL_LOG_INFO("runtime", "chaos: locality %u restarted (epoch %u)",
+        index, loc.parcels().epoch());
+}
+
 void runtime::quiesce()
 {
     // Iterate until the whole system is stable: flushing coalescing
     // queues can create sends, sends create receives, receives create
-    // tasks, tasks can create parcels...
+    // tasks, tasks can create parcels...  Crashed localities are frozen —
+    // their queues neither drain nor grow — so they are skipped entirely.
+    stopwatch stuck;
+    double next_report_ms = 5000.0;
     for (;;)
     {
+        // A quiesce that cannot converge is a bug somewhere below; dump
+        // what is still moving so the report names the stuck subsystem.
+        if (stuck.elapsed_ms() >= next_report_ms)
+        {
+            next_report_ms += 5000.0;
+            COAL_LOG_WARN("runtime",
+                "quiesce not converging after %.0f ms (transport in-flight "
+                "%zu):",
+                stuck.elapsed_ms(), transport_->in_flight());
+            for (auto const& loc : localities_)
+            {
+                COAL_LOG_WARN("runtime",
+                    "  locality %u%s epoch %u: tasks %zu sends %zu "
+                    "receives %zu reliability %zu coalesced %zu",
+                    loc->id().value(),
+                    loc->parcels().crashed() ? " (crashed)" : "",
+                    loc->parcels().epoch(),
+                    loc->scheduler().pending_tasks(),
+                    loc->parcels().pending_sends(),
+                    loc->parcels().pending_receives(),
+                    loc->parcels().pending_reliability(),
+                    loc->coalescing().queued_parcels());
+                for (auto const& other : localities_)
+                {
+                    if (other.get() == loc.get())
+                        continue;
+                    auto const dbg = loc->parcels().debug_peer(
+                        other->id().value());
+                    if (!dbg.known ||
+                        (dbg.status == parcel::peer_status::alive &&
+                            dbg.unacked_frames == 0 && dbg.held_frames == 0 &&
+                            dbg.deferred_jobs == 0))
+                        continue;
+                    COAL_LOG_WARN("runtime",
+                        "    -> peer %u %s (epoch %u): unacked %zu held %zu "
+                        "deferred %zu | next_seq %llu cum %llu "
+                        "low_unacked %llu low_held %llu",
+                        other->id().value(), parcel::to_string(dbg.status),
+                        dbg.epoch, dbg.unacked_frames, dbg.held_frames,
+                        dbg.deferred_jobs,
+                        static_cast<unsigned long long>(dbg.next_seq),
+                        static_cast<unsigned long long>(dbg.cum_received),
+                        static_cast<unsigned long long>(dbg.lowest_unacked_seq),
+                        static_cast<unsigned long long>(dbg.lowest_held_seq));
+                }
+            }
+        }
         for (auto const& loc : localities_)
-            loc->coalescing().flush_all();
+        {
+            if (!loc->parcels().crashed())
+                loc->coalescing().flush_all();
+        }
 
         bool busy = false;
         for (auto const& loc : localities_)
         {
+            if (loc->parcels().crashed())
+                continue;
             if (loc->scheduler().pending_tasks() != 0 ||
                 loc->parcels().pending_sends() != 0 ||
                 loc->parcels().pending_receives() != 0 ||
@@ -256,6 +341,8 @@ void runtime::quiesce()
             bool still_busy = transport_->in_flight() != 0;
             for (auto const& loc : localities_)
             {
+                if (loc->parcels().crashed())
+                    continue;
                 still_busy = still_busy ||
                     loc->scheduler().pending_tasks() != 0 ||
                     loc->parcels().pending_sends() != 0 ||

@@ -62,6 +62,12 @@ struct runtime_config
     /// reliability layer on (credits travel in the ack fields) and applies
     /// the pool watermarks to the global buffer pool at startup.
     parcel::flow_params flow{};
+
+    /// Peer-liveness / epoched-membership layer (heartbeats, phi-accrual
+    /// failure detection, crash fencing and rejoin).  Enabling forces the
+    /// reliability layer on — epochs and heartbeats ride the frame
+    /// prefix.  See membership.hpp and DESIGN.md "Failure model".
+    parcel::membership_params membership{};
 };
 
 class runtime
@@ -138,8 +144,24 @@ public:
     /// tasks keep their scheduler's background work running.
     void barrier();
 
+    /// Chaos API: hard-kill a locality.  Its transport endpoints go dark
+    /// (in-flight frames to/from it are dropped), its parcel layer is
+    /// crashed — every queued / deferred / retransmit-held parcel fails
+    /// through the delivery-error handler as `peer_failed` — and its
+    /// coalescing queues are purged into the same accounting.  Survivors
+    /// detect the death via the failure detector and fence their own
+    /// state toward it.  Requires `membership.enabled`.
+    void kill_locality(std::uint32_t index);
+
+    /// Chaos API: bring a killed locality back under a fresh incarnation
+    /// epoch.  Peers readmit it on first contact (or on a dead-peer probe
+    /// reply) and coalescing toward it resumes.
+    void restart_locality(std::uint32_t index);
+
     /// Flush all coalescing queues and wait until no parcel, message or
-    /// task is in flight anywhere.
+    /// task is in flight anywhere.  Localities currently killed by
+    /// kill_locality() are skipped — their queues are frozen until
+    /// restart.
     void quiesce();
 
     /// Quiesce, then shut everything down.  Idempotent.

@@ -302,4 +302,69 @@ TEST(FaultyTransport, FromConfigRejectsEmptyBlackout)
     EXPECT_FALSE(plan.active());
 }
 
+TEST(FaultyTransport, SeedEnvOverrideWins)
+{
+    // COAL_FAULT_SEED replays a failed chaos run exactly; unparsable
+    // values fall back (with a warning) instead of silently reseeding.
+    ASSERT_EQ(::setenv("COAL_FAULT_SEED", "31337", 1), 0);
+    EXPECT_EQ(fault_plan::resolve_seed(7), 31337u);
+    ASSERT_EQ(::setenv("COAL_FAULT_SEED", "not-a-seed", 1), 0);
+    EXPECT_EQ(fault_plan::resolve_seed(7), 7u);
+    ASSERT_EQ(::unsetenv("COAL_FAULT_SEED"), 0);
+    EXPECT_EQ(fault_plan::resolve_seed(7), 7u);
+}
+
+TEST(FaultyTransport, KilledLocalityBlackholesBothDirections)
+{
+    faulty_transport net(std::make_unique<loopback_transport>(2), fault_plan{});
+    int arrived0 = 0, arrived1 = 0;
+    net.set_delivery_handler(
+        0, [&](std::uint32_t, shared_buffer&&) { ++arrived0; });
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, shared_buffer&&) { ++arrived1; });
+
+    net.send(0, 1, byte_buffer{1});
+    net.drain();
+    EXPECT_EQ(arrived1, 1);
+
+    // While locality 1 is down, traffic to AND from it is blackholed —
+    // counted as drops, never delivered.
+    EXPECT_TRUE(net.kill_locality(1));
+    net.send(0, 1, byte_buffer{2});
+    net.send(1, 0, byte_buffer{3});
+    net.drain();
+    EXPECT_EQ(arrived1, 1);
+    EXPECT_EQ(arrived0, 0);
+    EXPECT_EQ(net.stats().messages_dropped, 2u);
+    expect_conservation(net.stats());
+
+    // Restart restores the wire in both directions.
+    EXPECT_TRUE(net.restart_locality(1));
+    net.send(0, 1, byte_buffer{4});
+    net.send(1, 0, byte_buffer{5});
+    net.drain();
+    EXPECT_EQ(arrived1, 2);
+    EXPECT_EQ(arrived0, 1);
+    expect_conservation(net.stats());
+}
+
+TEST(FaultyTransport, KillDropsReorderParkedFrames)
+{
+    // A frame parked by the reorderer on a link of the killed locality
+    // dies with the kill instead of resurfacing after the restart.
+    fault_plan plan;
+    plan.reorder_probability = 1.0;
+    faulty_transport net(std::make_unique<loopback_transport>(2), plan);
+    int arrived = 0;
+    net.set_delivery_handler(
+        1, [&](std::uint32_t, shared_buffer&&) { ++arrived; });
+
+    net.send(0, 1, byte_buffer{1});    // parked, waiting for a successor
+    EXPECT_TRUE(net.kill_locality(1));
+    EXPECT_TRUE(net.restart_locality(1));
+    net.drain();
+    EXPECT_EQ(arrived, 0);
+    expect_conservation(net.stats());
+}
+
 }    // namespace

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -381,6 +383,100 @@ TEST(CountersIntegration, FlowCountersObserveBackpressure)
 
     EXPECT_GE(c.query("/coal/pool/resident-bytes-peak").value,
         c.query("/coal/pool/resident-bytes").value);
+    rt.stop();
+}
+
+TEST(CountersIntegration, HealthCountersListedInDiscovery)
+{
+    runtime rt(loopback());
+    auto const types = rt.counters().discover();
+    auto has = [&](std::string const& path) {
+        for (auto const& [p, d] : types)
+        {
+            if (p == path)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("/net/health/count/heartbeats"));
+    EXPECT_TRUE(has("/net/health/count/suspected"));
+    EXPECT_TRUE(has("/net/health/count/deaths"));
+    EXPECT_TRUE(has("/net/health/count/rejoins"));
+    EXPECT_TRUE(has("/net/health/count/stale-epoch-frames"));
+    EXPECT_TRUE(has("/net/health/count/refutes"));
+    EXPECT_TRUE(has("/net/health/count/confirmed-parcels"));
+    EXPECT_TRUE(has("/net/health/known-peers"));
+    EXPECT_TRUE(has("/net/health/suspected-peers"));
+    EXPECT_TRUE(has("/net/health/dead-peers"));
+    EXPECT_TRUE(has("/net/count/delivery-errors/shed-overload"));
+    EXPECT_TRUE(has("/net/count/delivery-errors/link-down"));
+    EXPECT_TRUE(has("/net/count/delivery-errors/peer-failed"));
+    rt.stop();
+}
+
+// Membership live: a kill/rejoin cycle must move every /net/health
+// counter and the delivery-error taxonomy the way the failure model
+// promises.
+TEST(CountersIntegration, HealthCountersObserveKillAndRejoin)
+{
+    runtime_config cfg = loopback();
+    cfg.membership.enabled = true;
+    cfg.membership.heartbeat_interval_us = 2000;
+    cfg.membership.probe_interval_us = 10000;
+    cfg.membership.min_dead_us = 50000;
+    runtime rt(cfg);
+    auto& c = rt.counters();
+
+    // Deadline-bounded spin on a counter predicate (membership verdicts
+    // need real time to accrue).
+    auto wait_counter = [&](char const* path, auto pred, char const* what) {
+        auto const deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(20);
+        while (std::chrono::steady_clock::now() < deadline)
+        {
+            if (pred(c.query(path).value))
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        FAIL() << "timed out waiting for " << what << " on " << path;
+    };
+
+    round_trips(rt, 10);    // contact + acked (confirmed) parcels
+
+    rt.kill_locality(1);
+    constexpr double offered_at_dead = 10.0;
+    for (int i = 0; i != static_cast<int>(offered_at_dead); ++i)
+        rt.get_locality(0).apply<ci_echo_action>(coal::agas::locality_id{1}, i);
+
+    wait_counter("/net/health/dead-peers",
+        [](double v) { return v >= 1.0; }, "death verdict");
+    wait_counter("/net/count/delivery-errors/peer-failed",
+        [](double v) { return v >= offered_at_dead; }, "fenced parcels");
+    EXPECT_GE(c.query("/net/health/count/suspected").value, 1.0);
+    EXPECT_GE(c.query("/net/health/count/deaths").value, 1.0);
+
+    rt.restart_locality(1);
+    wait_counter("/net/health/count/rejoins",
+        [](double v) { return v >= 1.0; }, "rejoin");
+    wait_counter("/net/health/dead-peers",
+        [](double v) { return v == 0.0; }, "dead gauge cleared");
+
+    round_trips(rt, 5);    // the rejoined incarnation carries traffic
+    rt.quiesce();
+
+    EXPECT_GT(c.query("/net/health/count/heartbeats").value, 0.0);
+    EXPECT_GT(c.query("/net/health/count/confirmed-parcels").value, 0.0);
+    // The rejoin probes address the next incarnation, which is the epoch
+    // the genuine restart came back under — no refutation is involved.
+    EXPECT_DOUBLE_EQ(c.query("/net/health/count/refutes").value, 0.0);
+    EXPECT_GE(c.query("/net/health/known-peers").value, 1.0);
+    EXPECT_DOUBLE_EQ(c.query("/net/health/suspected-peers").value, 0.0);
+    // Taxonomy: everything refused in this test was refused as
+    // peer_failed — never shed, never link_down.
+    EXPECT_DOUBLE_EQ(
+        c.query("/net/count/delivery-errors/shed-overload").value, 0.0);
+    EXPECT_DOUBLE_EQ(
+        c.query("/net/count/delivery-errors/link-down").value, 0.0);
     rt.stop();
 }
 
