@@ -42,6 +42,18 @@
 /// The layer rides on the reliability prefix (heartbeats are frames,
 /// epochs travel in the frame header), so enabling it forces
 /// `reliability_params::enabled`.
+///
+/// **Interplay with idle eviction** (peer_store.hpp): a peer whose link
+/// is *data*-idle past `peer_store_params::evict_idle_us` is demoted to
+/// a tombstone even while heartbeats flow — heartbeats deliberately do
+/// not count as activity, or two idle peers would pin each other
+/// resident forever.  An evicted peer neither emits heartbeats nor
+/// scores phi; because both sides' last data contact is within one RTT
+/// of each other, both evict at (almost) the same time and the mutual
+/// silence is symmetric.  Suspicion does not survive eviction (it is a
+/// detector verdict, not protocol state), but a dead verdict does: the
+/// tombstone keeps the quarantined epoch, and `evict_idle_us` is scaled
+/// 8x for dead peers so rejoin-probe cycles run first.
 
 #include <cstdint>
 

@@ -54,13 +54,14 @@ namespace {
 
 parcelhandler::parcelhandler(std::uint32_t here, net::transport& transport,
     threading::scheduler& scheduler, reliability_params reliability,
-    flow_params flow, membership_params membership)
+    flow_params flow, membership_params membership, peer_store_params store)
   : here_(here)
   , transport_(transport)
   , scheduler_(scheduler)
   , reliability_(reliability)
   , flow_(flow)
   , membership_(membership)
+  , store_params_(store)
 {
     // Credits travel in the frame's ack fields, so flow control requires
     // the reliability layer underneath it.  Membership likewise: epochs
@@ -119,9 +120,13 @@ void parcelhandler::put_parcel(parcel&& p)
     // A parcel toward a peer the failure detector declared dead fails
     // immediately instead of queueing behind a link that will never ack.
     // (A rejoin under a new incarnation epoch clears the dead mark and
-    // traffic resumes.)  Steady state costs one relaxed load.
+    // traffic resumes.)  Steady state costs two relaxed loads; a dead
+    // tombstone counts, so eviction never un-quarantines an incarnation.
     if (membership_.enabled &&
-        dead_peers_.load(std::memory_order_acquire) != 0 && peer_dead(p.dest))
+        dead_peers_.load(std::memory_order_acquire) +
+                tombstoned_dead_.load(std::memory_order_acquire) !=
+            0 &&
+        peer_dead(p.dest))
     {
         std::vector<parcel> failed;
         failed.push_back(std::move(p));
@@ -313,6 +318,118 @@ void parcelhandler::execute_parcel(parcel&& p)
         here_, trace::event_kind::parcel_executed, action);
 }
 
+// -- sharded peer store ------------------------------------------------------
+
+peer_state& parcelhandler::hydrate_locked(peer_entry& e)
+{
+    if (e.live)
+        return *e.live;
+    bool const was_tomb = e.tombstoned;
+    bool const was_dead = was_tomb && e.tomb.status == peer_status::dead;
+    peer_state& peer =
+        store_.hydrate(e, self_epoch_.load(std::memory_order_relaxed));
+    std::int64_t const now = now_ns();
+    if (was_tomb)
+    {
+        counters_.peers_rehydrated.fetch_add(1, std::memory_order_relaxed);
+        if (was_dead)
+        {
+            // The quarantine gauge moves back to the live column; the
+            // put_parcel fail-fast gate keeps reading the sum.
+            tombstoned_dead_.fetch_sub(1, std::memory_order_release);
+            dead_peers_.fetch_add(1, std::memory_order_release);
+        }
+    }
+    // Hydration is contact: restart the idle clock, and hand the entry to
+    // the due ring so liveness/heartbeat service resumes (entry -> ring
+    // bucket is within the lock order).  The first service is due NOW,
+    // not one heartbeat out: a fresh peer_state has last_sent_ns == 0,
+    // so the next drain emits the greeting heartbeat immediately —
+    // carrying our epoch, the cumulative ack and a credit grant — and
+    // starts the phi silence clock.  The old full-map walk gave new
+    // peers exactly that first-tick service; deferring it by a full
+    // heartbeat interval would leave the initial frame's ack hostage to
+    // the 100 us delayed-ack timer alone.
+    e.last_activity_ns = now;
+    if (membership_.enabled)
+        ring_.schedule(e.shared_from_this(), now);
+    return peer;
+}
+
+bool parcelhandler::try_evict_locked(
+    peer_entry& e, peer_state& peer, std::int64_t now)
+{
+    if (store_params_.evict_idle_us <= 0)
+        return false;
+    std::int64_t idle_ns = store_params_.evict_idle_us * 1000;
+    // Dead peers linger 8x: several rejoin-probe cycles run before the
+    // quarantine is compressed into the tombstone.
+    if (peer.status == peer_status::dead)
+        idle_ns *= 8;
+    if (e.last_activity_ns == 0 || now - e.last_activity_ns < idle_ns)
+        return false;
+    if (!peer_store::evictable(peer))
+        return false;
+    if (peer.status == peer_status::suspected)
+    {
+        // Suspicion is a live-detector verdict, not protocol state: it
+        // does not survive eviction.  (If the peer is genuinely gone, the
+        // next hydration's silence re-derives it.)
+        peer.status = peer_status::alive;
+        suspected_peers_.fetch_sub(1, std::memory_order_release);
+    }
+    else if (peer.status == peer_status::dead)
+    {
+        dead_peers_.fetch_sub(1, std::memory_order_release);
+        tombstoned_dead_.fetch_add(1, std::memory_order_release);
+    }
+    store_.demote(e);
+    counters_.peers_evicted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool parcelhandler::evict_hand_step(std::int64_t now)
+{
+    if (!reliability_.enabled || store_params_.evict_idle_us <= 0)
+        return false;
+    if (!hand_lock_.try_lock())
+        return false;
+    if (now - hand_last_step_ns_ < store_params_.evict_scan_interval_us * 1000)
+    {
+        hand_lock_.unlock();
+        return false;
+    }
+    hand_last_step_ns_ = now;
+    bool any = false;
+    // The hand walks the published snapshots lock-free; entries inserted
+    // since the last publication are folded in once per shard revolution
+    // by refresh_snapshot, so steady state covers every entry.  Shard
+    // advances count against the budget, bounding the loop on an empty
+    // store.
+    std::size_t budget = store_params_.evict_scan_budget;
+    while (budget != 0)
+    {
+        peer_store::snapshot const* sn = store_.shard_snapshot(hand_shard_);
+        std::size_t const n = sn == nullptr ? 0 : sn->entries.size();
+        if (hand_pos_ >= n)
+        {
+            store_.refresh_snapshot(hand_shard_);
+            hand_shard_ = (hand_shard_ + 1) % peer_store::shard_count;
+            hand_pos_ = 0;
+            --budget;
+            continue;
+        }
+        peer_entry& e = *sn->entries[hand_pos_].second;
+        ++hand_pos_;
+        --budget;
+        std::lock_guard lock(e.lock);
+        if (e.live && try_evict_locked(e, *e.live, now))
+            any = true;
+    }
+    hand_lock_.unlock();
+    return any;
+}
+
 bool parcelhandler::progress_send()
 {
     in_progress_guard guard(sends_in_progress_);
@@ -339,9 +456,14 @@ bool parcelhandler::progress_send()
         bool deferred = false;
         std::uint64_t gen = 0;
         std::uint64_t deferred_bytes_after = 0;
+        // Steady state this lookup is a lock-free snapshot binary search;
+        // only a first-contact insert takes the shard lock.  All protocol
+        // work below holds the PEER's lock — two destinations never
+        // serialize on each other.
+        peer_entry& e = store_.get_or_create(dst);
         {
-            std::lock_guard lock(peers_lock_);
-            auto& peer = peers_[dst];
+            std::lock_guard lock(e.lock);
+            peer_state& peer = hydrate_locked(e);
             if (membership_.enabled && peer.status == peer_status::dead)
             {
                 // Jobs already queued when the peer was declared dead (or
@@ -382,8 +504,13 @@ bool parcelhandler::progress_send()
                 if (flow_.enabled)
                     hdr.credit = advertised_credit_wire();
                 stamp_epochs_locked(peer, hdr);
-                peer.ack_pending = false;    // this frame carries the ack
+                if (peer.ack_pending)
+                {
+                    peer.ack_pending = false;    // this frame carries the ack
+                    acks_pending_.fetch_sub(1, std::memory_order_release);
+                }
                 peer.last_sent_ns = now;
+                e.last_activity_ns = now;
             }
         }
         if (dead)
@@ -398,17 +525,22 @@ bool parcelhandler::progress_send()
         }
         if (deferred)
         {
+            // Make sure the deferred queue gets service (starvation trip,
+            // release) even if no ack ever arrives to drive it.
+            ring_.schedule(e.shared_from_this(),
+                now + flow_.defer_service_us * 1000);
             trace::tracer::global().record(here_,
                 trace::event_kind::send_deferred, dst, deferred_bytes_after);
             return true;    // consumed a queue item (into the defer queue)
         }
         serialization::wire_message frame = encode_message(job->parcels, hdr);
         serialization::shared_buffer flat;
+        std::int64_t retransmit_at = 0;
         {
             // Register the frame before handing it to the transport so a
             // synchronous loopback ack always finds its entry.
-            std::lock_guard lock(peers_lock_);
-            auto& peer = peers_[dst];
+            std::lock_guard lock(e.lock);
+            peer_state& peer = hydrate_locked(e);
             if (membership_.enabled &&
                 (peer.status == peer_status::dead || peer.stream_gen != gen))
             {
@@ -419,31 +551,37 @@ bool parcelhandler::progress_send()
                 // below would silently collide, and its stale epoch stamp
                 // makes the receiver discard every retransmit — a permanent
                 // hole that wedges the link.  Fail the job instead, exactly
-                // as the fence failed its siblings.
+                // as the fence failed its siblings.  (An evict/rehydrate
+                // cycle between the sections is NOT a fence: the tombstone
+                // carries stream_gen through, so the check passes.)
                 dead = true;
             }
             else
             {
-            unacked_frame u;
-            // Retained by reference: the retransmission table shares the
-            // frame's fragments instead of deep-copying the wire image.
-            u.frame = std::move(frame);
-            u.bytes = est;
-            u.parcels = static_cast<std::uint32_t>(job->parcels.size());
-            u.first_send_ns = now;
-            u.rto_ns = initial_rto_ns_locked(peer);
-            u.deadline_ns = now + u.rto_ns;
-            peer.unacked_bytes += est;
-            auto const it = peer.unacked.emplace(hdr.seq, std::move(u)).first;
-            // The transport must not alias the retained fragments —
-            // progress_reliability patches the ack/sack prefix in place
-            // under this lock before every retransmit.  Take the one
-            // gather copy per transmission here, while the frame is
-            // guaranteed stable.
-            flat = it->second.frame.flatten_copy();
-            maybe_trip_breaker_locked(dst, peer);
-            if (flow_.enabled)
-                update_link_pressure_locked(peer);
+                unacked_frame u;
+                // Retained by reference: the retransmission table shares the
+                // frame's fragments instead of deep-copying the wire image.
+                u.frame = std::move(frame);
+                u.bytes = est;
+                u.parcels = static_cast<std::uint32_t>(job->parcels.size());
+                u.first_send_ns = now;
+                u.rto_ns = initial_rto_ns_locked(peer);
+                u.deadline_ns = now + u.rto_ns;
+                retransmit_at = u.deadline_ns;
+                peer.unacked_bytes += est;
+                auto const it =
+                    peer.unacked.emplace(hdr.seq, std::move(u)).first;
+                // The transport must not alias the retained fragments —
+                // service_peer patches the ack/sack prefix in place under
+                // this lock before every retransmit.  Take the one gather
+                // copy per transmission here, while the frame is
+                // guaranteed stable.
+                flat = it->second.frame.flatten_copy();
+                unacked_total_.fetch_add(1, std::memory_order_release);
+                maybe_trip_breaker_locked(dst, peer);
+                if (flow_.enabled)
+                    update_link_pressure_locked(peer);
+                e.last_activity_ns = now;
             }
         }
         if (dead)
@@ -451,6 +589,9 @@ bool parcelhandler::progress_send()
             fail_job(delivery_error::peer_failed, std::move(*job));
             return true;
         }
+        // Arm the retransmission timer (CAS-min: a no-op if an earlier
+        // deadline is already registered).
+        ring_.schedule(e.shared_from_this(), retransmit_at);
         wire = serialization::wire_message(std::move(flat));
     }
     else
@@ -522,7 +663,7 @@ void parcelhandler::receive_one(inbound_message&& msg)
     // this locality) must not touch the live link state — cross-epoch acks
     // applied to fresh sequence numbers would corrupt exactly-once
     // delivery.
-    if (!membership_admit(msg.src, info.header))
+    if (!membership_admit(msg.src, info))
         return;
 
     if (reliability_.enabled && info.header.seq != 0)
@@ -534,10 +675,11 @@ void parcelhandler::receive_one(inbound_message&& msg)
         // again at insertion below, under the same lock.
         bool duplicate = false;
         bool stale = false;
+        peer_entry& e = store_.get_or_create(msg.src);
         {
             std::int64_t const now = now_ns();
-            std::lock_guard lock(peers_lock_);
-            auto& peer = peers_[msg.src];
+            std::lock_guard lock(e.lock);
+            peer_state& peer = hydrate_locked(e);
             if (membership_.enabled && info.header.src_epoch != 0 &&
                 info.header.src_epoch != peer.epoch)
             {
@@ -551,7 +693,7 @@ void parcelhandler::receive_one(inbound_message&& msg)
             {
                 duplicate = true;
                 // Re-ack immediately-ish so the sender stops resending.
-                schedule_ack_locked(peer, now);
+                schedule_ack_locked(e, peer, now);
             }
         }
         if (stale)
@@ -593,8 +735,9 @@ void parcelhandler::receive_one(inbound_message&& msg)
     std::vector<held_frame> ready;
     {
         std::int64_t const now = now_ns();
-        std::lock_guard lock(peers_lock_);
-        auto& peer = peers_[msg.src];
+        peer_entry& e = store_.get_or_create(msg.src);
+        std::lock_guard lock(e.lock);
+        peer_state& peer = hydrate_locked(e);
         if (membership_.enabled && info.header.src_epoch != 0 &&
             info.header.src_epoch != peer.epoch)
         {
@@ -611,12 +754,13 @@ void parcelhandler::receive_one(inbound_message&& msg)
         {
             counters_.duplicates_suppressed.fetch_add(
                 1, std::memory_order_relaxed);
-            schedule_ack_locked(peer, now);
+            schedule_ack_locked(e, peer, now);
         }
         else
         {
             peer.held.emplace(info.header.seq,
                 held_frame{std::move(msg.payload), info.count});
+            held_total_.fetch_add(1, std::memory_order_release);
             for (;;)
             {
                 auto it = peer.held.find(peer.cum_received + 1);
@@ -625,8 +769,10 @@ void parcelhandler::receive_one(inbound_message&& msg)
                 ++peer.cum_received;
                 ready.push_back(std::move(it->second));
                 peer.held.erase(it);
+                held_total_.fetch_sub(1, std::memory_order_release);
             }
-            schedule_ack_locked(peer, now);
+            schedule_ack_locked(e, peer, now);
+            e.last_activity_ns = now;
         }
     }
 
@@ -717,9 +863,11 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
 {
     std::int64_t const now = now_ns();
     std::vector<send_job> released;
+    std::int64_t rearm = std::numeric_limits<std::int64_t>::max();
+    peer_entry& e = store_.get_or_create(src);
     {
-        std::lock_guard lock(peers_lock_);
-        auto& peer = peers_[src];
+        std::lock_guard lock(e.lock);
+        peer_state& peer = hydrate_locked(e);
 
         // membership_admit runs under a separate lock hold; a fence can
         // slide in between.  Acks of the fenced incarnation applied to the
@@ -753,6 +901,7 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
                 peer.unacked_bytes -=
                     std::min<std::uint64_t>(peer.unacked_bytes, u.bytes);
                 peer.unacked.erase(it);
+                unacked_total_.fetch_sub(1, std::memory_order_release);
             };
 
         while (!peer.unacked.empty() && peer.unacked.begin()->first <= hdr.ack)
@@ -766,8 +915,19 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
                 release(it);
         }
 
+        // Close only once no retained frame still satisfies the trip
+        // predicate: a blackout-era frame keeps its attempt count after
+        // the link heals, and closing on backlog size alone would let
+        // the very next service re-trip on it.  The tick-driven walk
+        // re-evaluated the trip within one progress tick, so the closed
+        // window was never observable; with event-driven service the
+        // window is a full heartbeat interval, long enough for a caller
+        // to read a healthy link and resume batching prematurely.
         if (peer.breaker_open &&
-            peer.unacked.size() <= reliability_.breaker_close_backlog)
+            peer.unacked.size() <= reliability_.breaker_close_backlog &&
+            (peer.unacked.empty() ||
+                peer.unacked.begin()->second.attempts <=
+                    reliability_.breaker_trip_attempts))
         {
             peer.breaker_open = false;
             open_breakers_.fetch_sub(1, std::memory_order_release);
@@ -790,12 +950,22 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
             }
             // Acked bytes and fresh grants both open window space — give
             // deferred jobs a chance immediately rather than waiting for
-            // the next reliability tick.
+            // the next service tick.
             release_deferred_locked(peer, released, now);
             update_link_pressure_locked(peer);
+            if (!peer.deferred.empty())
+                rearm = std::min(rearm, now + flow_.defer_service_us * 1000);
         }
+        // The sack window slid: frames that were beyond the selective-
+        // repeat horizon (their timers paused) may be retransmittable
+        // now.  Re-arm at the earliest remaining deadline — possibly in
+        // the past, which the next ring drain services immediately.
+        if (!peer.unacked.empty())
+            rearm = std::min(
+                rearm, peer.unacked.begin()->second.deadline_ns);
     }
 
+    ring_.schedule(e.shared_from_this(), rearm);
     for (auto& job : released)
     {
         outbound_.push(std::move(job));
@@ -804,12 +974,15 @@ void parcelhandler::handle_acks(std::uint32_t src, frame_header const& hdr)
     }
 }
 
-void parcelhandler::schedule_ack_locked(peer_state& peer, std::int64_t now)
+void parcelhandler::schedule_ack_locked(
+    peer_entry& e, peer_state& peer, std::int64_t now)
 {
     if (peer.ack_pending)
         return;
     peer.ack_pending = true;
+    acks_pending_.fetch_add(1, std::memory_order_release);
     peer.ack_deadline_ns = now + reliability_.ack_delay_us * 1000;
+    ring_.schedule(e.shared_from_this(), peer.ack_deadline_ns);
 }
 
 std::uint64_t parcelhandler::sack_bits_locked(peer_state const& peer) const
@@ -855,181 +1028,353 @@ void parcelhandler::maybe_trip_breaker_locked(
         here_, dst, peer.unacked.size());
 }
 
-bool parcelhandler::progress_reliability()
+std::int64_t parcelhandler::service_peer(peer_entry& e)
 {
-    if (!reliability_.enabled)
-        return false;
+    constexpr std::int64_t never = std::numeric_limits<std::int64_t>::max();
+    if (!reliability_.enabled || crashed_.load(std::memory_order_acquire))
+        return never;
 
     std::int64_t const now = now_ns();
-    struct ack_job
-    {
-        std::uint32_t dst;
-        frame_header hdr;
+    std::int64_t next = never;
+    auto const closer = [&next](std::int64_t at) {
+        if (at < next)
+            next = at;
     };
-    std::vector<ack_job> acks;
-    std::vector<std::pair<std::uint32_t, serialization::shared_buffer>> resends;
+
+    std::uint32_t const dst = e.id;
+    bool send_ack = false;
+    frame_header ack_hdr;
+    std::vector<serialization::shared_buffer> resends;
     std::vector<send_job> released;
-    std::vector<send_job> failed;
+    std::vector<send_job> failed_deferred;
+    bool died = false;
+    fenced_state death;
+    bool probe = false;
+    frame_header probe_hdr;
+    bool beat = false;
+    frame_header beat_hdr;
+
     {
-        std::lock_guard lock(peers_lock_);
-        for (auto& [dst, peer] : peers_)
+        std::lock_guard lock(e.lock);
+        if (!e.live)
+            return never;    // evicted: nothing to service, ring de-arms
+        peer_state& peer = *e.live;
+
+        // Delayed ack whose deadline came.
+        if (peer.ack_pending)
         {
-            if (peer.ack_pending && now >= peer.ack_deadline_ns)
+            if (now >= peer.ack_deadline_ns)
             {
                 peer.ack_pending = false;
-                frame_header hdr;
-                hdr.ack = peer.cum_received;
-                hdr.sack = sack_bits_locked(peer);
+                acks_pending_.fetch_sub(1, std::memory_order_release);
+                ack_hdr.ack = peer.cum_received;
+                ack_hdr.sack = sack_bits_locked(peer);
                 if (flow_.enabled)
-                    hdr.credit = advertised_credit_wire();
-                stamp_epochs_locked(peer, hdr);
+                    ack_hdr.credit = advertised_credit_wire();
+                stamp_epochs_locked(peer, ack_hdr);
                 peer.last_sent_ns = now;
-                acks.push_back(ack_job{dst, hdr});
+                send_ack = true;
+            }
+            else
+            {
+                closer(peer.ack_deadline_ns);
+            }
+        }
+
+        if (flow_.enabled && peer.status != peer_status::dead)
+        {
+            // Slow-peer detector: a link that has kept jobs deferred for
+            // starvation_trip_us without any grant movement is treated
+            // like a dark link — trip its circuit breaker so the
+            // coalescer bypasses batching and, once the byte cap is also
+            // exhausted, sends fail as link_down.
+            if (!peer.breaker_open && !peer.deferred.empty() &&
+                peer.starved_since_ns != 0 &&
+                now - peer.starved_since_ns >=
+                    flow_.starvation_trip_us * 1000)
+            {
+                peer.breaker_open = true;
+                open_breakers_.fetch_add(1, std::memory_order_release);
+                counters_.starvation_trips.fetch_add(
+                    1, std::memory_order_relaxed);
+                counters_.circuit_breaker_trips.fetch_add(
+                    1, std::memory_order_relaxed);
+                peer.starved_since_ns = now;
+                COAL_LOG_WARN("parcel",
+                    "link %u->%u credit-starved for %lld us: circuit "
+                    "breaker open",
+                    here_, dst,
+                    static_cast<long long>(flow_.starvation_trip_us));
             }
 
-            if (flow_.enabled)
+            if (link_down_locked(peer) && !peer.deferred.empty())
             {
-                // Slow-peer detector: a link that has kept jobs deferred
-                // for starvation_trip_us without any grant movement is
-                // treated like a dark link — trip its circuit breaker so
-                // the coalescer bypasses batching and, once the byte cap
-                // is also exhausted, sends fail as link_down.
-                if (!peer.breaker_open && !peer.deferred.empty() &&
-                    peer.starved_since_ns != 0 &&
-                    now - peer.starved_since_ns >=
-                        flow_.starvation_trip_us * 1000)
+                // Dark link past its byte cap: retained frames stay (they
+                // are what exactly-once delivery replays if the link
+                // heals) but deferred jobs — which never consumed a
+                // sequence number — fail with a distinct error instead of
+                // queueing behind an unbounded blackout.
+                while (!peer.deferred.empty())
                 {
-                    peer.breaker_open = true;
-                    open_breakers_.fetch_add(1, std::memory_order_release);
-                    counters_.starvation_trips.fetch_add(
+                    send_job& front = peer.deferred.front();
+                    peer.deferred_bytes -= std::min<std::uint64_t>(
+                        peer.deferred_bytes, front.bytes);
+                    failed_deferred.push_back(std::move(front));
+                    peer.deferred.pop_front();
+                }
+                peer.starved_since_ns = 0;
+            }
+            else
+            {
+                release_deferred_locked(peer, released, now);
+            }
+            update_link_pressure_locked(peer);
+            if (!peer.deferred.empty())
+            {
+                closer(now + flow_.defer_service_us * 1000);
+                if (!peer.breaker_open && peer.starved_since_ns != 0)
+                    closer(peer.starved_since_ns +
+                        flow_.starvation_trip_us * 1000);
+            }
+        }
+
+        // Selective repeat bounded by the wire format's 64-bit sack
+        // horizon: the receiver can only report frames in [cum+1,
+        // cum+64], so retransmitting beyond the left edge + 64 is blind —
+        // those frames are usually already held on the receiver, and
+        // resending them turns one early drop in a large burst into a
+        // storm of spurious retransmits.  Their timers stay paused until
+        // the window slides (handle_acks re-arms the ring when it does).
+        std::uint64_t const window_end =
+            peer.unacked.empty() ? 0 : peer.unacked.begin()->first + 64;
+        for (auto& [seq, u] : peer.unacked)
+        {
+            if (seq > window_end)
+                break;
+            if (now < u.deadline_ns)
+            {
+                closer(u.deadline_ns);
+                continue;
+            }
+            u.attempts += 1;
+            double backed =
+                static_cast<double>(u.rto_ns) * reliability_.rto_backoff;
+            backed = std::min(backed,
+                static_cast<double>(reliability_.max_rto_us) * 1000.0);
+            backed *=
+                1.0 + reliability_.rto_jitter * jitter_unit(seq, u.attempts);
+            u.rto_ns = static_cast<std::int64_t>(backed);
+            u.deadline_ns = now + u.rto_ns;
+            closer(u.deadline_ns);
+            // Refresh piggybacked acks and the credit grant — the stored
+            // image has stale ones.  Patch + snapshot both happen under
+            // the peer's lock, so no transport thread ever reads a
+            // half-patched prefix; the retained frame itself is reused,
+            // not deep-copied.
+            patch_frame_acks(u.frame, peer.cum_received,
+                sack_bits_locked(peer),
+                flow_.enabled ? advertised_credit_wire() : 0);
+            if (peer.ack_pending)
+            {
+                peer.ack_pending = false;    // the retransmit carries the ack
+                acks_pending_.fetch_sub(1, std::memory_order_release);
+                send_ack = false;
+            }
+            peer.last_sent_ns = now;
+            resends.push_back(u.frame.flatten_copy());
+            counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+        }
+        maybe_trip_breaker_locked(dst, peer);
+
+        if (membership_.enabled)
+        {
+            if (peer.status == peer_status::dead)
+            {
+                // Probe the dead peer occasionally: a restarted
+                // incarnation answers (or just talks) with a higher
+                // src_epoch, which readmits it through membership_admit.
+                if (now - peer.last_probe_ns >=
+                    membership_.probe_interval_us * 1000)
+                {
+                    peer.last_probe_ns = now;
+                    peer.last_sent_ns = now;
+                    stamp_epochs_locked(peer, probe_hdr);
+                    // Poison probe: address the NEXT incarnation, not the
+                    // fenced one.  A genuinely restarted peer carries a
+                    // higher epoch anyway; a falsely-declared-dead peer
+                    // sees a frame addressed past its own incarnation and
+                    // learns it has been quarantined — it refutes by
+                    // adopting the higher epoch (a virtual restart), which
+                    // is the only way a false-positive death can heal:
+                    // without it the victim retransmits into the
+                    // quarantine forever while these very probes keep
+                    // refreshing its liveness view of us.
+                    ++probe_hdr.dst_epoch;
+                    probe = true;
+                }
+                closer(peer.last_probe_ns +
+                    membership_.probe_interval_us * 1000);
+            }
+            else
+            {
+                // Phi-accrual suspicion: how many expected inter-arrival
+                // gaps have elapsed since the peer was last heard?
+                if (peer.last_heard_ns == 0)
+                    peer.last_heard_ns = now;    // start the silence clock
+                double const elapsed_us =
+                    static_cast<double>(now - peer.last_heard_ns) / 1000.0;
+                double const mean_us = std::max(peer.ewma_interarrival_us,
+                    static_cast<double>(membership_.heartbeat_interval_us));
+                double const phi = elapsed_us / mean_us;
+
+                if (peer.status == peer_status::alive &&
+                    phi >= membership_.suspect_phi)
+                {
+                    peer.status = peer_status::suspected;
+                    suspected_peers_.fetch_add(1, std::memory_order_release);
+                    counters_.peers_suspected.fetch_add(
                         1, std::memory_order_relaxed);
-                    counters_.circuit_breaker_trips.fetch_add(
-                        1, std::memory_order_relaxed);
-                    peer.starved_since_ns = now;
+                    trace::tracer::global().record(here_,
+                        trace::event_kind::peer_suspected, dst,
+                        static_cast<std::uint64_t>(phi * 1000.0));
                     COAL_LOG_WARN("parcel",
-                        "link %u->%u credit-starved for %lld us: circuit "
-                        "breaker open",
-                        here_, dst,
-                        static_cast<long long>(flow_.starvation_trip_us));
+                        "peer %u suspected (phi %.1f, silent %.0f us): "
+                        "coalescing bypassed",
+                        dst, phi, elapsed_us);
                 }
 
-                if (link_down_locked(peer) && !peer.deferred.empty())
+                if (phi >= membership_.dead_phi &&
+                    elapsed_us >=
+                        static_cast<double>(membership_.min_dead_us))
                 {
-                    // Dark link past its byte cap: retained frames stay
-                    // (they are what exactly-once delivery replays if the
-                    // link heals) but deferred jobs — which never consumed
-                    // a sequence number — fail with a distinct error
-                    // instead of queueing behind an unbounded blackout.
-                    while (!peer.deferred.empty())
-                    {
-                        send_job& front = peer.deferred.front();
-                        peer.deferred_bytes -= std::min<std::uint64_t>(
-                            peer.deferred_bytes, front.bytes);
-                        failed.push_back(std::move(front));
-                        peer.deferred.pop_front();
-                    }
-                    peer.starved_since_ns = 0;
+                    if (peer.status == peer_status::suspected)
+                        suspected_peers_.fetch_sub(
+                            1, std::memory_order_release);
+                    peer.status = peer_status::dead;
+                    dead_peers_.fetch_add(1, std::memory_order_release);
+                    counters_.peers_declared_dead.fetch_add(
+                        1, std::memory_order_relaxed);
+                    fence_peer_locked(e, peer, death);
+                    died = true;
+                    peer.last_probe_ns = now;
+                    closer(peer.last_probe_ns +
+                        membership_.probe_interval_us * 1000);
                 }
                 else
                 {
-                    release_deferred_locked(peer, released, now);
+                    // Keep the link's liveness signal alive when it is
+                    // otherwise idle: a standalone heartbeat doubles as an
+                    // ack/credit carrier, so a quiet link still converges
+                    // its flow state.  (A tombstoned peer emits nothing —
+                    // the early return above is the "heartbeat emitter
+                    // skips evicted peers" half of the idle-footprint
+                    // guarantee.)
+                    if (now - peer.last_sent_ns >=
+                        membership_.heartbeat_interval_us * 1000)
+                    {
+                        peer.last_sent_ns = now;
+                        beat_hdr.ack = peer.cum_received;
+                        beat_hdr.sack = sack_bits_locked(peer);
+                        if (flow_.enabled)
+                            beat_hdr.credit = advertised_credit_wire();
+                        stamp_epochs_locked(peer, beat_hdr);
+                        if (peer.ack_pending)
+                        {
+                            peer.ack_pending = false;    // beat carries it
+                            acks_pending_.fetch_sub(
+                                1, std::memory_order_release);
+                            send_ack = false;
+                        }
+                        beat = true;
+                    }
+                    // The heartbeat cadence doubles as the phi-check
+                    // cadence: every pop re-evaluates suspicion/death.
+                    closer(peer.last_sent_ns +
+                        membership_.heartbeat_interval_us * 1000);
                 }
-                update_link_pressure_locked(peer);
             }
-
-            // Selective repeat bounded by the wire format's 64-bit sack
-            // horizon: the receiver can only report frames in
-            // [cum+1, cum+64], so retransmitting beyond the left edge
-            // + 64 is blind — those frames are usually already held on
-            // the receiver, and resending them turns one early drop in
-            // a large burst into a storm of spurious retransmits.
-            // Their timers stay paused until the window slides.
-            std::uint64_t const window_end = peer.unacked.empty() ?
-                0 :
-                peer.unacked.begin()->first + 64;
-            for (auto& [seq, u] : peer.unacked)
-            {
-                if (seq > window_end)
-                    break;
-                if (now < u.deadline_ns)
-                    continue;
-                u.attempts += 1;
-                double backed =
-                    static_cast<double>(u.rto_ns) * reliability_.rto_backoff;
-                backed = std::min(backed,
-                    static_cast<double>(reliability_.max_rto_us) * 1000.0);
-                backed *=
-                    1.0 + reliability_.rto_jitter * jitter_unit(seq, u.attempts);
-                u.rto_ns = static_cast<std::int64_t>(backed);
-                u.deadline_ns = now + u.rto_ns;
-                // Refresh piggybacked acks and the credit grant — the
-                // stored image has stale ones.  Patch + snapshot both
-                // happen under peers_lock_, so no transport thread ever
-                // reads a half-patched prefix; the retained frame itself
-                // is reused, not deep-copied.
-                patch_frame_acks(u.frame, peer.cum_received,
-                    sack_bits_locked(peer),
-                    flow_.enabled ? advertised_credit_wire() : 0);
-                peer.ack_pending = false;    // the retransmit carries the ack
-                peer.last_sent_ns = now;
-                resends.emplace_back(dst, u.frame.flatten_copy());
-                counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
-            }
-            maybe_trip_breaker_locked(dst, peer);
         }
     }
 
-    for (auto& job : acks)
+    // Everything with side effects outside the peer happens after the
+    // lock is released: transport sends, delivery-error callbacks,
+    // coalescer flushes.
+    if (send_ack)
     {
         counters_.acks_sent.fetch_add(1, std::memory_order_relaxed);
-        transport_.send(here_, job.dst, encode_message({}, job.hdr));
+        transport_.send(here_, dst, encode_message({}, ack_hdr));
     }
-    for (auto& [dst, wire] : resends)
-        transport_.send(here_, dst, serialization::wire_message(std::move(wire)));
+    for (auto& flat : resends)
+        transport_.send(
+            here_, dst, serialization::wire_message(std::move(flat)));
     for (auto& job : released)
     {
         outbound_.push(std::move(job));
         deferred_sends_.fetch_sub(1, std::memory_order_release);
         counters_.sends_released.fetch_add(1, std::memory_order_relaxed);
     }
-    for (auto& job : failed)
+    for (auto& job : failed_deferred)
     {
         fail_job(delivery_error::link_down, std::move(job));
         deferred_sends_.fetch_sub(1, std::memory_order_release);
     }
-    return !acks.empty() || !resends.empty() || !released.empty() ||
-        !failed.empty();
+    if (probe || beat)
+    {
+        counters_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+        transport_.send(
+            here_, dst, encode_message({}, probe ? probe_hdr : beat_hdr));
+    }
+    if (died)
+    {
+        std::size_t const failed = fail_fenced(std::move(death));
+        trace::tracer::global().record(
+            here_, trace::event_kind::peer_failed, dst, failed);
+        COAL_LOG_WARN("parcel",
+            "peer %u declared dead: link fenced, %zu parcels failed "
+            "(peer_failed)",
+            dst, failed);
+        // Parcels coalesced toward the dead peer must not sit in its
+        // queues until the batch/delay trigger fires: flush now so they
+        // reach progress_send and fail promptly.
+        flush_message_handlers();
+    }
+
+    // Never hand the ring a deadline in the past: a condition that stays
+    // "due" (e.g. a paused retransmit timer) would otherwise re-service
+    // at every drain in a hot loop.
+    if (next != never && next <= now)
+        next = now + due_ring::tick_ns;
+    return next;
 }
 
 std::size_t parcelhandler::pending_reliability() const
 {
     if (!reliability_.enabled)
         return 0;
-    std::lock_guard lock(peers_lock_);
-    std::size_t pending = 0;
-    for (auto const& [dst, peer] : peers_)
-    {
-        pending += peer.unacked.size() + peer.held.size();
-        if (peer.ack_pending)
-            pending += 1;
-    }
-    return pending;
+    // Maintained at every mutation point; no store walk, no locks.
+    return unacked_total_.load(std::memory_order_acquire) +
+        held_total_.load(std::memory_order_acquire) +
+        acks_pending_.load(std::memory_order_acquire);
 }
 
 bool parcelhandler::link_degraded(std::uint32_t dst) const
 {
     // Fast path for the coalescer's enqueue: with no breaker open and no
     // peer suspected anywhere (the steady state), answer from atomic
-    // loads without touching the shared peers lock.
+    // loads without touching any lock.
     if (!reliability_.enabled ||
         (open_breakers_.load(std::memory_order_acquire) == 0 &&
             suspected_peers_.load(std::memory_order_acquire) == 0))
         return false;
-    std::lock_guard lock(peers_lock_);
-    auto const it = peers_.find(dst);
-    return it != peers_.end() &&
-        (it->second.breaker_open ||
-            it->second.status == peer_status::suspected);
+    peer_entry const* e = store_.find(dst);
+    if (e == nullptr)
+        return false;
+    std::lock_guard lock(e->lock);
+    // A tombstoned peer is never degraded: eviction clears suspicion and
+    // requires a closed breaker.
+    return e->live != nullptr &&
+        (e->live->breaker_open ||
+            e->live->status == peer_status::suspected);
 }
 
 pressure_state parcelhandler::flow_pressure(std::uint32_t dst) const
@@ -1038,23 +1383,31 @@ pressure_state parcelhandler::flow_pressure(std::uint32_t dst) const
         return pressure_state::ok;
     pressure_state const pool =
         serialization::buffer_pool::global().pressure();
-    // Steady state: no link above ok anywhere — answer without the lock.
+    // Steady state: no link above ok anywhere — answer without any lock.
     if (pressured_links_.load(std::memory_order_relaxed) == 0)
         return pool;
-    std::lock_guard lock(peers_lock_);
-    auto const it = peers_.find(dst);
-    if (it == peers_.end())
+    peer_entry const* e = store_.find(dst);
+    if (e == nullptr)
         return pool;
-    return max_pressure(pool, it->second.link_pressure);
+    std::lock_guard lock(e->lock);
+    if (e->live == nullptr)
+        return pool;
+    return max_pressure(pool, e->live->link_pressure);
 }
 
 pressure_state parcelhandler::current_pressure() const noexcept
 {
     if (!flow_.enabled)
         return pressure_state::ok;
-    return max_pressure(serialization::buffer_pool::global().pressure(),
-        static_cast<pressure_state>(
-            worst_link_pressure_.load(std::memory_order_relaxed)));
+    // The worst link state is derived from two counters maintained under
+    // the owning peers' locks — O(1) instead of the old full-map scan.
+    pressure_state worst = pressure_state::ok;
+    if (links_critical_.load(std::memory_order_relaxed) != 0)
+        worst = pressure_state::critical;
+    else if (pressured_links_.load(std::memory_order_relaxed) != 0)
+        worst = pressure_state::soft;
+    return max_pressure(
+        serialization::buffer_pool::global().pressure(), worst);
 }
 
 std::uint64_t parcelhandler::advertised_credit_wire() const noexcept
@@ -1137,18 +1490,20 @@ void parcelhandler::update_link_pressure_locked(peer_state& peer)
         next = pressure_state::soft;
     if (next == peer.link_pressure)
         return;
-    bool const was_ok = peer.link_pressure == pressure_state::ok;
+    pressure_state const prev = peer.link_pressure;
     peer.link_pressure = next;
-    if (was_ok && next != pressure_state::ok)
+    // Two transition counters keep current_pressure() O(1); the old code
+    // recomputed the max over every peer under the global lock here.
+    if (prev == pressure_state::ok && next != pressure_state::ok)
         pressured_links_.fetch_add(1, std::memory_order_relaxed);
-    else if (!was_ok && next == pressure_state::ok)
+    else if (prev != pressure_state::ok && next == pressure_state::ok)
         pressured_links_.fetch_sub(1, std::memory_order_relaxed);
-    // Handful of peers: recomputing the max is cheaper than being clever.
-    pressure_state worst = pressure_state::ok;
-    for (auto const& [d, p] : peers_)
-        worst = max_pressure(worst, p.link_pressure);
-    worst_link_pressure_.store(
-        static_cast<std::uint8_t>(worst), std::memory_order_relaxed);
+    if (prev != pressure_state::critical &&
+        next == pressure_state::critical)
+        links_critical_.fetch_add(1, std::memory_order_relaxed);
+    else if (prev == pressure_state::critical &&
+        next != pressure_state::critical)
+        links_critical_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void parcelhandler::fail_job(delivery_error err, send_job&& job)
@@ -1208,23 +1563,37 @@ void parcelhandler::stamp_epochs_locked(
 {
     if (!membership_.enabled)
         return;    // epoch 0 on the wire = membership checks bypassed
-    hdr.src_epoch = self_epoch_.load(std::memory_order_relaxed);
+    // Stamp the epoch the STREAM is bound to, not the live self epoch:
+    // (src_epoch, seq) consistency is then an invariant local to this
+    // peer's lock, which is what lets an epoch refutation fence links one
+    // at a time.  A send racing the refute sweep stamps the old epoch on
+    // the old stream — the receiver fences it as a ghost — never the new
+    // epoch on a stale sequence number.
+    hdr.src_epoch = peer.link_epoch != 0 ?
+        peer.link_epoch :
+        self_epoch_.load(std::memory_order_relaxed);
     // Until the peer's epoch is observed, assume the initial incarnation.
     hdr.dst_epoch = peer.epoch == 0 ? 1 : peer.epoch;
 }
 
 bool parcelhandler::peer_dead(std::uint32_t dst) const
 {
-    std::lock_guard lock(peers_lock_);
-    auto const it = peers_.find(dst);
-    return it != peers_.end() && it->second.status == peer_status::dead;
+    peer_entry const* e = store_.find(dst);
+    if (e == nullptr)
+        return false;
+    std::lock_guard lock(e->lock);
+    if (e->live)
+        return e->live->status == peer_status::dead;
+    return e->tombstoned && e->tomb.status == peer_status::dead;
 }
 
 void parcelhandler::fence_peer_locked(
-    std::uint32_t dst, peer_state& peer, fenced_state& out)
+    peer_entry& e, peer_state& peer, fenced_state& out)
 {
-    out.dst = dst;
+    out.dst = e.id;
     out.unacked.reserve(out.unacked.size() + peer.unacked.size());
+    unacked_total_.fetch_sub(
+        peer.unacked.size(), std::memory_order_release);
     for (auto& [seq, u] : peer.unacked)
         out.unacked.push_back(std::move(u));
     peer.unacked.clear();
@@ -1243,11 +1612,18 @@ void parcelhandler::fence_peer_locked(
     peer.srtt_us = 0.0;
     peer.credit_window = 0;
     peer.has_credit = false;
+    // The fresh stream binds to the CURRENT self incarnation.
+    peer.link_epoch = self_epoch_.load(std::memory_order_relaxed);
     // Receiver side: out-of-order frames from the fenced incarnation are
     // dropped undecoded, and the dedup window resets with the epoch.
     peer.cum_received = 0;
+    held_total_.fetch_sub(peer.held.size(), std::memory_order_release);
     peer.held.clear();
-    peer.ack_pending = false;
+    if (peer.ack_pending)
+    {
+        peer.ack_pending = false;
+        acks_pending_.fetch_sub(1, std::memory_order_release);
+    }
     if (peer.breaker_open)
     {
         peer.breaker_open = false;
@@ -1255,6 +1631,10 @@ void parcelhandler::fence_peer_locked(
     }
     if (flow_.enabled)
         update_link_pressure_locked(peer);
+    // A fence is contact (death verdict or rejoin): restart the idle
+    // clock so the dead-peer probe cycles run before eviction compresses
+    // the quarantine into the tombstone.
+    e.last_activity_ns = now_ns();
 }
 
 std::size_t parcelhandler::fail_fenced(fenced_state&& fenced)
@@ -1291,21 +1671,60 @@ std::size_t parcelhandler::fail_fenced(fenced_state&& fenced)
 }
 
 bool parcelhandler::membership_admit(
-    std::uint32_t src, frame_header const& hdr)
+    std::uint32_t src, frame_info const& info)
 {
     if (!membership_.enabled)
         return true;
 
+    frame_header const& hdr = info.header;
     std::int64_t const now = now_ns();
     fenced_state fenced;
-    std::vector<fenced_state> refute_fenced;
     bool rejoined = false;
     bool admit = true;
     std::uint32_t rejoin_epoch = 0;
-    std::uint32_t refuted_epoch = 0;
+    std::uint32_t refute_epoch = 0;
+    peer_entry& e = store_.get_or_create(src);
     {
-        std::lock_guard lock(peers_lock_);
-        auto& peer = peers_[src];
+        std::lock_guard lock(e.lock);
+
+        // Tombstone gate, BEFORE hydration: the cheap fencing decisions
+        // are answered from the ~40-byte tombstone so ghosts and idle
+        // chatter never resurrect a full protocol block.
+        if (!e.live && e.tombstoned)
+        {
+            if (hdr.src_epoch != 0 && hdr.src_epoch < e.tomb.epoch)
+            {
+                // Ghost from an incarnation that already rejoined under a
+                // newer epoch.
+                counters_.stale_epoch_frames.fetch_add(
+                    1, std::memory_order_relaxed);
+                return false;
+            }
+            if (hdr.src_epoch != 0 && hdr.src_epoch == e.tomb.epoch &&
+                e.tomb.status == peer_status::dead)
+            {
+                // The quarantined incarnation keeps knocking: the
+                // tombstone answers without rehydrating it.
+                counters_.stale_epoch_frames.fetch_add(
+                    1, std::memory_order_relaxed);
+                return false;
+            }
+            // Same-epoch pure control frame (heartbeat or standalone ack,
+            // addressed to our current incarnation): acknowledge nothing,
+            // rehydrate nothing.  Without this gate two idle peers would
+            // flap each other's tombstones forever — A's heartbeat
+            // rehydrates B, B heartbeats back, rehydrating A...  Data
+            // frames, higher epochs and probes past our epoch fall
+            // through and hydrate below.
+            std::uint32_t const self =
+                self_epoch_.load(std::memory_order_relaxed);
+            if (hdr.seq == 0 && info.count == 0 &&
+                (hdr.src_epoch == 0 || hdr.src_epoch == e.tomb.epoch) &&
+                (hdr.dst_epoch == 0 || hdr.dst_epoch == self))
+                return false;
+        }
+
+        peer_state& peer = hydrate_locked(e);
 
         // Source-epoch rules (0 = sender without membership: bypass).
         if (hdr.src_epoch != 0)
@@ -1328,7 +1747,7 @@ bool parcelhandler::membership_admit(
                 // The peer restarted: fence every byte of state tied to
                 // its previous incarnation, then admit the frame under the
                 // new epoch.
-                fence_peer_locked(src, peer, fenced);
+                fence_peer_locked(e, peer, fenced);
                 if (peer.status == peer_status::suspected)
                     suspected_peers_.fetch_sub(1, std::memory_order_release);
                 else if (peer.status == peer_status::dead)
@@ -1372,6 +1791,10 @@ bool parcelhandler::membership_admit(
             COAL_LOG_INFO("parcel",
                 "peer %u heard from again: suspicion cleared", src);
         }
+        // Only DATA traffic restarts the idle-eviction clock; heartbeats
+        // and probes must not keep an idle pair resident forever.
+        if (hdr.seq != 0 || info.count != 0)
+            e.last_activity_ns = now;
 
         // Destination-epoch rules.
         std::uint32_t const self =
@@ -1379,24 +1802,11 @@ bool parcelhandler::membership_admit(
         if (hdr.dst_epoch != 0 && hdr.dst_epoch > self)
         {
             // A frame addressed PAST our incarnation: some peer declared
-            // us dead and will only readmit a newer epoch (its dead-peer
-            // probes say so explicitly).  Refute the false positive by
-            // adopting that epoch — a virtual restart.  Every link is
-            // fenced exactly as a real crash would: the in-flight window
-            // fails as peer_failed, streams restart from seq 1, and each
-            // peer re-fences its own side when it observes the new epoch
-            // through the normal rejoin rule.  Without this, a
-            // false-positive death never heals: the accuser quarantines
-            // our epoch forever while we retransmit into the void.
-            self_epoch_.store(hdr.dst_epoch, std::memory_order_relaxed);
-            refuted_epoch = hdr.dst_epoch;
-            for (auto& [dst, p] : peers_)
-            {
-                fenced_state f;
-                fence_peer_locked(dst, p, f);
-                refute_fenced.push_back(std::move(f));
-            }
-            counters_.epoch_refutes.fetch_add(1, std::memory_order_relaxed);
+            // us dead and will only readmit a newer epoch.  Refuting means
+            // adopting that epoch and fencing EVERY link — done outside
+            // this (single-peer) lock by refute_self; the per-peer
+            // link_epoch keeps racing sends consistent meanwhile.
+            refute_epoch = hdr.dst_epoch;
         }
         else if (hdr.dst_epoch != 0 && hdr.dst_epoch < self)
         {
@@ -1407,8 +1817,13 @@ bool parcelhandler::membership_admit(
             // its side.
             counters_.stale_epoch_frames.fetch_add(
                 1, std::memory_order_relaxed);
-            peer.ack_pending = true;
+            if (!peer.ack_pending)
+            {
+                peer.ack_pending = true;
+                acks_pending_.fetch_add(1, std::memory_order_release);
+            }
             peer.ack_deadline_ns = now;    // emit on the next tick
+            ring_.schedule(e.shared_from_this(), now);
             admit = false;
         }
     }
@@ -1423,191 +1838,173 @@ bool parcelhandler::membership_admit(
             "its previous incarnation failed)",
             src, rejoin_epoch, failed);
     }
-    if (refuted_epoch != 0)
-    {
-        std::size_t failed = 0;
-        for (auto& f : refute_fenced)
-            failed += fail_fenced(std::move(f));
-        COAL_LOG_WARN("parcel",
-            "locality %u was falsely declared dead by peer %u: refuted by "
-            "adopting incarnation epoch %u (virtual restart, %zu in-flight "
-            "parcels failed)",
-            here_, src, refuted_epoch, failed);
-    }
+    if (refute_epoch != 0)
+        refute_self(refute_epoch, src);
     return admit;
 }
 
-bool parcelhandler::progress_membership(std::int64_t now)
+void parcelhandler::refute_self(std::uint32_t new_epoch, std::uint32_t accuser)
 {
-    if (!membership_.enabled || crashed_.load(std::memory_order_acquire))
-        return false;
+    // Only the CAS winner sweeps; concurrent accusations of the same (or
+    // a lower) epoch are already covered by the winner's fence pass.
+    std::uint32_t cur = self_epoch_.load(std::memory_order_acquire);
+    for (;;)
+    {
+        if (cur >= new_epoch)
+            return;
+        if (self_epoch_.compare_exchange_weak(
+                cur, new_epoch, std::memory_order_acq_rel))
+            break;
+    }
+    counters_.epoch_refutes.fetch_add(1, std::memory_order_relaxed);
 
-    struct beat_job
+    // Fence every link, one peer lock at a time — a virtual restart
+    // without a stop-the-world lock.  A send interleaving with the sweep
+    // stamps its link's OLD epoch (link_epoch) on the OLD stream, which
+    // the receiver fences as a ghost; the new epoch only ever appears on
+    // streams this sweep has already reset.
+    std::size_t failed = 0;
+    std::vector<std::shared_ptr<peer_entry>> entries;
+    for (std::size_t s = 0; s != peer_store::shard_count; ++s)
     {
-        std::uint32_t dst;
-        frame_header hdr;
-    };
-    std::vector<beat_job> beats;
-    std::vector<fenced_state> deaths;
-    {
-        std::lock_guard lock(peers_lock_);
-        for (auto& [dst, peer] : peers_)
+        entries.clear();
+        store_.collect_shard(s, entries);
+        for (auto const& ep : entries)
         {
-            if (peer.status == peer_status::dead)
+            fenced_state f;
             {
-                // Probe the dead peer occasionally: a restarted
-                // incarnation answers (or just talks) with a higher
-                // src_epoch, which readmits it through membership_admit.
-                if (now - peer.last_probe_ns >=
-                    membership_.probe_interval_us * 1000)
+                std::lock_guard lock(ep->lock);
+                if (ep->live)
                 {
-                    peer.last_probe_ns = now;
-                    peer.last_sent_ns = now;
-                    frame_header hdr;
-                    stamp_epochs_locked(peer, hdr);
-                    // Poison probe: address the NEXT incarnation, not the
-                    // fenced one.  A genuinely restarted peer carries a
-                    // higher epoch anyway; a falsely-declared-dead peer
-                    // sees a frame addressed past its own incarnation and
-                    // learns it has been quarantined — it refutes by
-                    // adopting the higher epoch (a virtual restart), which
-                    // is the only way a false-positive death can heal:
-                    // without it the victim retransmits into the
-                    // quarantine forever while these very probes keep
-                    // refreshing its liveness view of us.
-                    ++hdr.dst_epoch;
-                    beats.push_back(beat_job{dst, hdr});
+                    fence_peer_locked(*ep, *ep->live, f);
                 }
-                continue;
+                else if (ep->tombstoned)
+                {
+                    // Tombstones carry the stream binding too: patch them
+                    // so a later rehydration starts a fresh stream under
+                    // the new epoch instead of stamping the stale one.
+                    ep->tomb.link_epoch = new_epoch;
+                    ep->tomb.next_seq = 1;
+                    ++ep->tomb.stream_gen;
+                    ep->tomb.cum_received = 0;
+                }
             }
-
-            // Phi-accrual suspicion: how many expected inter-arrival
-            // gaps have elapsed since the peer was last heard?
-            if (peer.last_heard_ns == 0)
-                peer.last_heard_ns = now;    // start the silence clock
-            double const elapsed_us =
-                static_cast<double>(now - peer.last_heard_ns) / 1000.0;
-            double const mean_us = std::max(peer.ewma_interarrival_us,
-                static_cast<double>(membership_.heartbeat_interval_us));
-            double const phi = elapsed_us / mean_us;
-
-            if (peer.status == peer_status::alive &&
-                phi >= membership_.suspect_phi)
-            {
-                peer.status = peer_status::suspected;
-                suspected_peers_.fetch_add(1, std::memory_order_release);
-                counters_.peers_suspected.fetch_add(
-                    1, std::memory_order_relaxed);
-                trace::tracer::global().record(here_,
-                    trace::event_kind::peer_suspected, dst,
-                    static_cast<std::uint64_t>(phi * 1000.0));
-                COAL_LOG_WARN("parcel",
-                    "peer %u suspected (phi %.1f, silent %.0f us): "
-                    "coalescing bypassed",
-                    dst, phi, elapsed_us);
-            }
-
-            if (phi >= membership_.dead_phi &&
-                elapsed_us >= static_cast<double>(membership_.min_dead_us))
-            {
-                if (peer.status == peer_status::suspected)
-                    suspected_peers_.fetch_sub(1, std::memory_order_release);
-                peer.status = peer_status::dead;
-                dead_peers_.fetch_add(1, std::memory_order_release);
-                counters_.peers_declared_dead.fetch_add(
-                    1, std::memory_order_relaxed);
-                fenced_state f;
-                fence_peer_locked(dst, peer, f);
-                deaths.push_back(std::move(f));
-                peer.last_probe_ns = now;
-                continue;
-            }
-
-            // Keep the link's liveness signal alive when it is otherwise
-            // idle: a standalone heartbeat doubles as an ack/credit
-            // carrier, so a quiet link still converges its flow state.
-            if (now - peer.last_sent_ns >=
-                membership_.heartbeat_interval_us * 1000)
-            {
-                peer.last_sent_ns = now;
-                frame_header hdr;
-                hdr.ack = peer.cum_received;
-                hdr.sack = sack_bits_locked(peer);
-                if (flow_.enabled)
-                    hdr.credit = advertised_credit_wire();
-                stamp_epochs_locked(peer, hdr);
-                peer.ack_pending = false;    // the beat carries the ack
-                beats.push_back(beat_job{dst, hdr});
-            }
+            if (!f.unacked.empty() || !f.deferred.empty())
+                failed += fail_fenced(std::move(f));
         }
     }
-
-    for (auto& b : beats)
-    {
-        counters_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
-        transport_.send(here_, b.dst, encode_message({}, b.hdr));
-    }
-    for (auto& f : deaths)
-    {
-        std::uint32_t const dst = f.dst;
-        std::size_t const failed = fail_fenced(std::move(f));
-        trace::tracer::global().record(
-            here_, trace::event_kind::peer_failed, dst, failed);
-        COAL_LOG_WARN("parcel",
-            "peer %u declared dead: link fenced, %zu parcels failed "
-            "(peer_failed)",
-            dst, failed);
-    }
-    if (!deaths.empty())
-    {
-        // Parcels coalesced toward the dead peer must not sit in its
-        // queues until the batch/delay trigger fires: flush now so they
-        // reach progress_send and fail promptly.
-        flush_message_handlers();
-    }
-    return !beats.empty() || !deaths.empty();
+    COAL_LOG_WARN("parcel",
+        "locality %u was falsely declared dead by peer %u: refuted by "
+        "adopting incarnation epoch %u (virtual restart, %zu in-flight "
+        "parcels failed)",
+        here_, accuser, new_epoch, failed);
 }
 
 parcelhandler::health_snapshot parcelhandler::health() const
 {
     health_snapshot s;
-    std::lock_guard lock(peers_lock_);
-    s.known_peers = peers_.size();
+    // Live footprint only: tombstoned peers left the working set (their
+    // quarantine, if any, is visible through peer_stats()).
+    s.known_peers = store_.active();
     s.suspected_peers = suspected_peers_.load(std::memory_order_relaxed);
     s.dead_peers = dead_peers_.load(std::memory_order_relaxed);
     return s;
 }
 
+parcelhandler::peer_store_stats parcelhandler::peer_stats() const
+{
+    peer_store_stats s;
+    s.active = store_.active();
+    s.evicted = store_.tombstoned();
+    s.shard_max_occupancy = store_.shard_max_occupancy();
+    s.evictions = store_.evictions();
+    s.rehydrations = store_.rehydrations();
+    return s;
+}
+
 peer_status parcelhandler::peer_liveness(std::uint32_t dst) const
 {
-    std::lock_guard lock(peers_lock_);
-    auto const it = peers_.find(dst);
-    return it == peers_.end() ? peer_status::alive : it->second.status;
+    peer_entry const* e = store_.find(dst);
+    if (e == nullptr)
+        return peer_status::alive;
+    std::lock_guard lock(e->lock);
+    if (e->live)
+        return e->live->status;
+    return e->tombstoned ? e->tomb.status : peer_status::alive;
 }
+
+namespace {
+
+    void fill_debug_locked(
+        parcelhandler::peer_debug& d, peer_state const& peer)
+    {
+        d.known = true;
+        d.evicted = false;
+        d.status = peer.status;
+        d.epoch = peer.epoch;
+        d.unacked_frames = peer.unacked.size();
+        d.held_frames = peer.held.size();
+        d.deferred_jobs = peer.deferred.size();
+        d.unacked_bytes = peer.unacked_bytes;
+        d.deferred_bytes = peer.deferred_bytes;
+        d.next_seq = peer.next_seq;
+        d.cum_received = peer.cum_received;
+        if (!peer.unacked.empty())
+            d.lowest_unacked_seq = peer.unacked.begin()->first;
+        if (!peer.held.empty())
+            d.lowest_held_seq = peer.held.begin()->first;
+    }
+
+}    // namespace
 
 parcelhandler::peer_debug parcelhandler::debug_peer(std::uint32_t dst) const
 {
     peer_debug d;
-    std::lock_guard lock(peers_lock_);
-    auto const it = peers_.find(dst);
-    if (it == peers_.end())
+    peer_entry const* e = store_.find(dst);
+    if (e == nullptr)
         return d;
-    peer_state const& peer = it->second;
-    d.known = true;
-    d.status = peer.status;
-    d.epoch = peer.epoch;
-    d.unacked_frames = peer.unacked.size();
-    d.held_frames = peer.held.size();
-    d.deferred_jobs = peer.deferred.size();
-    d.unacked_bytes = peer.unacked_bytes;
-    d.deferred_bytes = peer.deferred_bytes;
-    d.next_seq = peer.next_seq;
-    d.cum_received = peer.cum_received;
-    if (!peer.unacked.empty())
-        d.lowest_unacked_seq = peer.unacked.begin()->first;
-    if (!peer.held.empty())
-        d.lowest_held_seq = peer.held.begin()->first;
+    std::lock_guard lock(e->lock);
+    if (e->live)
+    {
+        fill_debug_locked(d, *e->live);
+    }
+    else if (e->tombstoned)
+    {
+        d.known = true;
+        d.evicted = true;
+        d.status = e->tomb.status;
+        d.epoch = e->tomb.epoch;
+        d.next_seq = e->tomb.next_seq;
+        d.cum_received = e->tomb.cum_received;
+    }
+    // A crash-reset slot (neither live nor tombstoned) reports unknown:
+    // the incarnation's memory of that peer is gone.
     return d;
+}
+
+std::vector<std::pair<std::uint32_t, parcelhandler::peer_debug>>
+parcelhandler::debug_active_peers() const
+{
+    std::vector<std::pair<std::uint32_t, peer_debug>> out;
+    std::vector<std::shared_ptr<peer_entry>> entries;
+    for (std::size_t s = 0; s != peer_store::shard_count; ++s)
+    {
+        // One shard lock to copy the entry list, then one entry lock per
+        // peer: a slow diagnostic dump never stalls senders behind a
+        // global lock (they only ever contend on their own peer).
+        entries.clear();
+        store_.collect_shard(s, entries);
+        for (auto const& ep : entries)
+        {
+            std::lock_guard lock(ep->lock);
+            if (!ep->live)
+                continue;
+            peer_debug d;
+            fill_debug_locked(d, *ep->live);
+            out.emplace_back(ep->id, d);
+        }
+    }
+    return out;
 }
 
 void parcelhandler::simulate_crash()
@@ -1629,6 +2026,7 @@ void parcelhandler::simulate_crash()
 
     std::vector<parcel> destroyed;
     std::vector<fenced_state> fenced_all;
+    std::vector<std::shared_ptr<peer_entry>> entries;
     auto drain = [&] {
         // Queued-but-unsent messages die with the incarnation.  (The
         // ticket sequencer is deliberately left intact: batches detached
@@ -1644,19 +2042,37 @@ void parcelhandler::simulate_crash()
         while (auto msg = inbox_.try_pop())
         {
         }
-        std::lock_guard lock(peers_lock_);
-        for (auto& [dst, peer] : peers_)
+        // Per-peer teardown, one entry lock at a time.  reset() drops the
+        // tombstone too — the dead incarnation's memory (streams, dedup
+        // windows, quarantines) must not leak into the next one.  Ring
+        // registrations of reset entries die on their next pop (!live).
+        for (std::size_t s = 0; s != peer_store::shard_count; ++s)
         {
-            fenced_state f;
-            fence_peer_locked(dst, peer, f);
-            if (!f.unacked.empty() || !f.deferred.empty())
-                fenced_all.push_back(std::move(f));
-            if (peer.status == peer_status::suspected)
-                suspected_peers_.fetch_sub(1, std::memory_order_release);
-            else if (peer.status == peer_status::dead)
-                dead_peers_.fetch_sub(1, std::memory_order_release);
+            entries.clear();
+            store_.collect_shard(s, entries);
+            for (auto const& ep : entries)
+            {
+                std::lock_guard lock(ep->lock);
+                if (ep->live)
+                {
+                    fenced_state f;
+                    fence_peer_locked(*ep, *ep->live, f);
+                    if (!f.unacked.empty() || !f.deferred.empty())
+                        fenced_all.push_back(std::move(f));
+                    if (ep->live->status == peer_status::suspected)
+                        suspected_peers_.fetch_sub(
+                            1, std::memory_order_release);
+                    else if (ep->live->status == peer_status::dead)
+                        dead_peers_.fetch_sub(1, std::memory_order_release);
+                }
+                else if (ep->tombstoned &&
+                    ep->tomb.status == peer_status::dead)
+                {
+                    tombstoned_dead_.fetch_sub(1, std::memory_order_release);
+                }
+                store_.reset(*ep);
+            }
         }
-        peers_.clear();
     };
 
     // Two wait+drain rounds close the race with workers that passed
@@ -1726,11 +2142,21 @@ bool parcelhandler::progress()
         return false;
     bool const sent = progress_send();
     bool const received = progress_receive();
-    bool const pumped = progress_reliability();
-    bool const beat = progress_membership(now_ns());
+    bool pumped = false;
+    if (reliability_.enabled)
+    {
+        // Deadline service is ring-driven: one drainer at a time visits
+        // only the peers whose timers came due — amortized O(active)
+        // instead of the old O(peers-ever-seen) full-map walks.
+        std::int64_t const now = now_ns();
+        pumped = ring_.drain(
+            now, [this](peer_entry& e) { return service_peer(e); });
+        if (evict_hand_step(now))
+            pumped = true;
+    }
     if (flow_.enabled)
         note_pressure_transition();
-    return sent || received || pumped || beat;
+    return sent || received || pumped;
 }
 
 void parcelhandler::stop()

@@ -52,6 +52,7 @@
 #include <coal/parcel/membership.hpp>
 #include <coal/parcel/message_handler.hpp>
 #include <coal/parcel/parcel.hpp>
+#include <coal/parcel/peer_store.hpp>
 #include <coal/threading/scheduler.hpp>
 
 #include <array>
@@ -115,6 +116,9 @@ struct parcelhandler_counters
     /// refuted by adopting the higher epoch — a virtual restart.
     std::atomic<std::uint64_t> epoch_refutes{0};
     std::atomic<std::uint64_t> peer_failed_failures{0};    ///< parcels failed as peer_failed
+    // Sharded peer store (/net/peers/*; zero while reliability is off):
+    std::atomic<std::uint64_t> peers_evicted{0};    ///< idle demotions to tombstones
+    std::atomic<std::uint64_t> peers_rehydrated{0};    ///< tombstones restored on contact
     /// Parcels whose frame was acknowledged by the peer — the sender-side
     /// "confirmed delivered" half of the chaos-soak conservation law
     /// confirmed + failed + shed == offered.
@@ -187,7 +191,8 @@ public:
 
     parcelhandler(std::uint32_t here, net::transport& transport,
         threading::scheduler& scheduler, reliability_params reliability = {},
-        flow_params flow = {}, membership_params membership = {});
+        flow_params flow = {}, membership_params membership = {},
+        peer_store_params store = {});
     ~parcelhandler();
 
     parcelhandler(parcelhandler const&) = delete;
@@ -303,7 +308,7 @@ public:
     /// coalescer consults this to shrink its batch targets under `soft`
     /// pressure; put_parcel sheds best-effort parcels under `critical`.
     /// Steady state (no watermark crossed anywhere) answers from two
-    /// relaxed atomic loads without taking peers_lock_.
+    /// relaxed atomic loads without touching any peer lock.
     [[nodiscard]] pressure_state flow_pressure(std::uint32_t dst) const;
 
     /// Process-level pressure: pool state combined with the worst link.
@@ -343,6 +348,9 @@ public:
     [[nodiscard]] peer_status peer_liveness(std::uint32_t dst) const;
 
     /// Aggregate membership gauges the /net/health counters read.
+    /// known_peers is the *live* footprint (hydrated entries); evicted
+    /// tombstones are reported through peer_stats() instead, and a dead
+    /// peer demoted to a tombstone leaves dead_peers too.
     struct health_snapshot
     {
         std::size_t known_peers = 0;
@@ -351,6 +359,22 @@ public:
     };
     [[nodiscard]] health_snapshot health() const;
 
+    /// Sharded-store gauges the /net/peers counters read.
+    struct peer_store_stats
+    {
+        std::size_t active = 0;       ///< hydrated entries
+        std::size_t evicted = 0;      ///< tombstoned entries
+        std::size_t shard_max_occupancy = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t rehydrations = 0;
+    };
+    [[nodiscard]] peer_store_stats peer_stats() const;
+
+    [[nodiscard]] peer_store_params const& store_params() const noexcept
+    {
+        return store_params_;
+    }
+
     /// Test/debug introspection: bytes and entries the reliability/flow
     /// layers retain for one peer.  A fenced (dead) peer must show zero
     /// everywhere — that is the "no per-peer state leak" invariant the
@@ -358,6 +382,7 @@ public:
     struct peer_debug
     {
         bool known = false;
+        bool evicted = false;    ///< demoted to a tombstone (state zeroed)
         peer_status status = peer_status::alive;
         std::uint32_t epoch = 0;
         std::size_t unacked_frames = 0;
@@ -373,6 +398,14 @@ public:
         std::uint64_t lowest_held_seq = 0;       ///< 0 = none
     };
     [[nodiscard]] peer_debug debug_peer(std::uint32_t dst) const;
+
+    /// Every hydrated peer's debug view, collected one shard at a time
+    /// (shard lock to copy the entry list, then one entry lock each) —
+    /// the quiesce non-convergence diagnostic iterates this instead of
+    /// probing every locality pair, so a 5 s dump no longer stalls all
+    /// senders behind one global lock.
+    [[nodiscard]] std::vector<std::pair<std::uint32_t, peer_debug>>
+    debug_active_peers() const;
 
     /// Chaos hook: model a hard crash of this locality.  All queued,
     /// in-flight and retransmit-held outbound parcels are surfaced through
@@ -400,14 +433,8 @@ public:
     void stop();
 
 private:
-    struct send_job
-    {
-        std::uint32_t dst;
-        std::vector<parcel> parcels;
-        /// Estimated wire bytes; stamped when the job is deferred so the
-        /// release path need not re-measure it.
-        std::size_t bytes = 0;
-    };
+    // send_job, unacked_frame, held_frame and peer_state moved to
+    // peer_store.hpp with the sharded store.
 
     /// Reorder state for one ordered producer lane.  Lives in a sharded
     /// map: distinct streams (≈ distinct coalescer destinations) contend
@@ -441,84 +468,10 @@ private:
         serialization::shared_buffer payload;
     };
 
-    /// An outbound frame awaiting acknowledgement; the encoded frame is
-    /// retained *by reference* (its fragments are refcount-shared with
-    /// nothing else that mutates them), so registering it for
-    /// retransmission copies no payload bytes.  Each transmission takes a
-    /// flattened snapshot under peers_lock_ — the only point where the
-    /// patchable ack/sack prefix is both stable and current.
-    struct unacked_frame
-    {
-        serialization::wire_message frame;
-        std::size_t bytes = 0;    ///< wire size, counted in unacked_bytes
-        std::uint32_t parcels = 0;    ///< parcel count, for parcels_confirmed
-        std::int64_t first_send_ns = 0;
-        std::int64_t deadline_ns = 0;
-        std::int64_t rto_ns = 0;
-        unsigned attempts = 1;
-    };
-
-    /// A sequenced frame parked for reordering.  Held *undecoded* — the
-    /// parcels are only materialized (by the chunk tasks) once the frame
-    /// is released in order, so a reordering stall never pays decode for
-    /// frames it may hold for a long time.
-    struct held_frame
-    {
-        serialization::shared_buffer payload;
-        std::uint32_t count = 0;
-    };
-
-    /// Per-(peer, direction) reliability state, guarded by peers_lock_.
-    struct peer_state
-    {
-        // Sender side.
-        std::uint64_t next_seq = 1;
-        std::map<std::uint64_t, unacked_frame> unacked;
-        double srtt_us = 0.0;
-        /// Bumped by every fence.  A send job captures it with its
-        /// sequence number; if a fence (death or rejoin) slides in while
-        /// the frame is being encoded outside the lock, the stale
-        /// generation is detected at registration time and the job fails
-        /// as peer_failed instead of injecting a frame of the fenced
-        /// stream — with its already-recycled sequence number and stale
-        /// epoch stamp — into the fresh one.
-        std::uint64_t stream_gen = 0;
-        // Receiver side.
-        std::uint64_t cum_received = 0;
-        std::map<std::uint64_t, held_frame> held;    // out of order
-        bool ack_pending = false;
-        std::int64_t ack_deadline_ns = 0;
-        // Per-link circuit breaker.
-        bool breaker_open = false;
-        // Flow control (sender side).
-        std::uint64_t unacked_bytes = 0;    ///< wire bytes in `unacked`
-        std::uint64_t credit_window = 0;    ///< latest grant from the peer
-        bool has_credit = false;    ///< false until the first advertisement
-        std::deque<send_job> deferred;      ///< jobs awaiting window space
-        std::uint64_t deferred_bytes = 0;
-        /// When continuous credit starvation on this link began (0 = not
-        /// starving).  Feeds the slow-peer breaker trip.
-        std::int64_t starved_since_ns = 0;
-        pressure_state link_pressure = pressure_state::ok;
-        // Membership / failure detection.
-        /// The peer's incarnation epoch as last observed (0 = never heard
-        /// from it; senders then assume the initial epoch, 1).  For a dead
-        /// peer this is the *fenced* epoch: frames stamped with it stay
-        /// quarantined until the peer rejoins under a higher one.
-        std::uint32_t epoch = 0;
-        peer_status status = peer_status::alive;
-        std::int64_t last_heard_ns = 0;    ///< last valid frame from the peer
-        std::int64_t last_sent_ns = 0;     ///< last frame we emitted to it
-        std::int64_t last_probe_ns = 0;    ///< last dead-peer rejoin probe
-        /// EWMA of inter-arrival gaps, the phi-accrual denominator.
-        double ewma_interarrival_us = 0.0;
-    };
-
     void deliver_local(parcel&& p);
     void execute_parcel(parcel&& p);
     bool progress_send();
     bool progress_receive();
-    bool progress_reliability();
     void receive_one(inbound_message&& msg);
     void spawn_parcel_tasks(
         serialization::shared_buffer&& buffer, std::uint32_t count);
@@ -526,13 +479,33 @@ private:
         std::size_t offset, std::size_t count);
     [[nodiscard]] std::size_t chunk_size_for(std::size_t count) const noexcept;
     void handle_acks(std::uint32_t src, frame_header const& hdr);
-    void schedule_ack_locked(peer_state& peer, std::int64_t now);
+    void schedule_ack_locked(
+        peer_entry& e, peer_state& peer, std::int64_t now);
     [[nodiscard]] std::uint64_t sack_bits_locked(peer_state const& peer) const;
     [[nodiscard]] std::int64_t initial_rto_ns_locked(
         peer_state const& peer) const;
     void maybe_trip_breaker_locked(std::uint32_t dst, peer_state& peer);
     void complete_promise(
         continuation_id id, serialization::shared_buffer&& payload);
+
+    // -- sharded peer store -----------------------------------------------
+    /// Rehydrate an evicted entry (gauge-aware wrapper around
+    /// peer_store::hydrate).  Caller holds e.lock.
+    peer_state& hydrate_locked(peer_entry& e);
+    /// Demote the entry to its tombstone when the idle policy and the
+    /// protocol-state safety check both allow it; clears suspicion and
+    /// moves a dead verdict to the tombstoned_dead_ gauge.  Caller holds
+    /// e.lock.  Returns true when the entry was evicted.
+    bool try_evict_locked(peer_entry& e, peer_state& peer, std::int64_t now);
+    /// Clock-hand eviction sweep: examine up to evict_scan_budget entries
+    /// via the shard snapshots (try-lock; concurrent callers skip).
+    bool evict_hand_step(std::int64_t now);
+    /// Per-peer deadline service driven by the due-time ring: due acks,
+    /// windowed RTO retransmits, starvation/dark-link handling, deferred
+    /// release, phi-accrual liveness, heartbeats and dead-peer probes —
+    /// everything the old full-map background walks did, now amortized
+    /// O(active).  Returns the peer's next absolute deadline.
+    std::int64_t service_peer(peer_entry& e);
 
     // -- flow control -----------------------------------------------------
     /// The credit this locality grants its peers right now, scaled by
@@ -572,12 +545,14 @@ private:
     };
     /// Strip every byte of sender+receiver protocol state for a peer:
     /// unacked and deferred parcels move to `out` (to be failed as
-    /// peer_failed), held/ack/credit/seq/breaker state is reset, and the
-    /// gauges (open_breakers_, deferred_sends_, pressured_links_) are
-    /// adjusted.  The caller decides what the fence means (death vs
-    /// rejoin) and fixes status/epoch afterwards.
+    /// peer_failed), held/ack/credit/seq/breaker state is reset, the
+    /// stream re-binds to the current self epoch (link_epoch), and the
+    /// gauges (open_breakers_, deferred_sends_, pressured_links_ and the
+    /// reliability totals) are adjusted.  The caller decides what the
+    /// fence means (death vs rejoin) and fixes status/epoch afterwards.
+    /// Caller holds e.lock.
     void fence_peer_locked(
-        std::uint32_t dst, peer_state& peer, fenced_state& out);
+        peer_entry& e, peer_state& peer, fenced_state& out);
     /// Fail everything a fence collected (decodes retained frames back to
     /// parcels).  Returns the number of parcels failed.
     std::size_t fail_fenced(fenced_state&& fenced);
@@ -586,13 +561,16 @@ private:
     /// addressed to a previous incarnation of this locality).  Updates
     /// last-heard/EWMA liveness state and handles rejoin fencing.
     [[nodiscard]] bool membership_admit(
-        std::uint32_t src, frame_header const& hdr);
-    /// Failure-detector tick: phi-accrual scoring, suspected/dead
-    /// escalation, heartbeat and dead-peer probe scheduling.  Returns true
-    /// when it emitted work.
-    bool progress_membership(std::int64_t now);
-    /// True when `dst` is currently marked dead (cheap dead_peers_ gate
-    /// first, then the lock).
+        std::uint32_t src, frame_info const& info);
+    /// Adopt `new_epoch` (a virtual restart refuting a false-positive
+    /// death) and fence every link, one peer lock at a time.  The
+    /// per-peer link_epoch makes the sweep safe without a global lock:
+    /// sends racing it stamp the old epoch on the old stream, which the
+    /// receiver fences as a ghost — never the new epoch on a stale
+    /// sequence number.  Called WITHOUT any peer lock held.
+    void refute_self(std::uint32_t new_epoch, std::uint32_t accuser);
+    /// True when `dst` is currently marked dead (cheap gauge gate first,
+    /// then the entry lock; a dead tombstone counts).
     [[nodiscard]] bool peer_dead(std::uint32_t dst) const;
     /// Stamp the membership epochs on an outgoing frame header for `dst`.
     void stamp_epochs_locked(peer_state const& peer, frame_header& hdr) const;
@@ -626,27 +604,46 @@ private:
     reliability_params reliability_;
     flow_params flow_;
     membership_params membership_;
-    mutable spinlock peers_lock_;
-    std::unordered_map<std::uint32_t, peer_state> peers_;
+    peer_store_params store_params_;
+    /// The sharded peer store (declared before the ring: the ring's
+    /// buckets hold entry references and must be destroyed first).
+    peer_store store_;
+    due_ring ring_;
+    /// Clock-hand eviction cursor (hand_lock_ guards all three; steps
+    /// try-lock so concurrent progress() callers never wait here).
+    spinlock hand_lock_;
+    std::size_t hand_shard_ = 0;
+    std::size_t hand_pos_ = 0;
+    std::int64_t hand_last_step_ns_ = 0;
     /// Links whose circuit breaker is currently open; lets
-    /// link_degraded() answer "none" without taking peers_lock_.
-    /// Mutated only under peers_lock_.
+    /// link_degraded() answer "none" without any peer lock.  Mutated
+    /// only under the owning peer's lock.
     std::atomic<std::size_t> open_breakers_{0};
-    /// Links whose link_pressure is above ok, and the worst such state —
-    /// the lock-free fast path of flow_pressure()/current_pressure().
-    /// Mutated only under peers_lock_.
+    /// Links whose link_pressure is above ok / at critical — the
+    /// lock-free fast path of flow_pressure()/current_pressure().
+    /// Mutated only under the owning peer's lock.
     std::atomic<std::size_t> pressured_links_{0};
-    std::atomic<std::uint8_t> worst_link_pressure_{0};
+    std::atomic<std::size_t> links_critical_{0};
     /// Last process-level pressure reported by note_pressure_transition().
     std::atomic<std::uint8_t> last_pressure_{0};
     /// Deferred send jobs across all peers (gauge for pending_sends()).
     std::atomic<std::size_t> deferred_sends_{0};
+    /// Reliability totals maintained at every mutation point so
+    /// pending_reliability() is three relaxed loads instead of a
+    /// full-store walk under lock.
+    std::atomic<std::size_t> unacked_total_{0};
+    std::atomic<std::size_t> held_total_{0};
+    std::atomic<std::size_t> acks_pending_{0};
     /// Peers currently suspected / declared dead (gauges; mutated only
-    /// under peers_lock_).  Both also serve as lock-free fast-path gates:
-    /// link_degraded() and put_parcel's dead-peer check skip the lock
-    /// while they read zero.
+    /// under the owning peer's lock).  Both also serve as lock-free
+    /// fast-path gates: link_degraded() and put_parcel's dead-peer check
+    /// skip the lock while they read zero.  A dead peer demoted to a
+    /// tombstone moves from dead_peers_ to tombstoned_dead_ — the
+    /// /net/health gauge reports only the live footprint, but the
+    /// put_parcel fail-fast gate checks the sum.
     std::atomic<std::size_t> suspected_peers_{0};
     std::atomic<std::size_t> dead_peers_{0};
+    std::atomic<std::size_t> tombstoned_dead_{0};
     /// This locality's incarnation epoch; starts at 1, bumped by
     /// restart_incarnation().
     std::atomic<std::uint32_t> self_epoch_{1};

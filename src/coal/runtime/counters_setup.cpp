@@ -23,6 +23,7 @@
 #include <coal/perf/counter_path.hpp>
 #include <coal/serialization/buffer_pool.hpp>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -578,6 +579,68 @@ void runtime::register_counters()
         "peers currently declared dead (gauge; rejoin clears)",
         health_gauge([](parcel::parcelhandler::health_snapshot const& s) {
             return s.dead_peers;
+        }));
+
+    // ---- sharded peer store / idle eviction (/net/peers) ----------------
+    // Same shape as the health gauges, but read from the store's own
+    // lock-free gauges (peer_stats()).  shard_max_occupancy takes the max
+    // across localities rather than summing — it is a skew diagnostic.
+
+    auto store_gauge = [this](auto field, bool take_max = false) {
+        return [this, field, take_max](counter_path const& path)
+                   -> counter_ptr {
+            std::vector<locality*> selected;
+            if (auto loc = path.locality())
+            {
+                if (*loc >= num_localities())
+                    return nullptr;
+                selected.push_back(localities_[*loc].get());
+            }
+            else
+            {
+                for (auto const& l : localities_)
+                    selected.push_back(l.get());
+            }
+            return std::make_shared<perf::function_counter>(
+                [selected, field, take_max] {
+                    double total = 0.0;
+                    for (auto* l : selected)
+                    {
+                        double const v = static_cast<double>(
+                            field(l->parcels().peer_stats()));
+                        total = take_max ? std::max(total, v) : total + v;
+                    }
+                    return total;
+                });
+        };
+    };
+    counters_.register_counter_type("/net/peers/active",
+        "hydrated (resident) peer entries in the sharded store (gauge)",
+        store_gauge([](parcel::parcelhandler::peer_store_stats const& s) {
+            return s.active;
+        }));
+    counters_.register_counter_type("/net/peers/evicted",
+        "idle peers demoted to compact tombstones (gauge)",
+        store_gauge([](parcel::parcelhandler::peer_store_stats const& s) {
+            return s.evicted;
+        }));
+    counters_.register_counter_type("/net/peers/shard-max-occupancy",
+        "entries in the fullest shard (max across localities; hash-skew "
+        "diagnostic)",
+        store_gauge(
+            [](parcel::parcelhandler::peer_store_stats const& s) {
+                return s.shard_max_occupancy;
+            },
+            true));
+    counters_.register_counter_type("/net/peers/count/evictions",
+        "idle peers demoted to tombstones by the clock-hand sweeper",
+        store_gauge([](parcel::parcelhandler::peer_store_stats const& s) {
+            return s.evictions;
+        }));
+    counters_.register_counter_type("/net/peers/count/rehydrations",
+        "tombstoned peers restored to full state on renewed contact",
+        store_gauge([](parcel::parcelhandler::peer_store_stats const& s) {
+            return s.rehydrations;
         }));
 
     // ---- unified delivery-failure taxonomy (/net/count/delivery-errors) --

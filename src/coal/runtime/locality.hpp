@@ -39,7 +39,8 @@ public:
         timing::deadline_timer_service& timers,
         parcel::reliability_params reliability = {},
         parcel::flow_params flow = {},
-        parcel::membership_params membership = {});
+        parcel::membership_params membership = {},
+        parcel::peer_store_params store = {});
 
     locality(locality const&) = delete;
     locality& operator=(locality const&) = delete;

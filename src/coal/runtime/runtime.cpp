@@ -69,7 +69,8 @@ runtime::runtime(runtime_config config)
         sched.name = "locality#" + std::to_string(i);
         localities_.push_back(std::make_unique<locality>(*this,
             agas::locality_id{i}, sched, *transport_, *timers_,
-            config_.reliability, config_.flow, config_.membership));
+            config_.reliability, config_.flow, config_.membership,
+            config_.store));
     }
 
     // Component actions resolve their target objects through AGAS.
@@ -278,13 +279,14 @@ void runtime::quiesce()
                     loc->parcels().pending_receives(),
                     loc->parcels().pending_reliability(),
                     loc->coalescing().queued_parcels());
-                for (auto const& other : localities_)
+                // One pass over the hydrated peers (per-shard snapshots)
+                // instead of probing every locality pair — with many
+                // evicted/unknown peers the dump cost tracks what is
+                // actually resident.
+                for (auto const& [peer_id, dbg] :
+                    loc->parcels().debug_active_peers())
                 {
-                    if (other.get() == loc.get())
-                        continue;
-                    auto const dbg = loc->parcels().debug_peer(
-                        other->id().value());
-                    if (!dbg.known ||
+                    if (dbg.evicted ||
                         (dbg.status == parcel::peer_status::alive &&
                             dbg.unacked_frames == 0 && dbg.held_frames == 0 &&
                             dbg.deferred_jobs == 0))
@@ -293,7 +295,7 @@ void runtime::quiesce()
                         "    -> peer %u %s (epoch %u): unacked %zu held %zu "
                         "deferred %zu | next_seq %llu cum %llu "
                         "low_unacked %llu low_held %llu",
-                        other->id().value(), parcel::to_string(dbg.status),
+                        peer_id, parcel::to_string(dbg.status),
                         dbg.epoch, dbg.unacked_frames, dbg.held_frames,
                         dbg.deferred_jobs,
                         static_cast<unsigned long long>(dbg.next_seq),
