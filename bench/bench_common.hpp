@@ -134,7 +134,8 @@ struct parquet_measurement
 };
 
 inline parquet_measurement measure_parquet(apps::parquet_params params,
-    std::uint32_t localities, unsigned repeats, unsigned workers = 1)
+    std::uint32_t localities, unsigned repeats, unsigned workers = 1,
+    std::uint32_t nodes = 1, bool hierarchical = false)
 {
     parquet_measurement out;
     running_stats overheads;
@@ -147,6 +148,8 @@ inline parquet_measurement measure_parquet(apps::parquet_params params,
         cfg.num_localities = localities;
         cfg.workers_per_locality = workers;
         cfg.apply_coalescing_defaults = false;
+        cfg.num_nodes = nodes;
+        cfg.hierarchical_routing = hierarchical;
         runtime rt(cfg);
 
         auto const result = apps::run_parquet_app(rt, params);

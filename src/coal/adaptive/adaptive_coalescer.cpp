@@ -84,6 +84,15 @@ void adaptive_coalescer::apply(std::size_t n, std::int64_t interval_us)
     coalescing::coalescing_params p = base_params_;
     p.nparcels = n;
     p.interval_us = interval_us;
+    // The inter-node tier tracks the tuned base knobs at fixed ratios so
+    // hierarchical routing and the hill-climb compose without a second
+    // search dimension.
+    p.inter_nparcels = std::max<std::size_t>(n,
+        static_cast<std::size_t>(
+            static_cast<double>(n) * config_.inter_nparcels_factor));
+    p.inter_interval_us = std::max<std::int64_t>(interval_us,
+        static_cast<std::int64_t>(static_cast<double>(interval_us) *
+            config_.inter_interval_factor));
     runtime_.set_coalescing_params(config_.action_name, p);
     current_ = n;
     current_interval_ = interval_us;

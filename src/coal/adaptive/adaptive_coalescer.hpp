@@ -65,6 +65,13 @@ struct tuner_config
     bool tune_interval = false;
     std::int64_t min_interval_us = 500;
     std::int64_t max_interval_us = 16000;
+
+    /// Hierarchical routing: the inter-node (node-pair) tier follows the
+    /// tuned base knobs at these fixed ratios — the controller climbs one
+    /// surface and both tiers move together, instead of doubling the
+    /// search space.
+    double inter_nparcels_factor = 8.0;
+    double inter_interval_factor = 1.0;
 };
 
 /// One controller observation/decision, for analysis and the bench.

@@ -172,19 +172,32 @@ std::vector<T> all_to_all(runtime& rt, locality& here,
 /// retrieves.  Returns received chunks grouped by source locality.
 /// Consumes tags [base_tag, base_tag + max_chunks) — space successive
 /// rounds accordingly.
+///
+/// `staggered` rotates each rank's destination order by its own rank
+/// (the default; see Phase 1 below).  Pass false to reproduce the
+/// synchronized burst order — only useful for measuring what the
+/// stagger buys.
 template <typename T>
 std::vector<std::vector<T>> all_to_all_chunked(runtime& rt, locality& here,
-    std::vector<std::vector<T>> const& chunks, std::uint64_t base_tag)
+    std::vector<std::vector<T>> const& chunks, std::uint64_t base_tag,
+    bool staggered = true)
 {
     std::uint32_t const n = rt.num_localities();
     COAL_ASSERT_MSG(chunks.size() == n,
         "all_to_all_chunked needs one chunk list per locality");
 
-    // Phase 1: burst out every chunk to every destination.
-    for (std::uint32_t j = 0; j != n; ++j)
+    // Phase 1: burst out every chunk to every destination, starting from
+    // a destination offset rotated by our own rank.  With every rank
+    // bursting in the same 0..n-1 order, all n-1 streams toward locality
+    // 0 fill (and flush) in lockstep, then all streams toward 1, and so
+    // on — synchronized flush storms that serialize on each receiver in
+    // turn.  The rotation staggers the load so at any instant each
+    // receiver is fed by roughly one sender, the classic all-to-all
+    // schedule.
+    std::uint32_t const me = here.id().value();
+    for (std::uint32_t r = 1; r != n; ++r)
     {
-        if (j == here.id().value())
-            continue;
+        std::uint32_t const j = staggered ? (me + r) % n : (r - 1 < me ? r - 1 : r);
         for (std::size_t k = 0; k != chunks[j].size(); ++k)
         {
             detail::send_to(here, agas::locality_id{j}, base_tag + k,

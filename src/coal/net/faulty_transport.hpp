@@ -119,6 +119,12 @@ public:
         return inner_->recv_overhead_us();
     }
 
+    [[nodiscard]] double link_recv_overhead_us(
+        std::uint32_t src, std::uint32_t dst) const noexcept override
+    {
+        return inner_->link_recv_overhead_us(src, dst);
+    }
+
     [[nodiscard]] std::uint64_t in_flight() const noexcept override
     {
         return inner_->in_flight() +

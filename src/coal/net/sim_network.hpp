@@ -21,12 +21,19 @@
 ///    Each directed link transmits serially (a message waits for the tail
 ///    of the previous one), so bandwidth is a real shared resource.
 ///
+/// With a topology (localities grouped into nodes, topology.hpp) the
+/// model is two-tiered: links within a node price by the cheap
+/// `intra_node` cost model, links crossing nodes by the default one, and
+/// per-tier totals record how much traffic crossed a node boundary.
+///
 /// A dedicated delivery thread holds a min-heap of (due-time, message)
 /// and releases each message to the destination's handler when its due
 /// time arrives.
 
+#include <coal/net/topology.hpp>
 #include <coal/net/transport.hpp>
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -37,8 +44,10 @@
 
 namespace coal::net {
 
-/// Tunable interconnect cost model.  Defaults approximate a commodity
-/// cluster scaled so experiments complete in seconds on a laptop.
+/// Tunable cost model for one link tier.  Defaults approximate a
+/// commodity cluster's *inter-node* links, scaled so experiments complete
+/// in seconds on a laptop; intra_node_defaults() prices the shared-memory
+/// tier within a node.
 struct cost_model
 {
     double send_overhead_us = 2.0;
@@ -61,6 +70,19 @@ struct cost_model
         return send_overhead_us +
             send_per_kb_us * static_cast<double>(bytes) / 1024.0;
     }
+
+    /// Shared-memory tier between localities of one node: an order of
+    /// magnitude cheaper per message and per byte than the NIC path.
+    [[nodiscard]] static cost_model intra_node_defaults() noexcept
+    {
+        cost_model m;
+        m.send_overhead_us = 0.4;
+        m.send_per_kb_us = 0.01;
+        m.recv_overhead_us = 0.4;
+        m.wire_latency_us = 0.5;
+        m.bandwidth_bytes_per_us = 10000.0;    // ≈ 10 GB/s
+        return m;
+    }
 };
 
 /// Per-directed-link traffic statistics.
@@ -73,7 +95,15 @@ struct link_stats
 class sim_network final : public transport
 {
 public:
+    /// Flat single-tier interconnect (every link prices by `model`).
     sim_network(std::uint32_t num_localities, cost_model model);
+
+    /// Topology-aware interconnect: links within a node price by
+    /// `intra`, links crossing nodes by `inter`.  With `topo.enabled()`
+    /// false every link classifies as inter-node, so this degenerates to
+    /// the flat constructor.
+    sim_network(topology topo, cost_model inter, cost_model intra);
+
     ~sim_network() override;
 
     sim_network(sim_network const&) = delete;
@@ -90,6 +120,12 @@ public:
         return model_.recv_overhead_us;
     }
 
+    [[nodiscard]] double link_recv_overhead_us(
+        std::uint32_t src, std::uint32_t dst) const noexcept override
+    {
+        return model_for(src, dst).recv_overhead_us;
+    }
+
     [[nodiscard]] std::uint64_t in_flight() const noexcept override
     {
         return in_flight_.load(std::memory_order_acquire);
@@ -102,9 +138,35 @@ public:
     [[nodiscard]] link_stats link(
         std::uint32_t src, std::uint32_t dst) const;
 
+    /// Aggregate traffic per pricing tier — what the hierarchical
+    /// aggregation benches report: "how many messages actually crossed a
+    /// node boundary".  With the topology disabled everything lands in
+    /// the inter_node bucket.
+    [[nodiscard]] link_stats tier_totals(link_tier tier) const;
+
+    [[nodiscard]] topology const& topo() const noexcept
+    {
+        return topo_;
+    }
+
+    /// The inter-node (default) tier of the cost model.
     [[nodiscard]] cost_model const& model() const noexcept
     {
         return model_;
+    }
+
+    [[nodiscard]] cost_model const& intra_model() const noexcept
+    {
+        return intra_model_;
+    }
+
+    /// Tier-resolved cost model for a directed link.
+    [[nodiscard]] cost_model const& model_for(
+        std::uint32_t src, std::uint32_t dst) const noexcept
+    {
+        return topo_.tier_of(src, dst) == link_tier::intra_node ?
+            intra_model_ :
+            model_;
     }
 
     void shutdown() override;
@@ -146,7 +208,9 @@ private:
     }
 
     std::uint32_t num_localities_;
-    cost_model model_;
+    topology topo_;
+    cost_model model_;          // inter-node (default) tier
+    cost_model intra_model_;    // same-node tier
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
@@ -156,6 +220,7 @@ private:
     std::vector<delivery_handler> handlers_;
     std::vector<std::int64_t> link_free_ns_;    // per-link tail of transmission
     std::vector<link_stats> link_stats_;
+    std::array<link_stats, link_tier_count> tier_stats_{};
     std::vector<char> down_;    // chaos API: localities currently crashed
     std::uint64_t next_seq_ = 0;
     bool stopping_ = false;

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file topology.hpp
+/// Cluster topology: localities grouped into "nodes".
+///
+/// The simulated interconnect is flat by default — every link prices the
+/// same.  Real clusters are not: localities sharing a physical node talk
+/// over shared memory (sub-µs latency, no NIC overhead) while cross-node
+/// links pay the full network cost.  This header models the grouping as
+/// a block partition — localities [0, s) form node 0, [s, 2s) node 1,
+/// and so on with s = ceil(L / nodes) — which is both how schedulers lay
+/// ranks out and what keeps node_of() a division instead of a table.
+///
+/// A topology with num_nodes <= 1 is *disabled*: every link classifies
+/// as inter-node and the network behaves exactly as the flat single-tier
+/// model always did.  This keeps the default-constructed runtime (and
+/// every pre-topology test) bit-identical in behaviour.
+///
+/// The two-level structure is deliberately minimal so a later rack or
+/// region tier is one more enum value and one more division, not a
+/// redesign.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace coal::net {
+
+/// Which pricing tier a directed link belongs to.
+enum class link_tier : std::uint8_t
+{
+    intra_node = 0,    ///< both endpoints on the same node
+    inter_node = 1,    ///< endpoints on different nodes (or topology off)
+};
+
+inline constexpr std::size_t link_tier_count = 2;
+
+[[nodiscard]] constexpr char const* to_string(link_tier t) noexcept
+{
+    return t == link_tier::intra_node ? "intra-node" : "inter-node";
+}
+
+struct topology
+{
+    std::uint32_t num_localities = 1;
+    std::uint32_t num_nodes = 1;
+
+    /// True when the grouping actually partitions the localities.
+    [[nodiscard]] constexpr bool enabled() const noexcept
+    {
+        return num_nodes > 1;
+    }
+
+    /// Localities per node (block partition; the last node may be short).
+    [[nodiscard]] constexpr std::uint32_t node_size() const noexcept
+    {
+        std::uint32_t const nodes = std::max<std::uint32_t>(num_nodes, 1);
+        return (num_localities + nodes - 1) / nodes;
+    }
+
+    [[nodiscard]] constexpr std::uint32_t node_of(
+        std::uint32_t locality) const noexcept
+    {
+        return enabled() ? locality / node_size() : 0;
+    }
+
+    [[nodiscard]] constexpr bool same_node(
+        std::uint32_t a, std::uint32_t b) const noexcept
+    {
+        return node_of(a) == node_of(b);
+    }
+
+    /// First locality of `node`.
+    [[nodiscard]] constexpr std::uint32_t node_first(
+        std::uint32_t node) const noexcept
+    {
+        return std::min(node * node_size(), num_localities);
+    }
+
+    /// One past the last locality of `node`.
+    [[nodiscard]] constexpr std::uint32_t node_end(
+        std::uint32_t node) const noexcept
+    {
+        return std::min(node_first(node) + node_size(), num_localities);
+    }
+
+    [[nodiscard]] constexpr link_tier tier_of(
+        std::uint32_t src, std::uint32_t dst) const noexcept
+    {
+        return enabled() && same_node(src, dst) ? link_tier::intra_node :
+                                                  link_tier::inter_node;
+    }
+
+    friend constexpr bool operator==(
+        topology const&, topology const&) = default;
+};
+
+}    // namespace coal::net

@@ -65,6 +65,19 @@ public:
     /// background accounting — so it publishes the figure instead.
     [[nodiscard]] virtual double recv_overhead_us() const noexcept = 0;
 
+    /// Link-resolved variant: a topology-aware transport (sim_network
+    /// with nodes) charges less for a message that never left the node.
+    /// Defaults to the flat figure so single-tier transports (and test
+    /// doubles) implement only recv_overhead_us().  (Named distinctly
+    /// rather than overloaded so overriding one does not hide the other.)
+    [[nodiscard]] virtual double link_recv_overhead_us(
+        std::uint32_t src, std::uint32_t dst) const noexcept
+    {
+        (void) src;
+        (void) dst;
+        return recv_overhead_us();
+    }
+
     /// Messages handed to send() but not yet delivered to a handler.
     [[nodiscard]] virtual std::uint64_t in_flight() const noexcept = 0;
 

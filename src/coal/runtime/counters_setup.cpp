@@ -272,6 +272,42 @@ void runtime::register_counters()
             return static_cast<double>(c.bytes_received.load());
         }));
 
+    // ---- hierarchical (two-level) aggregation --------------------------
+
+    counters_.register_counter_type("/coal/hierarchy/relayed",
+        "parcels received as a node relay and re-routed to their final "
+        "destination",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_relayed.load());
+        }));
+    counters_.register_counter_type("/coal/hierarchy/fanned-out",
+        "relayed parcels forwarded over intra-node links (the fan-out leg)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_fanned_out.load());
+        }));
+    counters_.register_counter_type("/coal/hierarchy/relay-confirmed",
+        "forwarded parcels acknowledged by their final destination (the "
+        "completion half of the relay custody ledger)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_relay_confirmed.load());
+        }));
+    counters_.register_counter_type("/coal/hierarchy/relay-failed",
+        "forwarded parcels lost from relay custody (destination death, "
+        "link down, or relay crash after confirming the origin)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.parcels_relay_failed.load());
+        }));
+    counters_.register_counter_type("/coal/hierarchy/inter-node-messages",
+        "wire messages sent across a node boundary (topology-classified)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.messages_inter_node.load());
+        }));
+    counters_.register_counter_type("/coal/hierarchy/intra-node-messages",
+        "wire messages sent within a node (topology-classified)",
+        parcel_scalar([](ph_counters const& c) {
+            return static_cast<double>(c.messages_intra_node.load());
+        }));
+
     // ---- reliability & fault injection (/net) --------------------------
 
     counters_.register_counter_type("/net/count/drops",

@@ -24,6 +24,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -286,9 +287,20 @@ TEST(ChaosSoak, KillsAndRejoinsPreserveAccounting)
 
     // --- delivery semantics: at-most-once everywhere (epoch fencing
     // blocks cross-incarnation replay), exactly-once between survivors.
+    // With a forced topology (COAL_FORCE_NUM_NODES) a survivor pair's
+    // parcels may transit a victim *relay*: once the relay acks custody
+    // the origin counts them confirmed, and the relay's death loses them
+    // into /coal/hierarchy/relay-failed — the documented at-most-once
+    // window of the relay hop.  The per-pair law then weakens to a
+    // cluster-wide one: the deficit across all pairs is bounded by the
+    // custody losses the relays recorded.
+    bool const topo_forced = std::getenv("COAL_FORCE_NUM_NODES") != nullptr;
     EXPECT_EQ(g_dups.load(), 0u) << "a parcel executed twice";
+    std::uint64_t all_offered = 0, all_settled = 0, relay_failed = 0;
     for (std::uint32_t s = 0; s != soak_n; ++s)
     {
+        relay_failed +=
+            rt.get_locality(s).parcels().counters().parcels_relay_failed.load();
         for (std::uint32_t d = 0; d != soak_n; ++d)
         {
             if (s == d)
@@ -298,12 +310,23 @@ TEST(ChaosSoak, KillsAndRejoinsPreserveAccounting)
                 << "pair " << s << "->" << d;
             if (!is_victim(s) && !is_victim(d))
             {
-                EXPECT_EQ(g_exec[pair].load() + failed[pair].load() +
-                        shed[pair].load(),
-                    offered[pair].load())
-                    << "survivor pair " << s << "->" << d;
+                auto const settled = g_exec[pair].load() +
+                    failed[pair].load() + shed[pair].load();
+                all_offered += offered[pair].load();
+                all_settled += settled;
+                if (!topo_forced)
+                {
+                    EXPECT_EQ(settled, offered[pair].load())
+                        << "survivor pair " << s << "->" << d;
+                }
             }
         }
+    }
+    if (topo_forced)
+    {
+        EXPECT_LE(all_settled, all_offered);
+        EXPECT_GE(all_settled + relay_failed, all_offered)
+            << "survivor-pair deficit exceeds recorded relay custody losses";
     }
 
     // --- chaos actually happened and was recovered from.
