@@ -59,7 +59,7 @@ struct lossy_measurement
 };
 
 lossy_measurement measure(coal::apps::toy_params params, double drop,
-    std::uint64_t seed, unsigned repeats)
+    std::uint64_t seed, unsigned repeats, std::string const& transport)
 {
     lossy_measurement out;
     coal::running_stats phase_times, overheads;
@@ -71,6 +71,7 @@ lossy_measurement measure(coal::apps::toy_params params, double drop,
         coal::runtime_config cfg;
         cfg.num_localities = 2;
         cfg.apply_coalescing_defaults = false;
+        cfg.transport = transport;    // "sim" or real wire: tcp / uds
         cfg.faults.seed = seed + r;
         cfg.faults.drop_probability = drop;
         // Bulk traffic: let the ack window breathe instead of tripping
@@ -266,10 +267,14 @@ int main(int argc, char** argv)
     auto const repeats = static_cast<unsigned>(cfg.get_int("repeats", 2));
     auto const seed =
         static_cast<std::uint64_t>(cfg.get_int("seed", 0x10551));
+    // transport=sim|tcp|uds: the same sweep over the simulated wire or the
+    // real socket parcelport (faulty_transport composes over either).
+    std::string const transport = cfg.get("transport").value_or("sim");
 
     coal::bench::print_header(
         "Lossy network — toy app phase time vs drop rate",
         "robustness extension; reliable delivery over a faulty transport");
+    std::printf("transport: %s\n\n", transport.c_str());
 
     std::printf("%-8s %-12s %-16s %-12s %-12s %-10s\n", "drop", "coalescing",
         "phase time [ms]", "retransmits", "drops", "msgs");
@@ -286,19 +291,21 @@ int main(int argc, char** argv)
             params.enable_coalescing = coalescing;
             params.coalescing = {64, 4000};
 
-            auto const m = measure(params, drop, seed, repeats);
+            auto const m = measure(params, drop, seed, repeats, transport);
             std::printf("%-8.4f %-12s %-16.2f %-12" PRIu64 " %-12" PRIu64
                         " %-10" PRIu64 "\n",
                 drop, coalescing ? "on" : "off", m.mean_phase_s * 1e3,
                 m.retransmits, m.drops_injected, m.messages_sent);
-            std::printf("BENCH {\"bench\":\"lossy\",\"drop\":%.4f,"
+            std::printf("BENCH {\"bench\":\"lossy\","
+                        "\"transport\":\"%s\",\"drop\":%.4f,"
                         "\"coalescing\":%d,\"phase_ms\":%.3f,"
                         "\"overhead\":%.4f,\"retransmits\":%" PRIu64
                         ",\"drops_injected\":%" PRIu64 ",\"messages\":%" PRIu64
                         ",\"breaker_trips\":%" PRIu64
                         ",\"pool_hit_rate\":%.4f"
                         ",\"copied_per_message\":%.1f}\n",
-                drop, coalescing ? 1 : 0, m.mean_phase_s * 1e3,
+                transport.c_str(), drop, coalescing ? 1 : 0,
+                m.mean_phase_s * 1e3,
                 m.mean_overhead, m.retransmits, m.drops_injected,
                 m.messages_sent, m.breaker_trips, m.pool_hit_rate,
                 m.copied_per_message);

@@ -10,6 +10,8 @@
 #include <coal/common/stopwatch.hpp>
 #include <coal/core/coalescing_message_handler.hpp>
 #include <coal/net/loopback.hpp>
+#include <coal/net/sim_network.hpp>
+#include <coal/net/socket_transport.hpp>
 #include <coal/parcel/action.hpp>
 #include <coal/parcel/parcel.hpp>
 #include <coal/parcel/parcelhandler.hpp>
@@ -914,6 +916,119 @@ void report_peer_lookup_contention()
     }
 }
 
+// ---- wire transport RTT / throughput --------------------------------------
+//
+// One-way latency (half a ping-pong round trip) and bulk throughput over
+// the real socket parcelport — UDS and TCP through the kernel's loopback
+// stack — next to the simulated transport's numbers, so the BENCH stream
+// records what the real wire costs relative to the model the experiments
+// run on.
+
+double wire_rtt_us(coal::net::transport& net, int rounds)
+{
+    std::atomic<int> pongs{0};
+    net.set_delivery_handler(
+        1, [&net](std::uint32_t, coal::serialization::shared_buffer&&) {
+            net.send(1, 0,
+                coal::serialization::wire_message(
+                    coal::serialization::shared_buffer(std::size_t(8))));
+        });
+    net.set_delivery_handler(0,
+        [&pongs](std::uint32_t, coal::serialization::shared_buffer&&) {
+            pongs.fetch_add(1, std::memory_order_release);
+        });
+
+    auto ping = [&net] {
+        net.send(0, 1,
+            coal::serialization::wire_message(
+                coal::serialization::shared_buffer(std::size_t(8))));
+    };
+
+    // Warm-up establishes connections.
+    ping();
+    while (pongs.load(std::memory_order_acquire) != 1)
+        std::this_thread::yield();
+
+    std::int64_t const t0 = coal::now_ns();
+    for (int i = 0; i != rounds; ++i)
+    {
+        int const seen = pongs.load(std::memory_order_acquire);
+        ping();
+        while (pongs.load(std::memory_order_acquire) == seen)
+            std::this_thread::yield();
+    }
+    std::int64_t const t1 = coal::now_ns();
+    return static_cast<double>(t1 - t0) / (1000.0 * rounds);
+}
+
+double wire_throughput_mb_s(
+    coal::net::transport& net, std::size_t frames, std::size_t bytes)
+{
+    std::atomic<std::size_t> got{0};
+    net.set_delivery_handler(0,
+        [](std::uint32_t, coal::serialization::shared_buffer&&) {});
+    net.set_delivery_handler(
+        1, [&got](std::uint32_t, coal::serialization::shared_buffer&& buf) {
+            got.fetch_add(buf.size(), std::memory_order_release);
+        });
+
+    coal::serialization::shared_buffer payload(bytes);
+    std::memset(payload.mutable_data(), 0x5a, bytes);
+
+    std::int64_t const t0 = coal::now_ns();
+    for (std::size_t i = 0; i != frames; ++i)
+        net.send(0, 1,
+            coal::serialization::wire_message(
+                coal::serialization::shared_buffer(payload)));
+    while (got.load(std::memory_order_acquire) != frames * bytes)
+        std::this_thread::yield();
+    std::int64_t const t1 = coal::now_ns();
+    return static_cast<double>(frames * bytes) * 1e3 /
+        static_cast<double>(t1 - t0);
+}
+
+void report_wire_transport()
+{
+    constexpr int rtt_rounds = 2000;
+    constexpr std::size_t tp_frames = 4000;
+    constexpr std::size_t tp_bytes = 64 * 1024;
+
+    auto report = [&](char const* name, auto&& make) {
+        double rtt = 0.0, tput = 0.0;
+        {
+            auto net = make();
+            rtt = wire_rtt_us(*net, rtt_rounds);
+            net->drain();
+            net->shutdown();
+        }
+        {
+            auto net = make();
+            tput = wire_throughput_mb_s(*net, tp_frames, tp_bytes);
+            net->drain();
+            net->shutdown();
+        }
+        std::printf("BENCH {\"bench\":\"micro_wire_transport\","
+                    "\"wire\":\"%s\",\"rtt_us\":%.2f,"
+                    "\"frame_bytes\":%zu,\"throughput_mb_s\":%.1f}\n",
+            name, rtt, tp_bytes, tput);
+    };
+
+    report("sim", [] {
+        coal::net::cost_model model;
+        return std::make_unique<coal::net::sim_network>(2, model);
+    });
+    report("uds", [] {
+        coal::net::socket_params p;
+        p.kind = coal::net::socket_params::family::uds;
+        return std::make_unique<coal::net::socket_transport>(p, 2);
+    });
+    report("tcp", [] {
+        coal::net::socket_params p;
+        p.kind = coal::net::socket_params::family::tcp;
+        return std::make_unique<coal::net::socket_transport>(p, 2);
+    });
+}
+
 }    // namespace
 
 int main(int argc, char** argv)
@@ -928,5 +1043,6 @@ int main(int argc, char** argv)
     report_receive_pipeline();
     report_timer_churn();
     report_peer_lookup_contention();
+    report_wire_transport();
     return 0;
 }

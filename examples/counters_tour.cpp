@@ -28,6 +28,10 @@ int main()
     // Membership on so the /net/health gauges are live (idle-link
     // heartbeats tick while the app runs; nobody dies in this tour).
     cfg.membership.enabled = true;
+    // Real socket parcelport so the /net/wire/* counters are non-zero:
+    // both localities live in this process but their frames take real
+    // TCP connections through the kernel.
+    cfg.transport = "tcp";
     coal::runtime rt(cfg);
 
     std::printf("registered counter types:\n");
@@ -97,6 +101,23 @@ int main()
              "/net/count/delivery-errors/shed-overload",
              "/net/count/delivery-errors/link-down",
              "/net/count/delivery-errors/peer-failed",
+             "/net/wire/count/bytes-sent",
+             "/net/wire/count/bytes-received",
+             "/net/wire/count/frames-sent",
+             "/net/wire/count/frames-received",
+             "/net/wire/count/connects",
+             "/net/wire/count/accepts",
+             "/net/wire/count/reconnects",
+             "/net/wire/count/partial-write-resumptions",
+             "/net/wire/count/partial-read-resumptions",
+             "/net/wire/count/crc-drops",
+             "/net/wire/count/desync-drops",
+             "/net/wire/count/oversized-drops",
+             "/net/wire/count/truncated-drops",
+             "/net/wire/count/connect-failures",
+             "/net/wire/count/accept-failures",
+             "/net/wire/count/handshake-failures",
+             "/net/wire/count/backlog-drops",
          })
     {
         auto const v = counters.query(name);

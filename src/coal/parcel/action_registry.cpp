@@ -63,6 +63,21 @@ action_registry::entry const* action_registry::find_by_name(
     return it == entries_.end() ? nullptr : &it->second;
 }
 
+std::uint64_t action_registry::wire_digest() const
+{
+    std::lock_guard lock(mutex_);
+    // XOR of per-entry hashes: commutative, so registration order (which
+    // static initialization does not pin down) cannot change the digest.
+    std::uint64_t digest = 0x636f616c2d776972ull;    // "coal-wir"
+    for (auto const& [id, e] : entries_)
+    {
+        std::uint64_t h = hash_action_name(e.name) * 0x9e3779b97f4a7c15ull;
+        h ^= id + 0x517cc1b727220a95ull + (h << 6) + (h >> 2);
+        digest ^= h;
+    }
+    return digest;
+}
+
 std::vector<std::string> action_registry::action_names() const
 {
     std::lock_guard lock(mutex_);

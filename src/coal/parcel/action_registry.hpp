@@ -97,6 +97,14 @@ public:
     /// Names of all registered (non-response) actions, sorted.
     [[nodiscard]] std::vector<std::string> action_names() const;
 
+    /// Order-independent digest over every registered action's (name, id)
+    /// pair.  Two processes agree on the digest exactly when they resolve
+    /// every action id identically, so the socket parcelport's HELLO
+    /// handshake exchanges it in lieu of an id-translation table (ids are
+    /// content-addressed name hashes — there is nothing to translate,
+    /// only to verify).
+    [[nodiscard]] std::uint64_t wire_digest() const;
+
 private:
     action_registry() = default;
 

@@ -118,9 +118,9 @@ void runtime::register_counters()
         -> std::optional<std::function<scheduler_snapshot()>> {
         if (auto loc = path.locality())
         {
-            if (*loc >= num_localities())
+            if (!hosts(*loc))
                 return std::nullopt;
-            locality* l = localities_[*loc].get();
+            locality* l = localities_[*loc - first_rank_].get();
             return [l] { return l->scheduler().snapshot(); };
         }
         return [this] { return aggregate_snapshot(); };
@@ -220,9 +220,9 @@ void runtime::register_counters()
         return [this, extract](counter_path const& path) -> counter_ptr {
             if (auto loc = path.locality())
             {
-                if (*loc >= num_localities())
+                if (!hosts(*loc))
                     return nullptr;
-                locality* l = localities_[*loc].get();
+                locality* l = localities_[*loc - first_rank_].get();
                 return std::make_shared<baseline_counter>(
                     [l, extract] { return extract(l->parcels().counters()); });
             }
@@ -360,9 +360,9 @@ void runtime::register_counters()
             std::vector<locality*> selected;
             if (auto loc = path.locality())
             {
-                if (*loc >= num_localities())
+                if (!hosts(*loc))
                     return nullptr;
-                selected.push_back(localities_[*loc].get());
+                selected.push_back(localities_[*loc - first_rank_].get());
             }
             else
             {
@@ -395,9 +395,9 @@ void runtime::register_counters()
             std::vector<locality*> selected;
             if (auto loc = path.locality())
             {
-                if (*loc >= num_localities())
+                if (!hosts(*loc))
                     return nullptr;
-                selected.push_back(localities_[*loc].get());
+                selected.push_back(localities_[*loc - first_rank_].get());
             }
             else
             {
@@ -469,6 +469,80 @@ void runtime::register_counters()
             return static_cast<double>(c.duplicate_overhead_avoided.load());
         }));
 
+    // ---- socket parcelport (/net/wire) ---------------------------------
+    //
+    // Registered unconditionally; on a sim/loopback runtime (no socket
+    // transport) every wire counter reads 0, so counters_tour and the
+    // counter tests enumerate a stable catalogue regardless of transport.
+
+    auto wire_scalar = [this](std::uint64_t net::socket_wire_stats::*member) {
+        return [this, member](counter_path const&) -> counter_ptr {
+            return std::make_shared<baseline_counter>([this, member] {
+                if (socket_transport_ == nullptr)
+                    return 0.0;
+                return static_cast<double>(
+                    socket_transport_->wire_stats().*member);
+            });
+        };
+    };
+
+    counters_.register_counter_type("/net/wire/count/bytes-sent",
+        "bytes written to sockets, frame headers included",
+        wire_scalar(&net::socket_wire_stats::bytes_sent));
+    counters_.register_counter_type("/net/wire/count/bytes-received",
+        "bytes read from sockets, frame headers included",
+        wire_scalar(&net::socket_wire_stats::bytes_received));
+    counters_.register_counter_type("/net/wire/count/frames-sent",
+        "complete frames (data + control) written to sockets",
+        wire_scalar(&net::socket_wire_stats::frames_sent));
+    counters_.register_counter_type("/net/wire/count/frames-received",
+        "complete frames received and CRC-verified",
+        wire_scalar(&net::socket_wire_stats::frames_received));
+    counters_.register_counter_type("/net/wire/count/reconnects",
+        "established connections lost and scheduled for reconnect",
+        wire_scalar(&net::socket_wire_stats::reconnects));
+    counters_.register_counter_type("/net/wire/count/connects",
+        "successful outbound connects (incl. reconnects)",
+        wire_scalar(&net::socket_wire_stats::connects));
+    counters_.register_counter_type("/net/wire/count/accepts",
+        "inbound connections accepted",
+        wire_scalar(&net::socket_wire_stats::accepts));
+    counters_.register_counter_type(
+        "/net/wire/count/partial-write-resumptions",
+        "frame writes resumed after a short write (socket buffer full)",
+        wire_scalar(&net::socket_wire_stats::partial_write_resumptions));
+    counters_.register_counter_type(
+        "/net/wire/count/partial-read-resumptions",
+        "frame reads resumed after a partial frame arrived",
+        wire_scalar(&net::socket_wire_stats::partial_read_resumptions));
+    counters_.register_counter_type("/net/wire/count/crc-drops",
+        "frames discarded for a payload CRC mismatch (never executed; "
+        "recovered by retransmission)",
+        wire_scalar(&net::socket_wire_stats::crc_drops));
+    counters_.register_counter_type("/net/wire/count/desync-drops",
+        "fatal stream decode errors (bad magic/version/header CRC) that "
+        "cut the connection",
+        wire_scalar(&net::socket_wire_stats::desync_drops));
+    counters_.register_counter_type("/net/wire/count/oversized-drops",
+        "frames rejected for a length prefix above the frame cap",
+        wire_scalar(&net::socket_wire_stats::oversized_drops));
+    counters_.register_counter_type("/net/wire/count/truncated-drops",
+        "partial frames discarded at connection end",
+        wire_scalar(&net::socket_wire_stats::truncated_drops));
+    counters_.register_counter_type("/net/wire/count/connect-failures",
+        "outbound connect attempts that failed (retried with backoff)",
+        wire_scalar(&net::socket_wire_stats::connect_failures));
+    counters_.register_counter_type("/net/wire/count/accept-failures",
+        "accept() failures on listening sockets",
+        wire_scalar(&net::socket_wire_stats::accept_failures));
+    counters_.register_counter_type("/net/wire/count/handshake-failures",
+        "HELLO exchanges rejected (geometry or action-registry digest "
+        "mismatch)",
+        wire_scalar(&net::socket_wire_stats::handshake_failures));
+    counters_.register_counter_type("/net/wire/count/backlog-drops",
+        "frames shed at the per-connection outbound backlog cap",
+        wire_scalar(&net::socket_wire_stats::backlog_drops));
+
     // ---- flow control / overload protection (/net/flow) ----------------
 
     counters_.register_counter_type("/net/flow/count/shed",
@@ -516,9 +590,9 @@ void runtime::register_counters()
             std::vector<locality*> selected;
             if (auto loc = path.locality())
             {
-                if (*loc >= num_localities())
+                if (!hosts(*loc))
                     return nullptr;
-                selected.push_back(localities_[*loc].get());
+                selected.push_back(localities_[*loc - first_rank_].get());
             }
             else
             {
@@ -582,9 +656,9 @@ void runtime::register_counters()
             std::vector<locality*> selected;
             if (auto loc = path.locality())
             {
-                if (*loc >= num_localities())
+                if (!hosts(*loc))
                     return nullptr;
-                selected.push_back(localities_[*loc].get());
+                selected.push_back(localities_[*loc - first_rank_].get());
             }
             else
             {
@@ -628,9 +702,9 @@ void runtime::register_counters()
             std::vector<locality*> selected;
             if (auto loc = path.locality())
             {
-                if (*loc >= num_localities())
+                if (!hosts(*loc))
                     return nullptr;
-                selected.push_back(localities_[*loc].get());
+                selected.push_back(localities_[*loc - first_rank_].get());
             }
             else
             {
@@ -712,9 +786,9 @@ void runtime::register_counters()
             return out;
         if (auto loc = path.locality())
         {
-            if (*loc >= num_localities())
+            if (!hosts(*loc))
                 return out;
-            if (auto c = localities_[*loc]->coalescing().counters(
+            if (auto c = localities_[*loc - first_rank_]->coalescing().counters(
                     path.parameters))
                 out.push_back(std::move(c));
             return out;

@@ -5,6 +5,7 @@
 #include <coal/common/stopwatch.hpp>
 #include <coal/core/coalescing_defaults.hpp>
 #include <coal/net/loopback.hpp>
+#include <coal/parcel/action_registry.hpp>
 #include <coal/serialization/buffer_pool.hpp>
 
 #include <algorithm>
@@ -37,17 +38,59 @@ runtime::runtime(runtime_config config)
         }
     }
 
+    // Test/CI knob: COAL_TRANSPORT=tcp|uds reroutes default-"sim" configs
+    // onto the real socket parcelport, so the reliability / flow-control /
+    // membership / chaos suites revalidate over real sockets with no test
+    // edits.  Loopback runtimes (timing-exact unit tests) and very large
+    // locality counts (each auto-mode locality binds a listener) keep
+    // their configured transport.
+    if (char const* force = std::getenv("COAL_TRANSPORT");
+        force != nullptr && config_.transport == "sim" &&
+        !config_.pin_transport && !config_.use_loopback &&
+        config_.num_localities <= 64)
+    {
+        std::string const forced(force);
+        if (forced == "tcp" || forced == "uds")
+            config_.transport = forced;
+    }
+
+    first_rank_ = config_.first_local_rank;
+    local_count_ = config_.num_local_ranks == 0 ? config_.num_localities :
+                                                  config_.num_local_ranks;
+    multiproc_ = local_count_ < config_.num_localities;
+    COAL_ASSERT_MSG(first_rank_ + local_count_ <= config_.num_localities,
+        "local rank range exceeds the locality count");
+
     agas_ = std::make_unique<agas::address_space>(config_.num_localities);
 
     net::topology const topo{config_.num_localities, config_.num_nodes};
 
     std::unique_ptr<net::transport> base;
-    if (config_.use_loopback)
+    if (config_.transport == "tcp" || config_.transport == "uds")
+    {
+        COAL_ASSERT_MSG(!multiproc_ || !config_.socket.endpoints.empty(),
+            "multi-process mode needs explicit per-locality endpoints");
+        net::socket_params sp = config_.socket;
+        sp.kind = config_.transport == "uds" ?
+            net::socket_params::family::uds :
+            net::socket_params::family::tcp;
+        sp.registry_digest = parcel::action_registry::instance().wire_digest();
+        auto socket = std::make_unique<net::socket_transport>(std::move(sp),
+            config_.num_localities, first_rank_,
+            multiproc_ ? local_count_ : 0);
+        socket_transport_ = socket.get();
+        base = std::move(socket);
+    }
+    else if (config_.use_loopback)
+    {
         base =
             std::make_unique<net::loopback_transport>(config_.num_localities);
+    }
     else
+    {
         base = std::make_unique<net::sim_network>(
             topo, config_.network, config_.network_intra);
+    }
 
     if (config_.faults.active())
     {
@@ -77,10 +120,12 @@ runtime::runtime(runtime_config config)
         config_.reliability.enabled = true;
 
     timers_ = std::make_unique<timing::deadline_timer_service>();
-    barrier_ = std::make_unique<help_barrier>(config_.num_localities);
+    barrier_ = std::make_unique<help_barrier>(local_count_);
 
-    localities_.reserve(config_.num_localities);
-    for (std::uint32_t i = 0; i != config_.num_localities; ++i)
+    // One locality object per *hosted* rank: in multi-process mode the
+    // other ranks are remote processes reached through the wire.
+    localities_.reserve(local_count_);
+    for (std::uint32_t i = first_rank_; i != first_rank_ + local_count_; ++i)
     {
         threading::scheduler_config sched;
         sched.num_workers = config_.workers_per_locality;
@@ -120,6 +165,17 @@ runtime::runtime(runtime_config config)
     }
 
     register_counters();
+
+    // Multi-process bootstrap: handlers are installed (the localities
+    // above exist), so connect to every peer endpoint and verify the
+    // HELLO exchange — rank table and action-registry digest — before
+    // the first parcel can flow.
+    if (multiproc_ && socket_transport_ != nullptr)
+    {
+        COAL_ASSERT_MSG(socket_transport_->await_ready(),
+            "wire bootstrap failed (peer missing or registry digest "
+            "mismatch)");
+    }
 }
 
 runtime::~runtime()
@@ -129,8 +185,8 @@ runtime::~runtime()
 
 locality& runtime::get_locality(std::uint32_t index)
 {
-    COAL_ASSERT(index < localities_.size());
-    return *localities_[index];
+    COAL_ASSERT_MSG(hosts(index), "locality is hosted by another process");
+    return *localities_[index - first_rank_];
 }
 
 bool runtime::enable_coalescing(
@@ -242,6 +298,43 @@ void runtime::help_barrier::arrive_and_wait()
 void runtime::barrier()
 {
     barrier_->arrive_and_wait();
+    if (!multiproc_ || socket_transport_ == nullptr)
+        return;
+
+    // All hosted ranks have arrived locally; one of them (the round's
+    // first ticket) now runs the wire barrier against the other
+    // processes while the rest help-run their schedulers — responses the
+    // other processes are waiting on must keep flowing while we block.
+    std::uint64_t const ticket =
+        barrier_ticket_.fetch_add(1, std::memory_order_acq_rel);
+    std::uint64_t const round = ticket / local_count_ + 1;
+    auto* sched = threading::scheduler::current();
+
+    if (ticket % local_count_ == 0)
+    {
+        std::uint64_t const token = socket_transport_->enter_barrier();
+        while (!socket_transport_->barrier_done(token))
+        {
+            if (sched == nullptr || !sched->run_pending_task())
+                std::this_thread::yield();
+        }
+        // Publish monotonically: a slow leader of an earlier round must
+        // never regress the round stamp.
+        std::uint64_t cur =
+            wire_barrier_round_.load(std::memory_order_relaxed);
+        while (cur < round &&
+            !wire_barrier_round_.compare_exchange_weak(cur, round))
+        {
+        }
+    }
+    else
+    {
+        while (wire_barrier_round_.load(std::memory_order_acquire) < round)
+        {
+            if (sched == nullptr || !sched->run_pending_task())
+                std::this_thread::yield();
+        }
+    }
 }
 
 void runtime::kill_locality(std::uint32_t index)
@@ -279,6 +372,18 @@ void runtime::quiesce()
     double next_report_ms = 5000.0;
     for (;;)
     {
+        // Multi-process quiesce is local-only (a peer process may still
+        // be producing traffic toward us — distributed quiescence is the
+        // application's barrier to coordinate, see DESIGN.md §15); a
+        // hard timeout keeps stop() from hanging on a peer that died.
+        if (multiproc_ && stuck.elapsed_ms() > 10000.0)
+        {
+            COAL_LOG_WARN("runtime",
+                "multi-process quiesce timed out after %.0f ms; "
+                "proceeding to shutdown",
+                stuck.elapsed_ms());
+            return;
+        }
         // A quiesce that cannot converge is a bug somewhere below; dump
         // what is still moving so the report names the stuck subsystem.
         if (stuck.elapsed_ms() >= next_report_ms)

@@ -15,6 +15,7 @@
 #include <coal/agas/address_space.hpp>
 #include <coal/net/faulty_transport.hpp>
 #include <coal/net/sim_network.hpp>
+#include <coal/net/socket_transport.hpp>
 #include <coal/net/transport.hpp>
 #include <coal/perf/registry.hpp>
 #include <coal/runtime/locality.hpp>
@@ -53,6 +54,28 @@ struct runtime_config
 
     /// Zero-cost synchronous transport — timing-independent unit tests.
     bool use_loopback = false;
+
+    /// Wire selection: "sim" (default; or loopback per use_loopback),
+    /// "tcp" or "uds" for the real socket parcelport.  The env var
+    /// COAL_TRANSPORT=tcp|uds overrides a default-"sim" config (ignored
+    /// for loopback runtimes and for very large locality counts), which
+    /// is how existing suites re-run over real sockets unmodified.
+    std::string transport = "sim";
+
+    /// Refuse the COAL_TRANSPORT override: tests that assert simulated
+    /// cost-model semantics (or the absence of a wire) set this.
+    bool pin_transport = false;
+
+    /// Socket parcelport tunables (endpoints, frame cap, backoff...).
+    /// `kind` and `registry_digest` are filled in by the runtime.
+    net::socket_params socket{};
+
+    /// Multi-process SPMD: this process hosts localities
+    /// [first_local_rank, first_local_rank + num_local_ranks).  The
+    /// default num_local_ranks == 0 hosts all of them (single process).
+    /// Requires a socket transport with explicit per-locality endpoints.
+    std::uint32_t first_local_rank = 0;
+    std::uint32_t num_local_ranks = 0;
 
     /// Apply COAL_ACTION_USES_MESSAGE_COALESCING opt-ins at startup.
     bool apply_coalescing_defaults = true;
@@ -109,6 +132,31 @@ public:
         return config_.num_localities;
     }
 
+    /// True when this process hosts locality `id` (always true in the
+    /// default single-process mode).
+    [[nodiscard]] bool hosts(std::uint32_t id) const noexcept
+    {
+        return id >= first_rank_ && id < first_rank_ + local_count_;
+    }
+
+    [[nodiscard]] std::uint32_t first_local_rank() const noexcept
+    {
+        return first_rank_;
+    }
+
+    [[nodiscard]] std::uint32_t num_local_ranks() const noexcept
+    {
+        return local_count_;
+    }
+
+    /// The socket parcelport when transport is tcp/uds, else nullptr
+    /// (counters and tests reach wire stats through this).
+    [[nodiscard]] net::socket_transport* wire() noexcept
+    {
+        return socket_transport_;
+    }
+
+    /// A locality hosted by this process (asserts hosts(index)).
     [[nodiscard]] locality& get_locality(std::uint32_t index);
     [[nodiscard]] locality& get_locality(agas::locality_id id)
     {
@@ -209,8 +257,18 @@ private:
     };
 
     runtime_config config_;
+    std::uint32_t first_rank_ = 0;
+    std::uint32_t local_count_ = 0;
+    bool multiproc_ = false;
     std::unique_ptr<agas::address_space> agas_;
     std::unique_ptr<net::transport> transport_;
+    net::socket_transport* socket_transport_ = nullptr;    ///< borrowed
+
+    /// Multi-process barrier: per-round ticket election (the round's
+    /// first local arriver runs the wire barrier, the rest help-run
+    /// until it completes).
+    std::atomic<std::uint64_t> barrier_ticket_{0};
+    std::atomic<std::uint64_t> wire_barrier_round_{0};
     std::unique_ptr<timing::deadline_timer_service> timers_;
     perf::counter_registry counters_;
     std::vector<std::unique_ptr<locality>> localities_;

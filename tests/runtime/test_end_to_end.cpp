@@ -175,6 +175,7 @@ TEST(EndToEnd, PerMessageCostAmortizationOnSimNetwork)
     runtime_config cfg;
     cfg.num_localities = 2;
     cfg.apply_coalescing_defaults = false;
+    cfg.pin_transport = true;    // asserts the *simulated* cost model
     cfg.network.send_overhead_us = 20.0;
     cfg.network.recv_overhead_us = 20.0;
 

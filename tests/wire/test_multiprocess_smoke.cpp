@@ -1,0 +1,354 @@
+// Multi-process smoke test: N real OS processes form one runtime over
+// localhost TCP.
+//
+// The parent (the gtest process) pre-binds every rank's listening socket
+// — asking the kernel for ephemeral ports makes the endpoint table
+// collision-free by construction — then forks one child per rank.  Each
+// child inherits its own listener fd (COAL_LISTEN_FD), the full endpoint
+// table (COAL_ENDPOINTS) and its rank (COAL_SMOKE_RANK), re-execs this
+// same binary, and boots a runtime hosting exactly one locality.  The
+// HELLO handshake carries the action-registry digest, so four copies of
+// this binary verify they agree on every action id before any parcel
+// flows.
+//
+// The workload is a small all-to-all with per-value checksums.  Variants
+// add seeded fault injection (faulty_transport composed over the real
+// wire) and one forced TCP connection drop mid-stream, which reconnect
+// must heal with delivery staying exactly-once and WITHOUT an
+// incarnation epoch bump (a lost socket is a link event, not a peer
+// death).
+//
+// Child output goes to smoke-logs/rank-N.log next to the test's working
+// directory; CI uploads these on failure.
+
+#include <coal/runtime/runtime.hpp>
+
+#include <coal/common/stopwatch.hpp>
+#include <coal/parcel/action.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+std::atomic<long long> g_smoke_sum{0};
+std::atomic<long long> g_smoke_count{0};
+
+void smoke_deposit(int value)
+{
+    g_smoke_sum += value;
+    ++g_smoke_count;
+}
+
+}    // namespace
+
+COAL_PLAIN_ACTION(smoke_deposit, smoke_deposit_action);
+
+namespace {
+
+constexpr std::uint32_t num_ranks = 4;
+constexpr int per_link = 300;
+
+std::vector<std::string> split_endpoints(char const* csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char const* p = csv; *p != '\0'; ++p)
+    {
+        if (*p == ',')
+        {
+            out.push_back(cur);
+            cur.clear();
+        }
+        else
+        {
+            cur += *p;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// child
+// ---------------------------------------------------------------------
+
+int run_child(std::uint32_t rank)
+{
+    char const* endpoints_csv = std::getenv("COAL_ENDPOINTS");
+    char const* listen_fd = std::getenv("COAL_LISTEN_FD");
+    if (endpoints_csv == nullptr || listen_fd == nullptr)
+    {
+        std::fprintf(stderr, "smoke child: missing bootstrap env\n");
+        return 2;
+    }
+    double const drop_probability = [] {
+        char const* d = std::getenv("COAL_SMOKE_DROP");
+        return d != nullptr ? std::atof(d) : 0.0;
+    }();
+    bool const cut_connection = std::getenv("COAL_SMOKE_CUT") != nullptr;
+
+    coal::runtime_config cfg;
+    cfg.num_localities = num_ranks;
+    cfg.workers_per_locality = 2;
+    cfg.apply_coalescing_defaults = false;
+    cfg.transport = "tcp";
+    cfg.socket.endpoints = split_endpoints(endpoints_csv);
+    cfg.socket.inherited_listen_fd = std::atoi(listen_fd);
+    cfg.first_local_rank = rank;
+    cfg.num_local_ranks = 1;
+    cfg.reliability.enabled = true;
+    cfg.reliability.min_rto_us = 20000;
+    if (drop_probability > 0.0)
+    {
+        cfg.faults.seed = 0x5110ce00 + rank;    // per-process fault stream
+        cfg.faults.drop_probability = drop_probability;
+    }
+
+    coal::runtime rt(cfg);
+    std::uint32_t const epoch_before =
+        rt.get_locality(rank).parcels().epoch();
+
+    rt.run_everywhere([&](coal::locality& here) {
+        for (int i = 0; i != per_link; ++i)
+        {
+            for (auto const dest : here.find_remote_localities())
+                here.apply<smoke_deposit_action>(dest, i);
+            // Mid-stream, rank 0 cuts its connection toward rank 1: the
+            // frames racing the cut are retransmitted over the healed
+            // connection.
+            if (cut_connection && rank == 0 && i == per_link / 2)
+                rt.wire()->debug_drop_connection(1);
+        }
+    });
+
+    // App-level completion: every rank waits for its own expected
+    // arrivals (retransmissions keep flowing underneath).
+    long long const expect_count =
+        static_cast<long long>(num_ranks - 1) * per_link;
+    long long const expect_sum = static_cast<long long>(num_ranks - 1) *
+        per_link * (per_link - 1) / 2;
+
+    coal::stopwatch sw;
+    while (g_smoke_count.load() != expect_count && sw.elapsed_ms() < 60000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+    bool ok = true;
+    if (g_smoke_count.load() != expect_count ||
+        g_smoke_sum.load() != expect_sum)
+    {
+        std::fprintf(stderr,
+            "smoke rank %u: delivery mismatch count=%lld/%lld sum=%lld/%lld\n",
+            rank, g_smoke_count.load(), expect_count, g_smoke_sum.load(),
+            expect_sum);
+        ok = false;
+    }
+
+    // Everyone has its data: barrier, then drain the reliability state
+    // (acks) while all processes are still alive, then part ways.
+    rt.barrier();
+    rt.quiesce();
+
+    auto const w = rt.wire()->wire_stats();
+    if (cut_connection && rank == 0 && w.reconnects == 0)
+    {
+        std::fprintf(stderr, "smoke rank 0: expected a reconnect\n");
+        ok = false;
+    }
+    std::uint32_t const epoch_after =
+        rt.get_locality(rank).parcels().epoch();
+    if (epoch_after != epoch_before)
+    {
+        std::fprintf(stderr, "smoke rank %u: epoch bumped %u -> %u\n", rank,
+            epoch_before, epoch_after);
+        ok = false;
+    }
+
+    std::printf("SMOKE rank=%u ok=%d count=%lld sum=%lld frames_sent=%llu "
+                "frames_received=%llu reconnects=%llu crc_drops=%llu\n",
+        rank, ok ? 1 : 0, g_smoke_count.load(), g_smoke_sum.load(),
+        static_cast<unsigned long long>(w.frames_sent),
+        static_cast<unsigned long long>(w.frames_received),
+        static_cast<unsigned long long>(w.reconnects),
+        static_cast<unsigned long long>(w.crc_drops));
+    std::fflush(stdout);
+
+    rt.barrier();
+    rt.stop();
+    return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// parent
+// ---------------------------------------------------------------------
+
+struct bound_listener
+{
+    int fd = -1;
+    std::uint16_t port = 0;
+};
+
+bound_listener bind_ephemeral()
+{
+    bound_listener out;
+    out.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (out.fd < 0)
+        return out;
+    int one = 1;
+    ::setsockopt(out.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    ::sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = 0;
+    if (::bind(out.fd, reinterpret_cast<::sockaddr*>(&sa), sizeof sa) != 0 ||
+        ::listen(out.fd, 64) != 0)
+    {
+        ::close(out.fd);
+        out.fd = -1;
+        return out;
+    }
+    ::socklen_t len = sizeof sa;
+    ::getsockname(out.fd, reinterpret_cast<::sockaddr*>(&sa), &len);
+    out.port = ntohs(sa.sin_port);
+    return out;
+}
+
+/// Fork + exec this binary once per rank; returns child pids.
+void run_fixture(bool with_drops, bool with_cut)
+{
+    std::vector<bound_listener> listeners;
+    std::string endpoints;
+    for (std::uint32_t r = 0; r != num_ranks; ++r)
+    {
+        auto l = bind_ephemeral();
+        ASSERT_GE(l.fd, 0) << "parent could not pre-bind rank " << r;
+        if (r != 0)
+            endpoints += ',';
+        endpoints += "127.0.0.1:" + std::to_string(l.port);
+        listeners.push_back(l);
+    }
+
+    ::mkdir("smoke-logs", 0755);
+
+    char exe[4096];
+    ssize_t const n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+    ASSERT_GT(n, 0);
+    exe[n] = '\0';
+
+    std::vector<pid_t> pids;
+    for (std::uint32_t r = 0; r != num_ranks; ++r)
+    {
+        pid_t const pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0)
+        {
+            // Child: keep only our own listener, route output to the
+            // per-rank log, publish the bootstrap env, re-exec.
+            for (std::uint32_t o = 0; o != num_ranks; ++o)
+                if (o != r)
+                    ::close(listeners[o].fd);
+            std::string const log =
+                "smoke-logs/rank-" + std::to_string(r) + ".log";
+            int const logfd =
+                ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (logfd >= 0)
+            {
+                ::dup2(logfd, STDOUT_FILENO);
+                ::dup2(logfd, STDERR_FILENO);
+                ::close(logfd);
+            }
+            ::setenv("COAL_SMOKE_RANK", std::to_string(r).c_str(), 1);
+            ::setenv("COAL_ENDPOINTS", endpoints.c_str(), 1);
+            ::setenv("COAL_LISTEN_FD",
+                std::to_string(listeners[r].fd).c_str(), 1);
+            if (with_drops)
+                ::setenv("COAL_SMOKE_DROP", "0.02", 1);
+            if (with_cut)
+                ::setenv("COAL_SMOKE_CUT", "1", 1);
+            // The fixture must not recurse into transport overrides.
+            ::unsetenv("COAL_TRANSPORT");
+            char* const argv[] = {exe, nullptr};
+            ::execv(exe, argv);
+            std::_Exit(127);
+        }
+        pids.push_back(pid);
+    }
+    for (auto const& l : listeners)
+        ::close(l.fd);
+
+    // Reap with a deadline; on timeout, kill what is left and fail.
+    coal::stopwatch sw;
+    std::vector<int> status(num_ranks, -1);
+    std::size_t reaped = 0;
+    while (reaped != pids.size() && sw.elapsed_ms() < 120000)
+    {
+        bool progressed = false;
+        for (std::uint32_t r = 0; r != num_ranks; ++r)
+        {
+            if (status[r] != -1 || pids[r] == 0)
+                continue;
+            int st = 0;
+            pid_t const got = ::waitpid(pids[r], &st, WNOHANG);
+            if (got == pids[r])
+            {
+                status[r] = st;
+                ++reaped;
+                progressed = true;
+            }
+        }
+        if (!progressed)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (std::uint32_t r = 0; r != num_ranks; ++r)
+    {
+        if (status[r] == -1)
+        {
+            ::kill(pids[r], SIGKILL);
+            ::waitpid(pids[r], nullptr, 0);
+            ADD_FAILURE() << "rank " << r << " timed out (killed)";
+            continue;
+        }
+        EXPECT_TRUE(WIFEXITED(status[r]) && WEXITSTATUS(status[r]) == 0)
+            << "rank " << r << " exited with status " << status[r]
+            << " (see smoke-logs/rank-" << r << ".log)";
+    }
+}
+
+TEST(MultiprocessSmoke, FourRanksCleanAllToAll)
+{
+    run_fixture(/*with_drops=*/false, /*with_cut=*/false);
+}
+
+TEST(MultiprocessSmoke, FourRanksWithDropsAndForcedConnectionCut)
+{
+    // faulty_transport composed over real TCP in every process, plus one
+    // forced connection drop: delivery must stay exactly-once, healed by
+    // retransmit + reconnect, with no epoch bump anywhere.
+    run_fixture(/*with_drops=*/true, /*with_cut=*/true);
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    if (char const* rank = std::getenv("COAL_SMOKE_RANK"))
+        return run_child(static_cast<std::uint32_t>(std::atoi(rank)));
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
