@@ -130,12 +130,19 @@ struct socket_transport::connection
     };
 
     int fd = -1;
-    state st = state::idle;
+    /// Written by the IO thread, read by await_ready() on user threads.
+    std::atomic<state> st{state::idle};
     std::uint32_t endpoint_index = 0;
     bool outbound = false;
     bool self_loop = false;        ///< peer nonce == ours (same process)
-    bool hello_verified = false;    ///< outbound: peer HELLO accepted
+    /// Outbound: peer HELLO accepted.  Atomic: await_ready() polls it.
+    std::atomic<bool> hello_verified{false};
     bool peer_goodbye = false;      ///< graceful close announced
+    /// Set by on_frame() when a handshake is rejected: the connection
+    /// must be closed, but never from inside the decoder's own callback
+    /// (close_connection destroys the decoder mid-feed).  handle_readable
+    /// honours it once feed() has returned.
+    bool close_requested = false;
     std::uint32_t remote_first_rank = 0;
     std::uint32_t remote_num_ranks = 0;
 
@@ -321,6 +328,8 @@ socket_transport::socket_transport(socket_params params,
         {
             auto* sa = reinterpret_cast<::sockaddr_un*>(&ep->addr);
             sa->sun_family = AF_UNIX;
+            COAL_ASSERT_MSG(ep->address.size() < sizeof sa->sun_path,
+                "uds path too long for sun_path");
             std::strncpy(sa->sun_path, ep->address.c_str(),
                 sizeof sa->sun_path - 1);
             ep->addr_len = sizeof(::sockaddr_un);
@@ -612,6 +621,7 @@ void socket_transport::close_connection(connection& c, bool lost_established)
     c.hello_buf.clear();
     c.hello_off = 0;
     c.hello_verified = false;
+    c.close_requested = false;
 
     if (c.outbound)
     {
@@ -800,6 +810,14 @@ void socket_transport::handle_readable(connection& c)
                 close_connection(c, true);
                 return;
             }
+            if (c.close_requested)
+            {
+                // Handshake rejection noted by on_frame(): the close must
+                // happen here, outside the decoder's callback, or the
+                // decoder would be destroyed while feed() still runs.
+                close_connection(c, false);
+                return;
+            }
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -823,10 +841,8 @@ void socket_transport::on_decode_error(connection& c, wire::decode_error e)
         // its CRC death must release the custody slot (conservatively:
         // we cannot read the damaged frame's src, but on a self-loop
         // every data frame is ours).
-        if (c.self_loop &&
-            loopback_transit_.load(std::memory_order_acquire) != 0)
+        if (c.self_loop && release_loopback_slot())
         {
-            loopback_transit_.fetch_sub(1, std::memory_order_acq_rel);
             messages_dropped_.fetch_add(1, std::memory_order_relaxed);
             drain_cv_.notify_all();
         }
@@ -847,6 +863,11 @@ void socket_transport::on_decode_error(connection& c, wire::decode_error e)
 void socket_transport::on_frame(connection& c, wire::frame_header const& h,
     serialization::shared_buffer&& payload)
 {
+    // A rejected handshake condemned this connection; ignore anything the
+    // decoder still parses out of the same feed() chunk.
+    if (c.close_requested)
+        return;
+
     wire_frames_received_.fetch_add(1, std::memory_order_relaxed);
 
     switch (static_cast<wire::frame_kind>(h.kind))
@@ -861,8 +882,12 @@ void socket_transport::on_frame(connection& c, wire::frame_header const& h,
         if (payload.size() != sizeof p)
         {
             wire_handshake_failures_.fetch_add(1, std::memory_order_relaxed);
-            ready_failed_.store(true, std::memory_order_release);
-            close_connection(c, false);
+            // Only a known peer (outbound) failing its handshake dooms
+            // bootstrap; a stray client reaching our listener is just
+            // closed and counted.
+            if (c.outbound)
+                ready_failed_.store(true, std::memory_order_release);
+            c.close_requested = true;
             break;
         }
         std::memcpy(&p, payload.data(), sizeof p);
@@ -878,8 +903,9 @@ void socket_transport::on_frame(connection& c, wire::frame_header const& h,
                 static_cast<unsigned long long>(p.registry_digest),
                 static_cast<unsigned long long>(registry_digest_));
             wire_handshake_failures_.fetch_add(1, std::memory_order_relaxed);
-            ready_failed_.store(true, std::memory_order_release);
-            close_connection(c, false);
+            if (c.outbound)
+                ready_failed_.store(true, std::memory_order_release);
+            c.close_requested = true;
             break;
         }
         c.self_loop = p.nonce == nonce_;
@@ -922,16 +948,30 @@ void socket_transport::on_frame(connection& c, wire::frame_header const& h,
     }
 }
 
+/// Clamped decrement of the loopback custody gauge.  drain()'s stall
+/// reconciliation can zero the gauge while a frame still sits in kernel
+/// buffers; when that frame is delivered afterwards, an unconditional
+/// fetch_sub would wrap the unsigned count to ~2^64 and wedge every later
+/// drain.  Returns whether a slot was actually released.
+bool socket_transport::release_loopback_slot() noexcept
+{
+    std::uint64_t cur = loopback_transit_.load(std::memory_order_acquire);
+    while (cur != 0)
+    {
+        if (loopback_transit_.compare_exchange_weak(
+                cur, cur - 1, std::memory_order_acq_rel))
+            return true;
+    }
+    return false;
+}
+
 void socket_transport::deliver_data(connection& c,
     wire::frame_header const& h, serialization::shared_buffer&& payload)
 {
     // Release the loopback custody slot first — whatever happens next
     // (delivered or dropped), the frame is no longer in transit.
-    if (c.self_loop)
-    {
-        loopback_transit_.fetch_sub(1, std::memory_order_acq_rel);
+    if (c.self_loop && release_loopback_slot())
         drain_cv_.notify_all();
-    }
 
     delivery_handler handler;
     bool down;

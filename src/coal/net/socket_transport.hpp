@@ -186,7 +186,9 @@ public:
     /// Eagerly connect to every endpoint and wait until each outbound
     /// connection completed the HELLO exchange (digest-verified), with
     /// connect retries while peer processes are still launching.
-    /// Returns false on bootstrap timeout or a handshake failure.
+    /// Returns false on bootstrap timeout or a handshake failure on an
+    /// outbound (known-peer) connection; a stray client reaching a
+    /// listener is merely closed and counted, never failing bootstrap.
     bool await_ready();
 
     /// The endpoint actually bound for a locality (auto mode resolves
@@ -276,6 +278,7 @@ private:
     void barrier_maybe_release();
     void purge_queue(connection& c, std::uint32_t locality_filter);
     void drop_frame_accounting(out_frame const& f);
+    bool release_loopback_slot() noexcept;
     [[nodiscard]] std::int64_t next_poll_timeout_ms(
         std::int64_t now_ns) const noexcept;
 

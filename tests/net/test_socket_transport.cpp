@@ -12,14 +12,21 @@
 
 #include <coal/common/stopwatch.hpp>
 #include <coal/net/faulty_transport.hpp>
+#include <coal/net/wire_format.hpp>
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 namespace {
 
@@ -371,6 +378,75 @@ TEST(SocketTransport, FaultyTransportComposesOverRealWire)
     EXPECT_EQ(delivered.load(), static_cast<int>(s.messages_delivered));
     // The real wire below saw exactly the frames the decorator let pass.
     EXPECT_EQ(wire->stats().messages_sent, s.messages_delivered);
+    net.shutdown();
+}
+
+TEST(SocketTransport, HandshakeDigestMismatchFailsBootstrap)
+{
+    // Two "processes" (both in this test process) with different
+    // action-registry digests: each side rejects the other's HELLO.  The
+    // rejection must be contained — connection closed *after* the decoder
+    // callback returns (asan watches for the use-after-free), counted as
+    // a handshake failure — and await_ready() must report failure
+    // instead of hanging until the bootstrap timeout.
+    std::string const tag = std::to_string(::getpid());
+    socket_params pa = uds_params();
+    pa.endpoints = {"/tmp/coal-hs-a-" + tag + ".sock",
+        "/tmp/coal-hs-b-" + tag + ".sock"};
+    pa.registry_digest = 1;
+    pa.bootstrap_timeout_ms = 5000;
+    socket_params pb = pa;
+    pb.registry_digest = 2;
+
+    socket_transport a(pa, 2, 0, 1);
+    socket_transport b(pb, 2, 1, 1);
+
+    EXPECT_FALSE(a.await_ready());
+    EXPECT_GE(a.wire_stats().handshake_failures, 1u);
+    a.shutdown();
+    b.shutdown();
+}
+
+TEST(SocketTransport, StrayConnectionDoesNotFailBootstrap)
+{
+    // A malformed HELLO arriving on an *accepted* connection (a stray
+    // client, a port scanner) must be closed and counted without
+    // poisoning await_ready() for the real peers.
+    socket_transport net(tcp_params(), 2);
+    ASSERT_TRUE(net.await_ready());
+
+    // Raw client: valid framing and header CRC, HELLO kind, but a
+    // payload size no real peer would send.
+    auto const& ep = net.endpoint_of(0);
+    int const port = std::atoi(ep.c_str() + ep.rfind(':') + 1);
+
+    int const fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ::sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<::sockaddr*>(&sa), sizeof sa), 0);
+
+    namespace wire = coal::net::wire;
+    std::uint8_t const bogus[4] = {1, 2, 3, 4};
+    wire::frame_header h;
+    h.kind = static_cast<std::uint8_t>(wire::frame_kind::hello);
+    h.payload_len = sizeof bogus;
+    h.payload_crc = wire::crc32c(bogus, sizeof bogus);
+    std::uint8_t frame[wire::header_size + sizeof bogus];
+    wire::encode_header(h, frame);
+    std::memcpy(frame + wire::header_size, bogus, sizeof bogus);
+    ASSERT_EQ(::send(fd, frame, sizeof frame, MSG_NOSIGNAL),
+        static_cast<ssize_t>(sizeof frame));
+
+    ASSERT_TRUE(wait_for(
+        [&] { return net.wire_stats().handshake_failures >= 1; }));
+    ::close(fd);
+
+    // The stray client was rejected, the real peers are untouched.
+    EXPECT_TRUE(net.await_ready());
     net.shutdown();
 }
 
